@@ -1,0 +1,93 @@
+//! Microbenchmarks: enqueue/dequeue throughput of every scheduler model.
+//!
+//! These bound the per-packet cost of the software scheduler substrate —
+//! the denominator of every simulated experiment.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use qvisor_scheduler::{
+    AifoQueue, CalendarQueue, Capacity, FifoQueue, PacketQueue, PathStep, PifoQueue, PifoTree,
+    SpPifoMapper, StaticRangeMapper, StrictPriorityBank, TreePath, TreeShape,
+};
+use qvisor_sim::{FlowId, Nanos, NodeId, Packet, SimRng, TenantId};
+
+const N: usize = 1_024;
+
+fn packets() -> Vec<Packet> {
+    let mut rng = SimRng::seed_from(7);
+    (0..N)
+        .map(|i| {
+            let mut p = Packet::data(
+                FlowId(i as u64),
+                TenantId(0),
+                i as u64,
+                1_500,
+                NodeId(0),
+                NodeId(1),
+                rng.below(100_000),
+                Nanos::ZERO,
+            );
+            p.txf_rank = p.rank;
+            p
+        })
+        .collect()
+}
+
+fn bench_queue<Q: PacketQueue, F: Fn() -> Q>(c: &mut Criterion, name: &str, make: F) {
+    let pkts = packets();
+    c.bench_function(name, |b| {
+        b.iter_batched(
+            || (make(), pkts.clone()),
+            |(mut q, pkts)| {
+                for p in pkts {
+                    q.enqueue(p, Nanos::ZERO);
+                }
+                while q.dequeue(Nanos::ZERO).is_some() {}
+                q.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn scheduler_micro(c: &mut Criterion) {
+    let cap = Capacity::packets(256, 1_500);
+    bench_queue(c, "fifo_1k_pkts", move || FifoQueue::new(cap));
+    bench_queue(c, "pifo_1k_pkts", move || PifoQueue::new(cap));
+    bench_queue(c, "sp_pifo8_1k_pkts", move || {
+        StrictPriorityBank::new(SpPifoMapper::new(8), cap)
+    });
+    bench_queue(c, "strict_static8_1k_pkts", move || {
+        StrictPriorityBank::new(StaticRangeMapper::new(0, 100_000, 8), cap)
+    });
+    bench_queue(c, "aifo_1k_pkts", move || AifoQueue::new(cap, 64, 0.1));
+    bench_queue(c, "calendar64_1k_pkts", move || {
+        CalendarQueue::new(64, 2_000, cap)
+    });
+    bench_queue(c, "pifo_tree4_1k_pkts", move || {
+        let shape = TreeShape::Internal(vec![
+            TreeShape::Leaf,
+            TreeShape::Leaf,
+            TreeShape::Leaf,
+            TreeShape::Leaf,
+        ]);
+        let mut vt = [0u64; 4];
+        PifoTree::new(
+            &shape,
+            move |p: &qvisor_sim::Packet| {
+                let class = (p.flow.0 % 4) as usize;
+                vt[class] += 1;
+                TreePath {
+                    steps: vec![PathStep {
+                        child: class,
+                        rank: vt[class],
+                    }],
+                    leaf_rank: p.txf_rank,
+                }
+            },
+            cap,
+        )
+    });
+}
+
+criterion_group!(benches, scheduler_micro);
+criterion_main!(benches);

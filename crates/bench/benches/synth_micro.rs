@@ -1,0 +1,119 @@
+//! Microbenchmarks for QVISOR's control and data planes:
+//!
+//! * synthesizer latency vs tenant count (control plane — how fast can the
+//!   runtime adapter re-synthesize when tenants come and go, §5);
+//! * pre-processor per-packet transformation cost (data plane — the
+//!   "applied at line rate" claim of §3.2, including the exact Fig. 3
+//!   chain).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use qvisor_core::{synthesize, Policy, PreProcessor, SynthConfig, TenantSpec, UnknownTenantAction};
+use qvisor_ranking::RankRange;
+use qvisor_sim::{FlowId, Nanos, NodeId, Packet, SimRng, TenantId};
+
+fn specs(n: u16) -> Vec<TenantSpec> {
+    (1..=n)
+        .map(|i| {
+            TenantSpec::new(
+                TenantId(i),
+                format!("T{i}"),
+                "alg",
+                RankRange::new(0, 1_000 * i as u64),
+            )
+        })
+        .collect()
+}
+
+fn mixed_policy(n: u16) -> String {
+    // Alternate the three operators: T1 >> T2 + T3 > T4 >> T5 + T6 > ...
+    (1..=n)
+        .map(|i| {
+            let sep = match i % 3 {
+                1 if i > 1 => " >> ",
+                2 => " + ",
+                _ => " > ",
+            };
+            if i == 1 {
+                "T1".to_string()
+            } else {
+                format!("{sep}T{i}")
+            }
+        })
+        .collect()
+}
+
+fn synth_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synthesizer");
+    for n in [2u16, 8, 32, 128] {
+        let specs = specs(n);
+        let policy = Policy::parse(&mixed_policy(n)).unwrap();
+        g.bench_function(format!("synthesize_{n}_tenants"), |b| {
+            b.iter(|| synthesize(&specs, &policy, SynthConfig::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn preprocessor_cost(c: &mut Criterion) {
+    let specs = specs(16);
+    let policy = Policy::parse(&mixed_policy(16)).unwrap();
+    let joint = synthesize(&specs, &policy, SynthConfig::default()).unwrap();
+    let pre = PreProcessor::new(&joint, UnknownTenantAction::BestEffort);
+
+    let mut rng = SimRng::seed_from(3);
+    let pkts: Vec<Packet> = (0..4_096u64)
+        .map(|i| {
+            let tenant = TenantId(1 + (rng.below(16) as u16));
+            Packet::data(
+                FlowId(i),
+                tenant,
+                i,
+                1_500,
+                NodeId(0),
+                NodeId(1),
+                rng.below(16_000),
+                Nanos::ZERO,
+            )
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("preprocessor");
+    g.throughput(Throughput::Elements(pkts.len() as u64));
+    g.bench_function("transform_4k_pkts_16_tenants", |b| {
+        b.iter_batched(
+            || (pre.clone(), pkts.clone()),
+            |(mut pre, mut pkts)| {
+                for p in &mut pkts {
+                    pre.process(p);
+                }
+                pkts.len()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+
+    // The exact Fig. 3 chain as a single-transformation latency probe.
+    let fig3_specs = vec![
+        TenantSpec::new(TenantId(1), "T1", "pFabric", RankRange::new(7, 9)).with_levels(3),
+        TenantSpec::new(TenantId(2), "T2", "EDF", RankRange::new(1, 3)).with_levels(2),
+        TenantSpec::new(TenantId(3), "T3", "FQ", RankRange::new(3, 5)).with_levels(2),
+    ];
+    let fig3_policy = Policy::parse("T1 >> T2 + T3").unwrap();
+    let fig3 = synthesize(
+        &fig3_specs,
+        &fig3_policy,
+        SynthConfig {
+            first_rank: 1,
+            ..SynthConfig::default()
+        },
+    )
+    .unwrap();
+    let chain = fig3.chain(TenantId(2)).unwrap().clone();
+    c.bench_function("fig3_chain_apply", |b| {
+        b.iter(|| std::hint::black_box(chain.apply(std::hint::black_box(3))))
+    });
+}
+
+criterion_group!(benches, synth_latency, preprocessor_cost);
+criterion_main!(benches);

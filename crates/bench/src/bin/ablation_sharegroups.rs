@@ -1,0 +1,85 @@
+//! Ablation: fairness of the `+` operator as share groups grow.
+//!
+//! N identical closed-loop tenants share one bottleneck under
+//! `T1 + T2 + ... + TN`; we report each group's Jain fairness index and
+//! aggregate utilization, and compare against the same tenants thrown
+//! naively (untransformed) onto the PIFO.
+//!
+//! Usage: cargo run -p qvisor-bench --release --bin ablation_sharegroups
+
+use qvisor_core::{SynthConfig, TenantSpec, UnknownTenantAction};
+use qvisor_netsim::{NewFlow, QvisorSetup, SchedulerKind, SimConfig, Simulation};
+use qvisor_ranking::{ByteCountFq, RankRange};
+use qvisor_sim::{gbps, jain_fairness, Nanos, TenantId};
+use qvisor_topology::Dumbbell;
+
+fn run(n: usize, qvisor: bool) -> (f64, f64) {
+    let d = Dumbbell::build(n, gbps(1), gbps(1), Nanos::from_micros(1));
+    let mut cfg = SimConfig {
+        seed: 9,
+        horizon: Nanos::from_millis(120),
+        scheduler: SchedulerKind::Pifo,
+        ..SimConfig::default()
+    };
+    if qvisor {
+        let specs: Vec<TenantSpec> = (1..=n)
+            .map(|i| {
+                TenantSpec::new(
+                    TenantId(i as u16),
+                    format!("T{i}"),
+                    "FQ",
+                    RankRange::new(0, 14_000),
+                )
+                .with_levels(64)
+            })
+            .collect();
+        let policy = (1..=n)
+            .map(|i| format!("T{i}"))
+            .collect::<Vec<_>>()
+            .join(" + ");
+        cfg.qvisor = Some(QvisorSetup {
+            specs,
+            policy,
+            synth: SynthConfig::default(),
+            unknown: UnknownTenantAction::BestEffort,
+            scope: Default::default(),
+            monitor: None,
+        });
+    }
+    let mut sim = Simulation::new(d.topology.clone(), cfg).unwrap();
+    for i in 1..=n {
+        let t = TenantId(i as u16);
+        sim.register_rank_fn(t, Box::new(ByteCountFq::new(1_460, 14_000)));
+        sim.add_flow(NewFlow::new(
+            t,
+            d.senders[i - 1],
+            d.receivers[i - 1],
+            20_000_000,
+            Nanos::ZERO,
+        ));
+    }
+    let r = sim.run();
+    let bytes: Vec<f64> = (1..=n)
+        .map(|i| r.tenant(TenantId(i as u16)).delivered_bytes as f64)
+        .collect();
+    let jain = jain_fairness(&bytes).unwrap_or(f64::NAN);
+    let util = bytes.iter().sum::<f64>() * 8.0 / r.end_time.as_secs_f64() / 1e9;
+    (jain, util)
+}
+
+fn main() {
+    println!("Ablation: share-group size (N elephants, one 1 Gbps bottleneck)");
+    println!(
+        "{:>4}{:>22}{:>22}{:>14}",
+        "N", "Jain (QVISOR +)", "Jain (naive PIFO)", "util (QVISOR)"
+    );
+    for n in [2usize, 3, 4, 6, 8] {
+        let (jq, uq) = run(n, true);
+        let (jn, _) = run(n, false);
+        println!("{n:>4}{jq:>22.4}{jn:>22.4}{uq:>13.2}x");
+    }
+    println!(
+        "\nQVISOR's stride interleaving holds Jain ~1.0 as the group grows; \
+         naive sharing depends on accidental rank alignment."
+    );
+}

@@ -1,0 +1,169 @@
+//! Regenerates the paper's Fig. 4: mean FCT of the pFabric tenant's small
+//! (4a) and large (4b) flows across loads 0.2–0.8 under six schemes.
+//!
+//! Usage:
+//!   cargo run -p qvisor-bench --release --bin fig4 [-- OPTIONS]
+//!
+//! Options:
+//!   --smoke            small fabric, tiny workload (seconds)
+//!   --flows N          pFabric flows per point   (default 2000)
+//!   --scale N          divide flow sizes by N    (default 10)
+//!   --loads a,b,c      loads to sweep            (default 0.2..=0.8)
+//!   --workload W       datamining | websearch    (default datamining)
+//!   --seed N           root seed                 (default 1)
+//!   --json PATH        also dump machine-readable results
+
+use qvisor_bench::{run_point, Fig4Config, Scheme};
+use std::io::Write;
+
+fn parse_args() -> (Fig4Config, Vec<f64>, Option<String>) {
+    let mut cfg = Fig4Config::paper_scaled();
+    let mut loads: Vec<f64> = (2..=8).map(|l| l as f64 / 10.0).collect();
+    let mut json = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| {
+                    eprintln!("missing value after {}", args[*i - 1]);
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match args[i].as_str() {
+            "--smoke" => {
+                let keep_seed = cfg.seed;
+                cfg = Fig4Config::smoke();
+                cfg.seed = keep_seed;
+            }
+            "--flows" => cfg.flows = value(&mut i).parse().expect("--flows N"),
+            "--scale" => cfg.size_scale_den = value(&mut i).parse().expect("--scale N"),
+            "--seed" => cfg.seed = value(&mut i).parse().expect("--seed N"),
+            "--loads" => {
+                loads = value(&mut i)
+                    .split(',')
+                    .map(|s| s.parse().expect("--loads a,b,c"))
+                    .collect();
+            }
+            "--json" => json = Some(value(&mut i)),
+            "--workload" => {
+                cfg.workload = match value(&mut i).as_str() {
+                    "datamining" => qvisor_bench::Workload::DataMining,
+                    "websearch" => qvisor_bench::Workload::WebSearch,
+                    other => {
+                        eprintln!("unknown workload {other}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    (cfg, loads, json)
+}
+
+fn main() {
+    let (cfg, loads, json_path) = parse_args();
+    eprintln!(
+        "fig4: {} hosts, {} flows/point, sizes /{}, {} CBR x {} Mbps, loads {loads:?}",
+        cfg.fabric.leaves * cfg.fabric.hosts_per_leaf,
+        cfg.flows,
+        cfg.size_scale_den,
+        cfg.cbr_streams,
+        cfg.cbr_rate_bps / 1_000_000,
+    );
+
+    // results[scheme][load index]
+    let mut results: Vec<Vec<qvisor_bench::Fig4Point>> = Vec::new();
+    for scheme in Scheme::ALL {
+        let mut row = Vec::new();
+        for &load in &loads {
+            let t0 = std::time::Instant::now();
+            let p = run_point(scheme, load, &cfg);
+            eprintln!(
+                "  {:<26} load {:.1}: small {:>8} ms, large {:>9} ms, \
+                 {}/{} flows, {:>4.1}s wall",
+                scheme.label(),
+                load,
+                p.small_fct_ms.map_or("-".into(), |v| format!("{v:.3}")),
+                p.large_fct_ms.map_or("-".into(), |v| format!("{v:.2}")),
+                p.completed,
+                p.completed as u64 + p.incomplete,
+                t0.elapsed().as_secs_f64(),
+            );
+            row.push(p);
+        }
+        results.push(row);
+    }
+
+    for (title, pick) in [
+        (
+            "Figure 4a: (0,100KB) mean FCTs of pFabric traffic (ms)",
+            0usize,
+        ),
+        (
+            "Figure 4b: [1MB,inf) mean FCTs of pFabric traffic (ms)",
+            1usize,
+        ),
+    ] {
+        println!("\n{title}");
+        print!("{:<26}", "scheme \\ load");
+        for l in &loads {
+            print!("{l:>9.1}");
+        }
+        println!();
+        for (si, scheme) in Scheme::ALL.iter().enumerate() {
+            print!("{:<26}", scheme.label());
+            for p in &results[si] {
+                let v = if pick == 0 {
+                    p.small_fct_ms
+                } else {
+                    p.large_fct_ms
+                };
+                match v {
+                    Some(v) if pick == 0 => print!("{v:>9.3}"),
+                    Some(v) => print!("{v:>9.2}"),
+                    None => print!("{:>9}", "-"),
+                }
+            }
+            println!();
+        }
+    }
+
+    if let Some(path) = json_path {
+        #[derive(serde::Serialize)]
+        struct Row<'a> {
+            scheme: &'a str,
+            load: f64,
+            small_fct_ms: Option<f64>,
+            large_fct_ms: Option<f64>,
+            completed: usize,
+            incomplete: u64,
+            deadline_hit: Option<f64>,
+        }
+        let rows: Vec<Row> = Scheme::ALL
+            .iter()
+            .enumerate()
+            .flat_map(|(si, s)| {
+                results[si].iter().map(move |p| Row {
+                    scheme: s.label(),
+                    load: p.load,
+                    small_fct_ms: p.small_fct_ms,
+                    large_fct_ms: p.large_fct_ms,
+                    completed: p.completed,
+                    incomplete: p.incomplete,
+                    deadline_hit: p.deadline_hit,
+                })
+            })
+            .collect();
+        let mut f = std::fs::File::create(&path).expect("create json output");
+        writeln!(f, "{}", serde_json::to_string_pretty(&rows).unwrap()).unwrap();
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,345 @@
+//! The paper's Fig. 4 experiment (§4).
+//!
+//! Setup (paper): a 144-server leaf–spine fabric (9 leaves, 4 spines,
+//! 1 Gbps access, 4 Gbps fabric). Tenant 1 runs a data-mining workload
+//! scheduled with pFabric; tenant 2 runs 100 CBR flows at 0.5 Gbps between
+//! uniformly random server pairs, scheduled with EDF. The measured metric
+//! is tenant 1's mean FCT for small flows `(0, 100 KB)` (Fig. 4a) and
+//! large flows `[1 MB, ∞)` (Fig. 4b), across loads 0.2–0.8, under six
+//! schemes:
+//!
+//! * `FIFO`          — both tenants through FIFO queues;
+//! * `PIFO-naive`    — both tenants' *raw* ranks on a shared PIFO (clash);
+//! * `PIFO-ideal`    — only pFabric traffic in the network (upper bound);
+//! * `QVISOR EDF>>pF`— QVISOR with the EDF tenant strictly prioritized;
+//! * `QVISOR pF+EDF` — QVISOR with both sharing;
+//! * `QVISOR pF>>EDF`— QVISOR with pFabric strictly prioritized.
+//!
+//! Flow sizes follow the data-mining CDF scaled down by
+//! [`Fig4Config::size_scale_den`] so a full sweep runs on a laptop; the
+//! scale knob changes absolute FCTs, not the ordering of schemes
+//! (EXPERIMENTS.md records both scales).
+
+use qvisor_core::{SynthConfig, TenantSpec, UnknownTenantAction};
+use qvisor_netsim::{QvisorSetup, SchedulerKind, SimConfig, SimReport, Simulation};
+use qvisor_ranking::{Edf, PFabric, RankRange};
+use qvisor_sim::{Nanos, SimRng, TenantId};
+use qvisor_topology::{LeafSpine, LeafSpineConfig};
+use qvisor_transport::SizeBucket;
+use qvisor_workloads::{
+    arrival_rate_for_load, cbr_tenant, EmpiricalCdf, FlowSizeDist, PoissonFlowGen,
+};
+
+/// Tenant 1: the pFabric data-mining tenant.
+pub const PFABRIC: TenantId = TenantId(1);
+/// Tenant 2: the EDF CBR tenant.
+pub const EDF: TenantId = TenantId(2);
+
+/// The six schemes of Fig. 4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheme {
+    /// Both tenants through FIFO queues.
+    Fifo,
+    /// Both tenants' raw ranks on a shared PIFO (the §2 clash).
+    PifoNaive,
+    /// Only the pFabric tenant in the network (ideal baseline).
+    PifoIdeal,
+    /// QVISOR, operator policy `EDF >> pFabric`.
+    QvisorEdfFirst,
+    /// QVISOR, operator policy `pFabric + EDF`.
+    QvisorShare,
+    /// QVISOR, operator policy `pFabric >> EDF`.
+    QvisorPfabricFirst,
+}
+
+impl Scheme {
+    /// All six, in the paper's legend order.
+    pub const ALL: [Scheme; 6] = [
+        Scheme::Fifo,
+        Scheme::PifoNaive,
+        Scheme::PifoIdeal,
+        Scheme::QvisorEdfFirst,
+        Scheme::QvisorShare,
+        Scheme::QvisorPfabricFirst,
+    ];
+
+    /// Label matching the paper's legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Fifo => "FIFO: pFabric and EDF",
+            Scheme::PifoNaive => "PIFO: pFabric and EDF",
+            Scheme::PifoIdeal => "PIFO: pFabric",
+            Scheme::QvisorEdfFirst => "QVISOR: EDF >> pFabric",
+            Scheme::QvisorShare => "QVISOR: pFabric + EDF",
+            Scheme::QvisorPfabricFirst => "QVISOR: pFabric >> EDF",
+        }
+    }
+}
+
+/// Which flow-size distribution drives tenant 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// The paper's data-mining CDF (heavy tail up to 100 MB).
+    DataMining,
+    /// The DCTCP web-search CDF (milder tail up to 20 MB) — an extra
+    /// sensitivity axis beyond the paper.
+    WebSearch,
+}
+
+impl Workload {
+    /// The unscaled maximum flow size of the CDF, bytes.
+    pub fn max_bytes(self) -> u64 {
+        match self {
+            Workload::DataMining => 100_000_000,
+            Workload::WebSearch => 20_000_000,
+        }
+    }
+
+    fn cdf(self) -> EmpiricalCdf {
+        match self {
+            Workload::DataMining => EmpiricalCdf::data_mining(),
+            Workload::WebSearch => EmpiricalCdf::web_search(),
+        }
+    }
+}
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Fig4Config {
+    /// The fabric.
+    pub fabric: LeafSpineConfig,
+    /// Tenant 1's flow-size distribution.
+    pub workload: Workload,
+    /// Number of pFabric flows to complete per point.
+    pub flows: usize,
+    /// Data-mining sizes are divided by this (1 = the paper's full sizes).
+    pub size_scale_den: u64,
+    /// Number of CBR streams for tenant 2 (paper: 100).
+    pub cbr_streams: usize,
+    /// Per-stream CBR rate (paper: 0.5 Gbps).
+    pub cbr_rate_bps: u64,
+    /// EDF deadline offset per datagram.
+    pub deadline_offset: Nanos,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Fig4Config {
+    /// The paper's fabric with sizes scaled 1/10 and 2000 flows — the
+    /// configuration behind EXPERIMENTS.md's recorded sweep.
+    pub fn paper_scaled() -> Fig4Config {
+        Fig4Config {
+            fabric: LeafSpineConfig::paper(),
+            workload: Workload::DataMining,
+            flows: 2_000,
+            size_scale_den: 10,
+            cbr_streams: 100,
+            cbr_rate_bps: 500_000_000,
+            deadline_offset: Nanos::from_micros(300),
+            seed: 1,
+        }
+    }
+
+    /// A laptop-fast configuration preserving the scheme ordering: small
+    /// fabric, 1/50 sizes, fewer flows and streams.
+    pub fn smoke() -> Fig4Config {
+        Fig4Config {
+            fabric: LeafSpineConfig::small(),
+            workload: Workload::DataMining,
+            flows: 150,
+            size_scale_den: 50,
+            cbr_streams: 4,
+            cbr_rate_bps: 300_000_000,
+            deadline_offset: Nanos::from_micros(300),
+            seed: 1,
+        }
+    }
+}
+
+/// One measured point of Fig. 4.
+#[derive(Clone, Copy, Debug)]
+pub struct Fig4Point {
+    /// The swept load.
+    pub load: f64,
+    /// Fig. 4a: mean FCT of pFabric flows in (0, 100 KB), milliseconds.
+    pub small_fct_ms: Option<f64>,
+    /// Fig. 4b: mean FCT of pFabric flows in [1 MB, ∞), milliseconds.
+    pub large_fct_ms: Option<f64>,
+    /// pFabric flows completed.
+    pub completed: usize,
+    /// pFabric flows not finished at the horizon.
+    pub incomplete: u64,
+    /// Tenant 2 deadline hit rate, if tenant 2 ran.
+    pub deadline_hit: Option<f64>,
+    /// Events processed (for performance bookkeeping).
+    pub events: u64,
+}
+
+/// Size bucket matching Fig. 4a under a scaled workload: the paper's
+/// boundaries divided by the same scale factor.
+fn scaled_bucket(bucket: SizeBucket, den: u64) -> SizeBucket {
+    SizeBucket {
+        lo: (bucket.lo / den).max(1),
+        hi: if bucket.hi == u64::MAX {
+            u64::MAX
+        } else {
+            (bucket.hi / den).max(2)
+        },
+    }
+}
+
+/// Run one (scheme, load) point.
+pub fn run_point(scheme: Scheme, load: f64, cfg: &Fig4Config) -> Fig4Point {
+    let fabric = LeafSpine::build(&cfg.fabric);
+    let hosts = fabric.all_hosts();
+    let sizes = cfg.workload.cdf().scaled(1, cfg.size_scale_den);
+
+    // pFabric rank = remaining KB; bound by the scaled maximum flow size.
+    let max_rank = (cfg.workload.max_bytes() / cfg.size_scale_den / 1_000).max(1);
+    // EDF's rank unit is chosen so raw EDF ranks land in the middle of the
+    // small-flow pFabric rank span: this is the §2 clash the paper
+    // constructs — under naive sharing "the priorities defined by the EDF
+    // policy are higher than the ones set by pFabric" for most packets,
+    // independent of the size-scale knob.
+    let small_hi_rank = (100_000 / cfg.size_scale_den / 1_000).max(2);
+    let edf_target = (small_hi_rank / 2).max(1);
+    let edf_unit = Nanos(cfg.deadline_offset.as_nanos() / edf_target);
+    let deadline_rank_max = edf_target * 2;
+
+    // Generate tenant 1's flows up front so the CBR window can cover them.
+    let rng = SimRng::seed_from(cfg.seed);
+    let rate = arrival_rate_for_load(load, hosts.len(), cfg.fabric.access_bps, sizes.mean_bytes());
+    let flows = PoissonFlowGen {
+        tenant: PFABRIC,
+        hosts: &hosts,
+        sizes: &sizes,
+        rate_flows_per_sec: rate,
+    }
+    .generate(cfg.flows, &mut rng.derive(1));
+    let last_arrival = flows.last().map(|f| f.start).unwrap_or(Nanos::ZERO);
+
+    let mut sim_cfg = SimConfig {
+        seed: cfg.seed,
+        horizon: last_arrival + Nanos::from_secs(2),
+        scheduler: match scheme {
+            Scheme::Fifo => SchedulerKind::Fifo,
+            _ => SchedulerKind::Pifo,
+        },
+        ..SimConfig::default()
+    };
+
+    let policy = match scheme {
+        Scheme::QvisorEdfFirst => Some("EDF >> pFabric"),
+        Scheme::QvisorShare => Some("pFabric + EDF"),
+        Scheme::QvisorPfabricFirst => Some("pFabric >> EDF"),
+        _ => None,
+    };
+    if let Some(policy) = policy {
+        let specs = vec![
+            TenantSpec::new(PFABRIC, "pFabric", "pFabric", RankRange::new(0, max_rank))
+                .with_levels(512),
+            TenantSpec::new(EDF, "EDF", "EDF", RankRange::new(0, deadline_rank_max))
+                .with_levels(64),
+        ];
+        sim_cfg.qvisor = Some(QvisorSetup {
+            specs,
+            policy: policy.to_string(),
+            synth: SynthConfig::default(),
+            unknown: UnknownTenantAction::BestEffort,
+            scope: Default::default(),
+            monitor: None,
+        });
+    }
+
+    let mut sim = Simulation::new(fabric.topology.clone(), sim_cfg).expect("valid fig4 config");
+    sim.register_rank_fn(PFABRIC, Box::new(PFabric::new(1_000, max_rank)));
+    sim.register_rank_fn(EDF, Box::new(Edf::new(edf_unit, deadline_rank_max)));
+
+    for f in &flows {
+        sim.add_generated(f);
+    }
+    if scheme != Scheme::PifoIdeal {
+        let streams = cbr_tenant(
+            EDF,
+            &hosts,
+            cfg.cbr_streams,
+            cfg.cbr_rate_bps,
+            1_500,
+            Nanos::ZERO,
+            last_arrival + Nanos::from_millis(20),
+            cfg.deadline_offset,
+            &mut rng.derive(2),
+        );
+        for s in &streams {
+            sim.add_generated_cbr(s);
+        }
+    }
+
+    let report: SimReport = sim.run();
+    let small = scaled_bucket(SizeBucket::SMALL, cfg.size_scale_den);
+    let large = scaled_bucket(SizeBucket::LARGE, cfg.size_scale_den);
+    Fig4Point {
+        load,
+        small_fct_ms: report.fct.mean_fct_ms(Some(PFABRIC), small),
+        large_fct_ms: report.fct.mean_fct_ms(Some(PFABRIC), large),
+        completed: report.fct.count(Some(PFABRIC)),
+        incomplete: report.incomplete_flows,
+        deadline_hit: report.tenant(EDF).deadline_hit_rate(),
+        events: report.events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_point_runs_and_completes() {
+        let cfg = Fig4Config::smoke();
+        let p = run_point(Scheme::QvisorPfabricFirst, 0.4, &cfg);
+        assert!(p.completed > 0);
+        assert!(p.small_fct_ms.is_some());
+        assert!(p.events > 1_000);
+    }
+
+    #[test]
+    fn ideal_runs_without_edf_traffic() {
+        let cfg = Fig4Config::smoke();
+        let p = run_point(Scheme::PifoIdeal, 0.4, &cfg);
+        assert_eq!(p.deadline_hit, None, "no EDF tenant in the ideal case");
+    }
+
+    #[test]
+    fn scheme_ordering_holds_at_moderate_load() {
+        // The paper's headline: QVISOR pFabric>>EDF ≈ ideal, while naive
+        // PIFO sharing and EDF-first are clearly worse for small flows.
+        let cfg = Fig4Config::smoke();
+        let small = |s: Scheme| run_point(s, 0.5, &cfg).small_fct_ms.unwrap();
+        let ideal = small(Scheme::PifoIdeal);
+        let qv_first = small(Scheme::QvisorPfabricFirst);
+        let naive = small(Scheme::PifoNaive);
+        let edf_first = small(Scheme::QvisorEdfFirst);
+        assert!(
+            qv_first < naive,
+            "QVISOR pF>>EDF ({qv_first:.3}) must beat naive PIFO ({naive:.3})"
+        );
+        assert!(
+            qv_first < edf_first,
+            "QVISOR pF>>EDF ({qv_first:.3}) must beat EDF-first ({edf_first:.3})"
+        );
+        assert!(
+            qv_first < ideal * 2.0,
+            "QVISOR pF>>EDF ({qv_first:.3}) should be near ideal ({ideal:.3})"
+        );
+    }
+
+    #[test]
+    fn scaled_buckets() {
+        let s = scaled_bucket(SizeBucket::SMALL, 50);
+        assert_eq!(s.lo, 1);
+        assert_eq!(s.hi, 2_000);
+        let l = scaled_bucket(SizeBucket::LARGE, 50);
+        assert_eq!(l.lo, 20_000);
+        assert_eq!(l.hi, u64::MAX);
+    }
+}

@@ -1,0 +1,12 @@
+#![deny(missing_docs)]
+
+//! # qvisor-bench — experiment harness
+//!
+//! Shared scenario code regenerating the paper's evaluation (§4):
+//! [`fig4`] builds and runs one point of Fig. 4 (any scheme × load), and
+//! the binaries in `src/bin/` sweep the full figures and ablations.
+//! Criterion microbenches live in `benches/`.
+
+pub mod fig4;
+
+pub use fig4::{run_point, Fig4Config, Fig4Point, Scheme, Workload, EDF, PFABRIC};

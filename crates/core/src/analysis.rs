@@ -1,0 +1,338 @@
+//! Static analysis of synthesized policies (§2, Idea 2).
+//!
+//! Given a joint policy, re-derive every tenant's worst-case output range
+//! *through its transformation chain* (not from the layout arithmetic — the
+//! point is to verify the synthesizer's construction independently) and
+//! check the guarantees the operator asked for: strict levels isolated,
+//! share groups overlapping, preferences biased but not isolating.
+
+use crate::synth::JointPolicy;
+use qvisor_ranking::RankRange;
+use qvisor_sim::TenantId;
+use std::fmt;
+
+/// One tenant's analyzed placement.
+#[derive(Clone, Debug)]
+pub struct TenantReport {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Name from the spec.
+    pub name: String,
+    /// Declared algorithm.
+    pub algorithm: String,
+    /// Declared input rank range.
+    pub declared: RankRange,
+    /// Worst-case output range through the synthesized chain.
+    pub output: RankRange,
+    /// Strict level index (0 = highest priority).
+    pub level: usize,
+    /// Preference group index within the level.
+    pub group: usize,
+    /// Quantization levels in effect.
+    pub quantization: u64,
+}
+
+/// Result of checking isolation between two adjacent strict levels.
+#[derive(Clone, Debug)]
+pub struct IsolationCheck {
+    /// Higher-priority level index.
+    pub upper_level: usize,
+    /// Worst (largest) rank any upper-level tenant can emit.
+    pub upper_max: u64,
+    /// Best (smallest) rank any lower-level tenant can emit.
+    pub lower_min: u64,
+    /// `upper_max < lower_min`: the strict guarantee holds in the worst
+    /// case.
+    pub isolated: bool,
+}
+
+/// How two tenants' output ranges relate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Relation {
+    /// Same `+` group: expected to overlap (fair interleaving).
+    Share,
+    /// Same level, *adjacent* `>` groups: expected to overlap with bias.
+    Prefer,
+    /// Same level, non-adjacent `>` groups: biases may accumulate past
+    /// overlap — disjointness here is acceptable (stronger priority), not
+    /// a violation.
+    PreferDistant,
+    /// Different strict levels: expected to be disjoint.
+    Strict,
+}
+
+/// A pairwise observation.
+#[derive(Clone, Debug)]
+pub struct PairNote {
+    /// First tenant (higher priority position in the policy).
+    pub a: TenantId,
+    /// Second tenant.
+    pub b: TenantId,
+    /// Their structural relation.
+    pub relation: Relation,
+    /// Whether their worst-case output ranges overlap.
+    pub overlaps: bool,
+}
+
+/// The analyzer's full report.
+#[derive(Clone, Debug)]
+pub struct PolicyReport {
+    /// Per-tenant placements, policy order.
+    pub tenants: Vec<TenantReport>,
+    /// Adjacent-level isolation checks.
+    pub isolation: Vec<IsolationCheck>,
+    /// Pairwise range relations.
+    pub pairs: Vec<PairNote>,
+    /// Human-readable warnings (non-fatal findings).
+    pub warnings: Vec<String>,
+}
+
+impl PolicyReport {
+    /// True when every strict boundary is verified isolated and no pair
+    /// violates its expected relation.
+    pub fn all_guarantees_hold(&self) -> bool {
+        self.isolation.iter().all(|c| c.isolated)
+            && self.pairs.iter().all(|p| match p.relation {
+                Relation::Share | Relation::Prefer => p.overlaps,
+                Relation::PreferDistant => true,
+                Relation::Strict => !p.overlaps,
+            })
+    }
+}
+
+/// Analyze a synthesized policy.
+pub fn analyze(joint: &JointPolicy) -> PolicyReport {
+    let mut tenants = Vec::new();
+    let mut warnings = Vec::new();
+
+    for (li, level) in joint.layout.iter().enumerate() {
+        for (gi, group) in level.groups.iter().enumerate() {
+            for member in &group.members {
+                let spec = joint
+                    .specs
+                    .iter()
+                    .find(|s| s.id == member.tenant)
+                    .expect("layout members come from specs");
+                let chain = joint.chain(member.tenant).expect("member has a chain");
+                let output = chain.output_range(spec.range);
+                if member.levels < spec.range.width() {
+                    warnings.push(format!(
+                        "tenant '{}' quantized from {} distinct ranks to {} levels \
+                         (intra-tenant granularity reduced)",
+                        spec.name,
+                        spec.range.width(),
+                        member.levels
+                    ));
+                }
+                tenants.push(TenantReport {
+                    tenant: member.tenant,
+                    name: spec.name.clone(),
+                    algorithm: spec.algorithm.clone(),
+                    declared: spec.range,
+                    output,
+                    level: li,
+                    group: gi,
+                    quantization: member.levels,
+                });
+            }
+        }
+    }
+
+    for spec in &joint.specs {
+        if joint.chain(spec.id).is_none() {
+            warnings.push(format!(
+                "tenant '{}' has a spec but does not appear in the policy \
+                 (its traffic will be treated as unknown)",
+                spec.name
+            ));
+        }
+    }
+
+    // Adjacent strict-level isolation, from per-tenant *chain-derived*
+    // output ranges.
+    let mut isolation = Vec::new();
+    for li in 0..joint.layout.len().saturating_sub(1) {
+        let upper_max = tenants
+            .iter()
+            .filter(|t| t.level == li)
+            .map(|t| t.output.max)
+            .max()
+            .unwrap_or(0);
+        let lower_min = tenants
+            .iter()
+            .filter(|t| t.level == li + 1)
+            .map(|t| t.output.min)
+            .min()
+            .unwrap_or(u64::MAX);
+        isolation.push(IsolationCheck {
+            upper_level: li,
+            upper_max,
+            lower_min,
+            isolated: upper_max < lower_min,
+        });
+    }
+
+    // Pairwise relations.
+    let mut pairs = Vec::new();
+    for i in 0..tenants.len() {
+        for j in i + 1..tenants.len() {
+            let (a, b) = (&tenants[i], &tenants[j]);
+            let relation = if a.level != b.level {
+                Relation::Strict
+            } else if a.group == b.group {
+                Relation::Share
+            } else if a.group.abs_diff(b.group) == 1 {
+                Relation::Prefer
+            } else {
+                Relation::PreferDistant
+            };
+            let overlaps = a.output.overlaps(&b.output);
+            if relation == Relation::Prefer && !overlaps {
+                warnings.push(format!(
+                    "preference between '{}' and '{}' degenerated to strict \
+                     isolation (bias exceeds band overlap)",
+                    a.name, b.name
+                ));
+            }
+            pairs.push(PairNote {
+                a: a.tenant,
+                b: b.tenant,
+                relation,
+                overlaps,
+            });
+        }
+    }
+
+    PolicyReport {
+        tenants,
+        isolation,
+        pairs,
+        warnings,
+    }
+}
+
+impl fmt::Display for PolicyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "QVISOR policy analysis")?;
+        writeln!(f, "======================")?;
+        for t in &self.tenants {
+            writeln!(
+                f,
+                "  level {} group {}: {:<12} {:<8} declared {} -> output {} ({} levels)",
+                t.level, t.group, t.name, t.algorithm, t.declared, t.output, t.quantization
+            )?;
+        }
+        for c in &self.isolation {
+            writeln!(
+                f,
+                "  strict boundary {}/{}: upper max {} < lower min {} ... {}",
+                c.upper_level,
+                c.upper_level + 1,
+                c.upper_max,
+                c.lower_min,
+                if c.isolated { "ISOLATED" } else { "VIOLATED" }
+            )?;
+        }
+        for w in &self.warnings {
+            writeln!(f, "  warning: {w}")?;
+        }
+        writeln!(
+            f,
+            "  guarantees: {}",
+            if self.all_guarantees_hold() {
+                "all hold"
+            } else {
+                "VIOLATIONS PRESENT"
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use crate::spec::{SynthConfig, TenantSpec};
+    use crate::synth::synthesize;
+
+    fn specs() -> Vec<TenantSpec> {
+        vec![
+            TenantSpec::new(TenantId(1), "T1", "pFabric", RankRange::new(0, 100_000)),
+            TenantSpec::new(TenantId(2), "T2", "EDF", RankRange::new(0, 10_000)),
+            TenantSpec::new(TenantId(3), "T3", "FQ", RankRange::new(0, 50)),
+        ]
+    }
+
+    #[test]
+    fn strict_policy_verifies_isolated() {
+        let policy = Policy::parse("T1 >> T2 >> T3").unwrap();
+        let joint = synthesize(&specs(), &policy, SynthConfig::default()).unwrap();
+        let report = analyze(&joint);
+        assert_eq!(report.isolation.len(), 2);
+        assert!(report.isolation.iter().all(|c| c.isolated));
+        assert!(report.all_guarantees_hold());
+        assert!(report
+            .pairs
+            .iter()
+            .all(|p| p.relation == Relation::Strict && !p.overlaps));
+    }
+
+    #[test]
+    fn share_policy_overlaps() {
+        let policy = Policy::parse("T1 + T2 + T3").unwrap();
+        let joint = synthesize(&specs(), &policy, SynthConfig::default()).unwrap();
+        let report = analyze(&joint);
+        assert!(report.all_guarantees_hold());
+        assert!(report
+            .pairs
+            .iter()
+            .all(|p| p.relation == Relation::Share && p.overlaps));
+    }
+
+    #[test]
+    fn mixed_policy_report() {
+        let policy = Policy::parse("T1 >> T2 + T3").unwrap();
+        let joint = synthesize(&specs(), &policy, SynthConfig::default()).unwrap();
+        let report = analyze(&joint);
+        assert!(report.all_guarantees_hold());
+        let t1 = report.tenants.iter().find(|t| t.name == "T1").unwrap();
+        assert_eq!(t1.level, 0);
+        let display = report.to_string();
+        assert!(display.contains("ISOLATED"));
+        assert!(display.contains("all hold"));
+    }
+
+    #[test]
+    fn quantization_warning_emitted() {
+        // T1 has 100k distinct ranks quantized onto 8 levels.
+        let policy = Policy::parse("T1").unwrap();
+        let joint = synthesize(&specs(), &policy, SynthConfig::default()).unwrap();
+        let report = analyze(&joint);
+        assert!(report
+            .warnings
+            .iter()
+            .any(|w| w.contains("granularity reduced")));
+    }
+
+    #[test]
+    fn unscheduled_spec_warning() {
+        let policy = Policy::parse("T1 >> T2").unwrap();
+        let joint = synthesize(&specs(), &policy, SynthConfig::default()).unwrap();
+        let report = analyze(&joint);
+        assert!(report
+            .warnings
+            .iter()
+            .any(|w| w.contains("'T3'") && w.contains("does not appear")));
+    }
+
+    #[test]
+    fn preference_reported_as_overlapping() {
+        let policy = Policy::parse("T1 > T2").unwrap();
+        let joint = synthesize(&specs(), &policy, SynthConfig::default()).unwrap();
+        let report = analyze(&joint);
+        let pair = &report.pairs[0];
+        assert_eq!(pair.relation, Relation::Prefer);
+        assert!(pair.overlaps);
+        assert!(report.all_guarantees_hold());
+    }
+}

@@ -1,0 +1,359 @@
+//! Deployment backends (§3.4): realizing the joint policy on an actual
+//! scheduler.
+//!
+//! On a PIFO the transformed ranks deploy directly. On a commodity switch
+//! with `K` strict-priority FIFO queues, QVISOR must *allocate queues to
+//! strict levels* (so isolation survives the approximation) and map ranks
+//! to queues within each level — either statically (range split) or with
+//! SP-PIFO's adaptive bounds. A plain FIFO and AIFO round out the targets.
+
+use crate::error::{QvisorError, Result};
+use crate::synth::JointPolicy;
+use qvisor_scheduler::{
+    AifoQueue, Capacity, FifoQueue, PacketQueue, PifoQueue, QueueMapper, SpPifoMapper,
+    StrictPriorityBank,
+};
+use qvisor_sim::Rank;
+
+/// How a strict-priority bank adapts its rank→queue mapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpAdaptation {
+    /// Queues are allocated to strict levels proportionally to band width,
+    /// and ranks split statically within each level. Guarantees inter-level
+    /// isolation on the bank.
+    BandedStatic,
+    /// One global SP-PIFO over the whole joint rank space (no structural
+    /// isolation guarantee, better intra-level fidelity under drift).
+    SpPifo,
+}
+
+/// A deployment target.
+#[derive(Clone, Copy, Debug)]
+pub enum Backend {
+    /// An ideal PIFO queue (the paper's primary target).
+    Pifo {
+        /// Buffer size.
+        capacity: Capacity,
+    },
+    /// A single FIFO queue (rank-oblivious baseline).
+    Fifo {
+        /// Buffer size.
+        capacity: Capacity,
+    },
+    /// A bank of strict-priority FIFO queues.
+    StrictPriority {
+        /// Number of hardware queues available.
+        queues: usize,
+        /// Shared buffer size.
+        capacity: Capacity,
+        /// Mapping strategy.
+        adaptation: SpAdaptation,
+    },
+    /// AIFO: single FIFO with rank-aware admission.
+    Aifo {
+        /// Buffer size (must be finite).
+        capacity: Capacity,
+        /// Rank-distribution window size.
+        window: usize,
+        /// Burst tolerance in `[0, 1)`.
+        burst: f64,
+    },
+}
+
+impl Backend {
+    /// Instantiate the scheduler for `joint`.
+    ///
+    /// Fails when the hardware cannot express the policy (e.g. fewer queues
+    /// than strict levels under [`SpAdaptation::BandedStatic`]).
+    pub fn build(&self, joint: &JointPolicy) -> Result<Box<dyn PacketQueue>> {
+        match *self {
+            Backend::Pifo { capacity } => Ok(Box::new(PifoQueue::new(capacity))),
+            Backend::Fifo { capacity } => Ok(Box::new(FifoQueue::new(capacity))),
+            Backend::Aifo {
+                capacity,
+                window,
+                burst,
+            } => {
+                if capacity.bytes == u64::MAX {
+                    return Err(QvisorError::Deployment(
+                        "AIFO requires a finite buffer capacity".into(),
+                    ));
+                }
+                Ok(Box::new(AifoQueue::new(capacity, window, burst)))
+            }
+            Backend::StrictPriority {
+                queues,
+                capacity,
+                adaptation,
+            } => match adaptation {
+                SpAdaptation::SpPifo => {
+                    if queues == 0 {
+                        return Err(QvisorError::Deployment("need at least one queue".into()));
+                    }
+                    Ok(Box::new(StrictPriorityBank::new(
+                        SpPifoMapper::new(queues),
+                        capacity,
+                    )))
+                }
+                SpAdaptation::BandedStatic => {
+                    let mapper = BandedMapper::from_joint(joint, queues)?;
+                    Ok(Box::new(StrictPriorityBank::new(mapper, capacity)))
+                }
+            },
+        }
+    }
+}
+
+/// One strict level's queue allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct BandAlloc {
+    /// Absolute first rank of the level's band.
+    base: Rank,
+    /// Band width in ranks.
+    width: u64,
+    /// First hardware queue serving this band.
+    first_queue: usize,
+    /// Queues allocated to this band.
+    queue_count: usize,
+}
+
+/// Static rank→queue mapper honouring the joint policy's strict bands.
+///
+/// Queues are handed to levels top-down: one each, then the remainder
+/// proportionally to band width (largest-remainder). Within a level, the
+/// band is split into equal rank ranges. Ranks beyond the last band (e.g.
+/// unknown-tenant best-effort traffic) map to the last queue.
+#[derive(Clone, Debug)]
+pub struct BandedMapper {
+    bands: Vec<BandAlloc>,
+    queues: usize,
+}
+
+impl BandedMapper {
+    /// Allocate `queues` hardware queues across `joint`'s strict levels.
+    pub fn from_joint(joint: &JointPolicy, queues: usize) -> Result<BandedMapper> {
+        let levels = &joint.layout;
+        if levels.is_empty() {
+            return Err(QvisorError::Deployment("empty policy layout".into()));
+        }
+        if queues < levels.len() {
+            return Err(QvisorError::Deployment(format!(
+                "policy has {} strict levels but only {} queues are available",
+                levels.len(),
+                queues
+            )));
+        }
+        // One queue per level guaranteed; distribute the rest by width
+        // (largest remainder method).
+        let spare = queues - levels.len();
+        let total_width: u64 = levels.iter().map(|l| l.width).sum::<u64>().max(1);
+        let mut alloc: Vec<usize> = Vec::with_capacity(levels.len());
+        let mut remainders: Vec<(usize, u64)> = Vec::with_capacity(levels.len());
+        let mut used = 0usize;
+        for (i, l) in levels.iter().enumerate() {
+            let exact = l.width as u128 * spare as u128;
+            let share = (exact / total_width as u128) as usize;
+            let rem = (exact % total_width as u128) as u64;
+            alloc.push(1 + share);
+            remainders.push((i, rem));
+            used += 1 + share;
+        }
+        remainders.sort_by_key(|&(i, rem)| (std::cmp::Reverse(rem), i));
+        let mut left = queues - used;
+        for &(i, _) in &remainders {
+            if left == 0 {
+                break;
+            }
+            alloc[i] += 1;
+            left -= 1;
+        }
+
+        let mut bands = Vec::with_capacity(levels.len());
+        let mut first_queue = 0usize;
+        for (l, &count) in levels.iter().zip(&alloc) {
+            bands.push(BandAlloc {
+                base: l.base,
+                width: l.width.max(1),
+                first_queue,
+                queue_count: count,
+            });
+            first_queue += count;
+        }
+        Ok(BandedMapper { bands, queues })
+    }
+
+    /// The queue allocation per level, for reports: `(first_queue, count)`.
+    pub fn allocations(&self) -> Vec<(usize, usize)> {
+        self.bands
+            .iter()
+            .map(|b| (b.first_queue, b.queue_count))
+            .collect()
+    }
+}
+
+impl QueueMapper for BandedMapper {
+    fn queue_count(&self) -> usize {
+        self.queues
+    }
+
+    fn map(&mut self, rank: Rank) -> usize {
+        // Find the band containing the rank (bands are sorted by base).
+        let band = match self.bands.iter().rev().find(|b| rank >= b.base) {
+            Some(b) => b,
+            // Below the first band (control traffic): top queue.
+            None => return 0,
+        };
+        let offset = rank - band.base;
+        if offset >= band.width {
+            // Beyond the last band: lowest-priority queue.
+            return self.queues - 1;
+        }
+        let idx = (offset as u128 * band.queue_count as u128 / band.width as u128) as usize;
+        band.first_queue + idx.min(band.queue_count - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use crate::spec::{SynthConfig, TenantSpec};
+    use crate::synth::synthesize;
+    use qvisor_ranking::RankRange;
+    use qvisor_sim::TenantId;
+
+    fn joint(policy: &str) -> JointPolicy {
+        let specs = vec![
+            TenantSpec::new(TenantId(1), "T1", "pFabric", RankRange::new(0, 1000)).with_levels(8),
+            TenantSpec::new(TenantId(2), "T2", "EDF", RankRange::new(0, 500)).with_levels(8),
+            TenantSpec::new(TenantId(3), "T3", "FQ", RankRange::new(0, 50)).with_levels(4),
+        ];
+        let policy = Policy::parse(policy).unwrap();
+        synthesize(&specs, &policy, SynthConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn banded_mapper_respects_levels() {
+        let j = joint("T1 >> T2 + T3");
+        let mut m = BandedMapper::from_joint(&j, 8).unwrap();
+        // Level 0: ranks [0,8) (8 levels); level 1: [8, 8+16).
+        let top = &j.layout[0];
+        let bottom = &j.layout[1];
+        let q_top = m.map(top.base);
+        let q_bottom = m.map(bottom.base);
+        assert!(q_top < q_bottom, "higher band maps to higher priority");
+        // Every rank of level 0 maps strictly above every rank of level 1.
+        let max_top_q = (top.base..top.base + top.width).map(|r| m.map(r)).max();
+        let min_bot_q = (bottom.base..bottom.base + bottom.width)
+            .map(|r| m.map(r))
+            .min();
+        assert!(max_top_q.unwrap() < min_bot_q.unwrap());
+    }
+
+    #[test]
+    fn banded_mapper_is_monotone() {
+        let j = joint("T1 >> T2 >> T3");
+        let span = j.output_span();
+        let mut m = BandedMapper::from_joint(&j, 6).unwrap();
+        let mut prev = 0;
+        for r in span.min..=span.max {
+            let q = m.map(r);
+            assert!(q >= prev, "queue index must not decrease with rank");
+            assert!(q < 6);
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn out_of_band_ranks_clamp() {
+        let j = joint("T1 >> T2");
+        let mut m = BandedMapper::from_joint(&j, 4).unwrap();
+        assert_eq!(m.map(0), 0);
+        let span = j.output_span();
+        assert_eq!(m.map(span.max + 100), 3, "unknown traffic to last queue");
+    }
+
+    #[test]
+    fn queue_allocation_proportional() {
+        let j = joint("T1 >> T2 + T3");
+        // Level widths: 8 and 16 -> with 9 queues expect roughly 1:2 split.
+        let m = BandedMapper::from_joint(&j, 9).unwrap();
+        let alloc = m.allocations();
+        assert_eq!(alloc.len(), 2);
+        let (first, second) = (alloc[0].1, alloc[1].1);
+        assert_eq!(first + second, 9);
+        assert!(second > first, "wider band gets more queues: {alloc:?}");
+    }
+
+    #[test]
+    fn too_few_queues_is_a_deployment_error() {
+        let j = joint("T1 >> T2 >> T3");
+        let err = BandedMapper::from_joint(&j, 2).unwrap_err();
+        assert!(matches!(err, QvisorError::Deployment(_)));
+        assert!(err.to_string().contains("3 strict levels"));
+    }
+
+    #[test]
+    fn backends_build() {
+        let j = joint("T1 >> T2 + T3");
+        let cap = Capacity::packets(64, 1500);
+        assert!(Backend::Pifo { capacity: cap }.build(&j).is_ok());
+        assert!(Backend::Fifo { capacity: cap }.build(&j).is_ok());
+        assert!(Backend::StrictPriority {
+            queues: 8,
+            capacity: cap,
+            adaptation: SpAdaptation::BandedStatic
+        }
+        .build(&j)
+        .is_ok());
+        assert!(Backend::StrictPriority {
+            queues: 8,
+            capacity: cap,
+            adaptation: SpAdaptation::SpPifo
+        }
+        .build(&j)
+        .is_ok());
+        assert!(Backend::Aifo {
+            capacity: cap,
+            window: 32,
+            burst: 0.1
+        }
+        .build(&j)
+        .is_ok());
+        assert!(Backend::Aifo {
+            capacity: Capacity::UNBOUNDED,
+            window: 32,
+            burst: 0.1
+        }
+        .build(&j)
+        .is_err());
+    }
+
+    #[test]
+    fn built_pifo_schedules_by_transformed_rank() {
+        use qvisor_sim::{FlowId, Nanos, NodeId, Packet};
+        let j = joint("T1 >> T2");
+        let mut q = Backend::Pifo {
+            capacity: Capacity::UNBOUNDED,
+        }
+        .build(&j)
+        .unwrap();
+        let mk = |tenant: u16, txf: u64| {
+            let mut p = Packet::data(
+                FlowId(1),
+                TenantId(tenant),
+                0,
+                100,
+                NodeId(0),
+                NodeId(1),
+                txf,
+                Nanos::ZERO,
+            );
+            p.txf_rank = txf;
+            p
+        };
+        q.enqueue(mk(2, 9), Nanos::ZERO);
+        q.enqueue(mk(1, 2), Nanos::ZERO);
+        assert_eq!(q.dequeue(Nanos::ZERO).unwrap().tenant, TenantId(1));
+    }
+}

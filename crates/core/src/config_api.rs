@@ -1,0 +1,225 @@
+//! The Configuration API (Fig. 1).
+//!
+//! The paper's architecture exposes a configuration surface through which
+//! tenants submit their specifications and the operator submits the
+//! composition policy. This module is that surface as data: a serializable
+//! [`DeploymentConfig`] that can be checked in next to a switch's config,
+//! validated, and turned into a synthesized deployment in one call.
+//!
+//! ```
+//! use qvisor_core::config_api::DeploymentConfig;
+//!
+//! let json = r#"{
+//!     "tenants": [
+//!         { "id": 1, "name": "T1", "algorithm": "pFabric",
+//!           "rank_min": 0, "rank_max": 100000, "levels": 512 },
+//!         { "id": 2, "name": "T2", "algorithm": "EDF",
+//!           "rank_min": 0, "rank_max": 10000 }
+//!     ],
+//!     "policy": "T1 >> T2"
+//! }"#;
+//! let config = DeploymentConfig::from_json(json).unwrap();
+//! let joint = config.synthesize().unwrap();
+//! assert!(qvisor_core::analyze(&joint).all_guarantees_hold());
+//! ```
+
+use crate::error::{QvisorError, Result};
+use crate::policy::Policy;
+use crate::spec::{SynthConfig, TenantSpec};
+use crate::synth::{synthesize, JointPolicy};
+use qvisor_ranking::RankRange;
+use qvisor_sim::TenantId;
+use serde::{Deserialize, Serialize};
+
+/// One tenant's entry in the configuration.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantConfig {
+    /// Tenant identifier carried in packet labels.
+    pub id: u16,
+    /// Name used in the policy string.
+    pub name: String,
+    /// Human-readable algorithm name.
+    pub algorithm: String,
+    /// Smallest declared rank.
+    pub rank_min: u64,
+    /// Largest declared rank.
+    pub rank_max: u64,
+    /// Optional quantization override.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub levels: Option<u64>,
+}
+
+/// Synthesizer options, all defaulted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct SynthOptions {
+    /// Default quantization levels per tenant.
+    pub default_levels: u64,
+    /// First output rank of the joint policy.
+    pub first_rank: u64,
+    /// Preference bias divisor.
+    pub pref_bias_divisor: u64,
+}
+
+impl Default for SynthOptions {
+    fn default() -> SynthOptions {
+        let c = SynthConfig::default();
+        SynthOptions {
+            default_levels: c.default_levels,
+            first_rank: c.first_rank,
+            pref_bias_divisor: c.pref_bias_divisor,
+        }
+    }
+}
+
+/// A complete QVISOR deployment description.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeploymentConfig {
+    /// Tenant entries.
+    pub tenants: Vec<TenantConfig>,
+    /// Operator policy string.
+    pub policy: String,
+    /// Synthesizer options.
+    #[serde(default)]
+    pub synth: SynthOptions,
+}
+
+impl DeploymentConfig {
+    /// Parse from JSON.
+    pub fn from_json(json: &str) -> Result<DeploymentConfig> {
+        serde_json::from_str(json).map_err(|e| QvisorError::Parse {
+            at: e.column(),
+            msg: format!("configuration JSON: {e}"),
+        })
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config types always serialize")
+    }
+
+    /// Validate and lower into specs, policy, and synth config.
+    pub fn build(&self) -> Result<(Vec<TenantSpec>, Policy, SynthConfig)> {
+        let mut specs = Vec::with_capacity(self.tenants.len());
+        for t in &self.tenants {
+            if t.rank_min > t.rank_max {
+                return Err(QvisorError::Synthesis(format!(
+                    "tenant '{}' declares an empty rank range [{}, {}]",
+                    t.name, t.rank_min, t.rank_max
+                )));
+            }
+            if t.levels == Some(0) {
+                return Err(QvisorError::Synthesis(format!(
+                    "tenant '{}' declares zero quantization levels",
+                    t.name
+                )));
+            }
+            let mut spec = TenantSpec::new(
+                TenantId(t.id),
+                t.name.clone(),
+                t.algorithm.clone(),
+                RankRange::new(t.rank_min, t.rank_max),
+            );
+            spec.levels = t.levels;
+            specs.push(spec);
+        }
+        let policy = Policy::parse(&self.policy)?;
+        let synth = SynthConfig {
+            default_levels: self.synth.default_levels,
+            first_rank: self.synth.first_rank,
+            pref_bias_divisor: self.synth.pref_bias_divisor,
+        };
+        Ok((specs, policy, synth))
+    }
+
+    /// One-shot: validate and synthesize the joint policy.
+    pub fn synthesize(&self) -> Result<JointPolicy> {
+        let (specs, policy, synth) = self.build()?;
+        synthesize(&specs, &policy, synth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DeploymentConfig {
+        DeploymentConfig {
+            tenants: vec![
+                TenantConfig {
+                    id: 1,
+                    name: "T1".into(),
+                    algorithm: "pFabric".into(),
+                    rank_min: 0,
+                    rank_max: 100_000,
+                    levels: Some(512),
+                },
+                TenantConfig {
+                    id: 2,
+                    name: "T2".into(),
+                    algorithm: "EDF".into(),
+                    rank_min: 0,
+                    rank_max: 10_000,
+                    levels: None,
+                },
+            ],
+            policy: "T1 >> T2".into(),
+            synth: SynthOptions::default(),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let cfg = sample();
+        let json = cfg.to_json();
+        let back = DeploymentConfig::from_json(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn minimal_json_uses_defaults() {
+        let json = r#"{
+            "tenants": [
+                {"id": 1, "name": "a", "algorithm": "x", "rank_min": 0, "rank_max": 9}
+            ],
+            "policy": "a"
+        }"#;
+        let cfg = DeploymentConfig::from_json(json).unwrap();
+        assert_eq!(cfg.synth, SynthOptions::default());
+        assert_eq!(cfg.tenants[0].levels, None);
+        assert!(cfg.synthesize().is_ok());
+    }
+
+    #[test]
+    fn synthesize_end_to_end() {
+        let joint = sample().synthesize().unwrap();
+        assert!(joint.chain(TenantId(1)).is_some());
+        assert!(crate::analysis::analyze(&joint).all_guarantees_hold());
+    }
+
+    #[test]
+    fn validation_catches_bad_entries() {
+        let mut cfg = sample();
+        cfg.tenants[0].rank_min = 5;
+        cfg.tenants[0].rank_max = 1;
+        assert!(matches!(cfg.build(), Err(QvisorError::Synthesis(_))));
+
+        let mut cfg = sample();
+        cfg.tenants[1].levels = Some(0);
+        assert!(matches!(cfg.build(), Err(QvisorError::Synthesis(_))));
+
+        let mut cfg = sample();
+        cfg.policy = "T1 >> T9".into();
+        assert!(matches!(
+            cfg.synthesize(),
+            Err(QvisorError::UnknownTenant(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_json_is_a_parse_error() {
+        let err = DeploymentConfig::from_json("{oops").unwrap_err();
+        assert!(matches!(err, QvisorError::Parse { .. }));
+        assert!(err.to_string().contains("configuration JSON"));
+    }
+}

@@ -1,0 +1,411 @@
+//! The operator's inter-tenant policy language (§3.1).
+//!
+//! A policy is a string of tenant names separated by three operators:
+//!
+//! * `>>` — strict priority: everything before is *isolated* above
+//!   everything after;
+//! * `>`  — best-effort preference: before is favoured over after whenever
+//!   possible, without isolation;
+//! * `+`  — sharing: both sides share resources fairly.
+//!
+//! Binding tightness: `+` > `>` > `>>`, so
+//! `T1 >> T2 > T3 + T4 >> T5` reads as `T1 >> (T2 > (T3 + T4)) >> T5` —
+//! exactly the paper's worked example.
+//!
+//! Extensions beyond the paper (documented in DESIGN.md): weighted sharing
+//! `T3:2 + T4` (T3 gets twice T4's share), and parentheses for explicit
+//! grouping as long as the nested operators bind at least as tightly as the
+//! context (e.g. `(T2 > T3) + T4` is rejected — a preference cannot nest
+//! inside a share group).
+
+use crate::error::{QvisorError, Result};
+use std::fmt;
+
+/// A parsed operator policy: strict levels, highest priority first.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Policy {
+    /// Strict-priority levels separated by `>>`.
+    pub levels: Vec<PrefChain>,
+}
+
+/// Groups separated by `>` within one strict level.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrefChain {
+    /// Preference order: earlier groups are favoured.
+    pub groups: Vec<ShareGroup>,
+}
+
+/// Tenants separated by `+`, sharing resources.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShareGroup {
+    /// The sharing tenants.
+    pub members: Vec<TenantRef>,
+}
+
+/// A tenant reference with an optional share weight (`name:weight`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantRef {
+    /// Tenant name as written in the policy (matched against specs).
+    pub name: String,
+    /// Share weight; 1 unless written as `name:w`.
+    pub weight: u32,
+}
+
+impl Policy {
+    /// Parse a policy string.
+    pub fn parse(input: &str) -> Result<Policy> {
+        Parser::new(input)?.parse_policy()
+    }
+
+    /// Every tenant name in the policy, in priority order.
+    pub fn tenant_names(&self) -> Vec<&str> {
+        self.levels
+            .iter()
+            .flat_map(|l| &l.groups)
+            .flat_map(|g| &g.members)
+            .map(|m| m.name.as_str())
+            .collect()
+    }
+
+    /// Total number of tenants referenced.
+    pub fn tenant_count(&self) -> usize {
+        self.tenant_names().len()
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let levels: Vec<String> = self
+            .levels
+            .iter()
+            .map(|l| {
+                let groups: Vec<String> = l
+                    .groups
+                    .iter()
+                    .map(|g| {
+                        let members: Vec<String> = g
+                            .members
+                            .iter()
+                            .map(|m| {
+                                if m.weight == 1 {
+                                    m.name.clone()
+                                } else {
+                                    format!("{}:{}", m.name, m.weight)
+                                }
+                            })
+                            .collect();
+                        members.join(" + ")
+                    })
+                    .collect();
+                groups.join(" > ")
+            })
+            .collect();
+        write!(f, "{}", levels.join(" >> "))
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Weight(u32),
+    Share,  // +
+    Prefer, // >
+    Strict, // >>
+    LParen,
+    RParen,
+}
+
+struct Parser {
+    tokens: Vec<(usize, Token)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Parser> {
+        let mut tokens = Vec::new();
+        let bytes = input.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            match c {
+                ' ' | '\t' | '\n' | '\r' => i += 1,
+                '+' => {
+                    tokens.push((i, Token::Share));
+                    i += 1;
+                }
+                '(' => {
+                    tokens.push((i, Token::LParen));
+                    i += 1;
+                }
+                ')' => {
+                    tokens.push((i, Token::RParen));
+                    i += 1;
+                }
+                '>' => {
+                    if bytes.get(i + 1) == Some(&b'>') {
+                        tokens.push((i, Token::Strict));
+                        i += 2;
+                    } else {
+                        tokens.push((i, Token::Prefer));
+                        i += 1;
+                    }
+                }
+                ':' => {
+                    let start = i + 1;
+                    let mut end = start;
+                    while end < bytes.len() && bytes[end].is_ascii_digit() {
+                        end += 1;
+                    }
+                    if end == start {
+                        return Err(QvisorError::Parse {
+                            at: i,
+                            msg: "expected a weight after ':'".into(),
+                        });
+                    }
+                    let w: u32 = input[start..end].parse().map_err(|_| QvisorError::Parse {
+                        at: start,
+                        msg: "weight does not fit in u32".into(),
+                    })?;
+                    if w == 0 {
+                        return Err(QvisorError::Parse {
+                            at: start,
+                            msg: "weight must be positive".into(),
+                        });
+                    }
+                    tokens.push((i, Token::Weight(w)));
+                    i = end;
+                }
+                c if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' => {
+                    let start = i;
+                    while i < bytes.len() {
+                        let c = bytes[i] as char;
+                        if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                            i += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    tokens.push((start, Token::Ident(input[start..i].to_string())));
+                }
+                other => {
+                    return Err(QvisorError::Parse {
+                        at: i,
+                        msg: format!("unexpected character '{other}'"),
+                    });
+                }
+            }
+        }
+        if tokens.is_empty() {
+            return Err(QvisorError::Parse {
+                at: 0,
+                msg: "empty policy".into(),
+            });
+        }
+        Ok(Parser { tokens, pos: 0 })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn at(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or(self.tokens.last())
+            .map(|(at, _)| *at)
+            .unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn parse_policy(&mut self) -> Result<Policy> {
+        let policy = self.parse_strict_chain()?;
+        if self.peek().is_some() {
+            return Err(QvisorError::Parse {
+                at: self.at(),
+                msg: "trailing input after policy".into(),
+            });
+        }
+        Ok(policy)
+    }
+
+    fn parse_strict_chain(&mut self) -> Result<Policy> {
+        let mut levels = vec![self.parse_pref_chain()?];
+        while self.peek() == Some(&Token::Strict) {
+            self.bump();
+            levels.push(self.parse_pref_chain()?);
+        }
+        Ok(Policy { levels })
+    }
+
+    fn parse_pref_chain(&mut self) -> Result<PrefChain> {
+        let mut groups = vec![self.parse_share_group()?];
+        while self.peek() == Some(&Token::Prefer) {
+            self.bump();
+            groups.push(self.parse_share_group()?);
+        }
+        Ok(PrefChain { groups })
+    }
+
+    fn parse_share_group(&mut self) -> Result<ShareGroup> {
+        let mut members = self.parse_term_as_members()?;
+        while self.peek() == Some(&Token::Share) {
+            self.bump();
+            members.extend(self.parse_term_as_members()?);
+        }
+        Ok(ShareGroup { members })
+    }
+
+    /// A term is a tenant reference or a parenthesized sub-policy. A nested
+    /// policy may only be *flattened into* a share group when it contains no
+    /// `>`/`>>` — otherwise priorities would silently leak across the group.
+    fn parse_term_as_members(&mut self) -> Result<Vec<TenantRef>> {
+        match self.bump() {
+            Some(Token::Ident(name)) => {
+                let weight = if let Some(Token::Weight(w)) = self.peek() {
+                    let w = *w;
+                    self.bump();
+                    w
+                } else {
+                    1
+                };
+                Ok(vec![TenantRef { name, weight }])
+            }
+            Some(Token::LParen) => {
+                let at = self.at();
+                let inner = self.parse_strict_chain()?;
+                match self.bump() {
+                    Some(Token::RParen) => {}
+                    _ => {
+                        return Err(QvisorError::Parse {
+                            at: self.at(),
+                            msg: "expected ')'".into(),
+                        })
+                    }
+                }
+                if inner.levels.len() != 1 || inner.levels[0].groups.len() != 1 {
+                    return Err(QvisorError::Parse {
+                        at,
+                        msg: "parentheses may only group tenants joined by '+' \
+                              (priorities cannot nest inside a share group)"
+                            .into(),
+                    });
+                }
+                Ok(inner
+                    .levels
+                    .into_iter()
+                    .next()
+                    .expect("just checked")
+                    .groups[0]
+                    .members
+                    .clone())
+            }
+            other => Err(QvisorError::Parse {
+                at: self.at(),
+                msg: format!("expected a tenant name, found {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(g: &ShareGroup) -> Vec<&str> {
+        g.members.iter().map(|m| m.name.as_str()).collect()
+    }
+
+    #[test]
+    fn single_tenant() {
+        let p = Policy::parse("T1").unwrap();
+        assert_eq!(p.levels.len(), 1);
+        assert_eq!(p.levels[0].groups.len(), 1);
+        assert_eq!(names(&p.levels[0].groups[0]), vec!["T1"]);
+    }
+
+    #[test]
+    fn paper_example_fig3() {
+        // "T1 >> T2 + T3"
+        let p = Policy::parse("T1 >> T2 + T3").unwrap();
+        assert_eq!(p.levels.len(), 2);
+        assert_eq!(names(&p.levels[0].groups[0]), vec!["T1"]);
+        assert_eq!(names(&p.levels[1].groups[0]), vec!["T2", "T3"]);
+    }
+
+    #[test]
+    fn paper_example_full_grammar() {
+        // §3.1: "T1 >> T2 > T3 + T4 >> T5"
+        let p = Policy::parse("T1 >> T2 > T3 + T4 >> T5").unwrap();
+        assert_eq!(p.levels.len(), 3);
+        let mid = &p.levels[1];
+        assert_eq!(mid.groups.len(), 2);
+        assert_eq!(names(&mid.groups[0]), vec!["T2"]);
+        assert_eq!(names(&mid.groups[1]), vec!["T3", "T4"]);
+        assert_eq!(names(&p.levels[2].groups[0]), vec!["T5"]);
+        assert_eq!(p.tenant_count(), 5);
+    }
+
+    #[test]
+    fn weights_extension() {
+        let p = Policy::parse("T1:3 + T2").unwrap();
+        assert_eq!(p.levels[0].groups[0].members[0].weight, 3);
+        assert_eq!(p.levels[0].groups[0].members[1].weight, 1);
+    }
+
+    #[test]
+    fn parens_group_shares() {
+        let p = Policy::parse("T1 >> (T2 + T3) > T4").unwrap();
+        assert_eq!(p.levels.len(), 2);
+        assert_eq!(names(&p.levels[1].groups[0]), vec!["T2", "T3"]);
+        assert_eq!(names(&p.levels[1].groups[1]), vec!["T4"]);
+    }
+
+    #[test]
+    fn parens_cannot_nest_priorities() {
+        let err = Policy::parse("(T1 >> T2) + T3").unwrap_err();
+        assert!(matches!(err, QvisorError::Parse { .. }));
+        assert!(err.to_string().contains("cannot nest"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Policy::parse("").is_err());
+        assert!(Policy::parse("T1 >>").is_err());
+        assert!(Policy::parse(">> T1").is_err());
+        assert!(Policy::parse("T1 + + T2").is_err());
+        assert!(Policy::parse("T1 & T2").is_err());
+        assert!(Policy::parse("T1:0 + T2").is_err());
+        assert!(Policy::parse("T1: + T2").is_err());
+        assert!(Policy::parse("T1 T2").is_err());
+        assert!(Policy::parse("(T1 + T2").is_err());
+    }
+
+    #[test]
+    fn display_roundtrips() {
+        for s in [
+            "T1",
+            "T1 >> T2 + T3",
+            "T1 >> T2 > T3 + T4 >> T5",
+            "T1:3 + T2",
+        ] {
+            let p = Policy::parse(s).unwrap();
+            assert_eq!(p.to_string(), s);
+            let again = Policy::parse(&p.to_string()).unwrap();
+            assert_eq!(p, again);
+        }
+    }
+
+    #[test]
+    fn whitespace_and_identifier_flavours() {
+        let p = Policy::parse("  web-frontend>>batch_jobs.v2+T9  ").unwrap();
+        assert_eq!(
+            p.tenant_names(),
+            vec!["web-frontend", "batch_jobs.v2", "T9"]
+        );
+    }
+}

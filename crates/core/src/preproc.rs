@@ -1,0 +1,240 @@
+//! QVISOR's data-plane pre-processor (§3.3).
+//!
+//! For each incoming packet: parse the tenant id and rank labels, look up
+//! the tenant's transformation chain, rewrite the rank, and forward to the
+//! hardware scheduler. The lookup is a dense array indexed by tenant id and
+//! each chain is a few integer ops — the "line rate" budget.
+
+use crate::synth::JointPolicy;
+use crate::transform::TransformChain;
+use qvisor_sim::{Packet, Rank, TenantId};
+
+/// What to do with packets from tenants the joint policy doesn't know.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnknownTenantAction {
+    /// Forward at the worst (largest) rank of the joint span: unknown
+    /// traffic rides along at the lowest priority.
+    BestEffort,
+    /// Drop the packet.
+    Drop,
+}
+
+/// Verdict for one processed packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Forward to the scheduler.
+    Forward,
+    /// Drop at the pre-processor.
+    Drop,
+}
+
+/// Per-tenant pre-processor counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PreprocTenantStats {
+    /// Packets transformed.
+    pub processed: u64,
+}
+
+/// The packet pre-processor: applies the synthesized transformation chains.
+#[derive(Clone, Debug)]
+pub struct PreProcessor {
+    /// Dense chain table indexed by `TenantId::index()`.
+    chains: Vec<Option<TransformChain>>,
+    stats: Vec<PreprocTenantStats>,
+    /// Rank assigned to unknown-tenant traffic under `BestEffort`.
+    worst_rank: Rank,
+    unknown_action: UnknownTenantAction,
+    /// Packets from unknown tenants seen.
+    pub unknown_seen: u64,
+}
+
+impl PreProcessor {
+    /// Build the pre-processor table from a synthesized joint policy.
+    pub fn new(joint: &JointPolicy, unknown_action: UnknownTenantAction) -> PreProcessor {
+        let max_id = joint
+            .chains()
+            .map(|(t, _)| t.index())
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0);
+        let mut chains = vec![None; max_id];
+        for (tenant, chain) in joint.chains() {
+            chains[tenant.index()] = Some(chain.clone());
+        }
+        let stats = vec![PreprocTenantStats::default(); max_id];
+        PreProcessor {
+            chains,
+            stats,
+            // One past the joint span: strictly below every scheduled tenant.
+            worst_rank: joint.output_span().max.saturating_add(1),
+            unknown_action,
+            unknown_seen: 0,
+        }
+    }
+
+    /// Transform the rank of a raw rank value for `tenant` (pure lookup,
+    /// used by tests and benches).
+    pub fn transform(&self, tenant: TenantId, rank: Rank) -> Option<Rank> {
+        self.chains
+            .get(tenant.index())
+            .and_then(|c| c.as_ref())
+            .map(|c| c.apply(rank))
+    }
+
+    /// Process one packet in place: set `txf_rank` and return the verdict.
+    ///
+    /// Only payload packets are transformed; control traffic (ACKs) passes
+    /// through at its existing (highest) priority.
+    pub fn process(&mut self, p: &mut Packet) -> Verdict {
+        if !p.is_payload() {
+            return Verdict::Forward;
+        }
+        match self.chains.get(p.tenant.index()).and_then(|c| c.as_ref()) {
+            Some(chain) => {
+                p.txf_rank = chain.apply(p.rank);
+                self.stats[p.tenant.index()].processed += 1;
+                Verdict::Forward
+            }
+            None => {
+                self.unknown_seen += 1;
+                match self.unknown_action {
+                    UnknownTenantAction::BestEffort => {
+                        p.txf_rank = self.worst_rank;
+                        Verdict::Forward
+                    }
+                    UnknownTenantAction::Drop => Verdict::Drop,
+                }
+            }
+        }
+    }
+
+    /// Counters for `tenant` (zeros if never seen / not in policy).
+    pub fn tenant_stats(&self, tenant: TenantId) -> PreprocTenantStats {
+        self.stats.get(tenant.index()).copied().unwrap_or_default()
+    }
+
+    /// Replace the transformation table with a newly synthesized policy
+    /// (runtime reconfiguration, §5 "optimizing configurations at
+    /// runtime"). Statistics are preserved where tenant ids persist.
+    pub fn reload(&mut self, joint: &JointPolicy) {
+        let fresh = PreProcessor::new(joint, self.unknown_action);
+        let mut stats = fresh.stats.clone();
+        for (i, s) in self.stats.iter().enumerate() {
+            if i < stats.len() {
+                stats[i] = *s;
+            }
+        }
+        self.chains = fresh.chains;
+        self.worst_rank = fresh.worst_rank;
+        self.stats = stats;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use crate::spec::{SynthConfig, TenantSpec};
+    use crate::synth::synthesize;
+    use qvisor_ranking::RankRange;
+    use qvisor_sim::{FlowId, Nanos, NodeId, PacketKind};
+
+    fn fig3_joint() -> JointPolicy {
+        let specs = vec![
+            TenantSpec::new(TenantId(1), "T1", "pFabric", RankRange::new(7, 9)).with_levels(3),
+            TenantSpec::new(TenantId(2), "T2", "EDF", RankRange::new(1, 3)).with_levels(2),
+            TenantSpec::new(TenantId(3), "T3", "FQ", RankRange::new(3, 5)).with_levels(2),
+        ];
+        let policy = Policy::parse("T1 >> T2 + T3").unwrap();
+        let config = SynthConfig {
+            first_rank: 1,
+            ..SynthConfig::default()
+        };
+        synthesize(&specs, &policy, config).unwrap()
+    }
+
+    fn pkt(tenant: u16, rank: Rank) -> Packet {
+        Packet::data(
+            FlowId(1),
+            TenantId(tenant),
+            0,
+            1500,
+            NodeId(0),
+            NodeId(1),
+            rank,
+            Nanos::ZERO,
+        )
+    }
+
+    #[test]
+    fn fig3_packet_stream() {
+        // The exact packet sequence of Fig. 3.
+        let mut pre = PreProcessor::new(&fig3_joint(), UnknownTenantAction::BestEffort);
+        let inputs = [(1u16, 7u64), (1, 8), (1, 9), (2, 1), (2, 3), (3, 3), (3, 5)];
+        let expect = [1u64, 2, 3, 4, 6, 5, 7];
+        for ((tenant, rank), want) in inputs.into_iter().zip(expect) {
+            let mut p = pkt(tenant, rank);
+            assert_eq!(pre.process(&mut p), Verdict::Forward);
+            assert_eq!(p.txf_rank, want, "{tenant} rank {rank}");
+        }
+        assert_eq!(pre.tenant_stats(TenantId(1)).processed, 3);
+        assert_eq!(pre.tenant_stats(TenantId(2)).processed, 2);
+        assert_eq!(pre.tenant_stats(TenantId(3)).processed, 2);
+    }
+
+    #[test]
+    fn unknown_tenant_best_effort_goes_last() {
+        let mut pre = PreProcessor::new(&fig3_joint(), UnknownTenantAction::BestEffort);
+        let mut p = pkt(42, 0);
+        assert_eq!(pre.process(&mut p), Verdict::Forward);
+        assert_eq!(p.txf_rank, 8, "one past the joint span [1,7]");
+        assert_eq!(pre.unknown_seen, 1);
+    }
+
+    #[test]
+    fn unknown_tenant_drop_policy() {
+        let mut pre = PreProcessor::new(&fig3_joint(), UnknownTenantAction::Drop);
+        let mut p = pkt(42, 0);
+        assert_eq!(pre.process(&mut p), Verdict::Drop);
+    }
+
+    #[test]
+    fn acks_bypass_transformation() {
+        let mut pre = PreProcessor::new(&fig3_joint(), UnknownTenantAction::Drop);
+        let data = pkt(1, 9);
+        let mut ack = data.ack_for(64, Nanos::ZERO);
+        assert_eq!(pre.process(&mut ack), Verdict::Forward);
+        assert_eq!(ack.txf_rank, 0, "ACKs keep top priority");
+        assert_eq!(ack.kind, PacketKind::Ack { acked_seq: 0 });
+    }
+
+    #[test]
+    fn transform_lookup() {
+        let pre = PreProcessor::new(&fig3_joint(), UnknownTenantAction::Drop);
+        assert_eq!(pre.transform(TenantId(1), 8), Some(2));
+        assert_eq!(pre.transform(TenantId(42), 8), None);
+    }
+
+    #[test]
+    fn reload_swaps_chains_and_keeps_stats() {
+        let mut pre = PreProcessor::new(&fig3_joint(), UnknownTenantAction::BestEffort);
+        let mut p = pkt(1, 7);
+        pre.process(&mut p);
+        assert_eq!(p.txf_rank, 1);
+
+        // Re-synthesize with the priorities flipped: T2+T3 >> T1.
+        let specs = vec![
+            TenantSpec::new(TenantId(1), "T1", "pFabric", RankRange::new(7, 9)).with_levels(3),
+            TenantSpec::new(TenantId(2), "T2", "EDF", RankRange::new(1, 3)).with_levels(2),
+            TenantSpec::new(TenantId(3), "T3", "FQ", RankRange::new(3, 5)).with_levels(2),
+        ];
+        let policy = Policy::parse("T2 + T3 >> T1").unwrap();
+        let joint = synthesize(&specs, &policy, SynthConfig::default()).unwrap();
+        pre.reload(&joint);
+
+        let mut p2 = pkt(1, 7);
+        pre.process(&mut p2);
+        assert!(p2.txf_rank > 3, "T1 now ranks below the share group");
+        assert_eq!(pre.tenant_stats(TenantId(1)).processed, 2, "stats kept");
+    }
+}

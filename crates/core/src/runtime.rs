@@ -1,0 +1,462 @@
+//! Runtime monitoring and adaptation (§2 Idea 2, §5).
+//!
+//! The control plane watches the ranks tenants actually emit:
+//!
+//! * **violations** — ranks outside a tenant's declared range are the
+//!   adversarial-workload signal the paper calls out; the monitor clamps,
+//!   drops, or just alarms, per configuration;
+//! * **activity** — tenants that stop transmitting free their bands; the
+//!   adapter re-synthesizes the joint policy over the active set (the
+//!   paper's t1 moment in Fig. 2 when T1/T2 go idle and T3 starts);
+//! * **drift** — when a tenant's observed rank distribution uses only a
+//!   sliver of its declared range, the adapter tightens the range so
+//!   normalization keeps its resolution.
+
+use crate::error::Result;
+use crate::policy::{Policy, PrefChain, ShareGroup};
+use crate::spec::{SynthConfig, TenantSpec};
+use crate::synth::{synthesize, JointPolicy};
+use qvisor_ranking::RankRange;
+use qvisor_sim::{Log2Histogram, Nanos, Packet, TenantId};
+
+/// What to do with a packet whose rank violates the declared range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationAction {
+    /// Clamp the rank into the declared range and forward.
+    Clamp,
+    /// Forward unchanged, but count the violation.
+    AlarmOnly,
+    /// Drop the packet.
+    Drop,
+}
+
+/// Monitor tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorConfig {
+    /// Response to declared-range violations.
+    pub violation_action: ViolationAction,
+    /// A tenant is idle when unseen for this long.
+    pub idle_after: Nanos,
+    /// Tighten a tenant's range when its observed high quantile is below
+    /// `declared.max / drift_ratio` (e.g. 4.0 = using under a quarter).
+    pub drift_ratio: f64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> MonitorConfig {
+        MonitorConfig {
+            violation_action: ViolationAction::Clamp,
+            idle_after: Nanos::from_millis(10),
+            drift_ratio: 4.0,
+        }
+    }
+}
+
+/// Verdict for one observed packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Observation {
+    /// Rank within declared bounds.
+    Ok,
+    /// Rank out of bounds; handled per [`ViolationAction`] (`Clamp` has
+    /// already rewritten the packet's rank).
+    Violation(ViolationAction),
+}
+
+#[derive(Clone, Debug)]
+struct TenantMonitor {
+    declared: RankRange,
+    hist: Log2Histogram,
+    last_seen: Option<Nanos>,
+    packets: u64,
+    violations: u64,
+}
+
+/// Online per-tenant rank statistics and violation policing.
+#[derive(Clone, Debug)]
+pub struct RuntimeMonitor {
+    config: MonitorConfig,
+    /// Dense by tenant id.
+    tenants: Vec<Option<TenantMonitor>>,
+}
+
+impl RuntimeMonitor {
+    /// A monitor for the given specs.
+    pub fn new(specs: &[TenantSpec], config: MonitorConfig) -> RuntimeMonitor {
+        let max_id = specs.iter().map(|s| s.id.index()).max().map(|m| m + 1);
+        let mut tenants = vec![None; max_id.unwrap_or(0)];
+        for s in specs {
+            tenants[s.id.index()] = Some(TenantMonitor {
+                declared: s.range,
+                hist: Log2Histogram::new(),
+                last_seen: None,
+                packets: 0,
+                violations: 0,
+            });
+        }
+        RuntimeMonitor { config, tenants }
+    }
+
+    /// Observe (and possibly police) one payload packet *before* the
+    /// pre-processor. Unknown tenants are ignored (the pre-processor has
+    /// its own unknown-tenant action).
+    pub fn observe(&mut self, p: &mut Packet, now: Nanos) -> Observation {
+        if !p.is_payload() {
+            return Observation::Ok;
+        }
+        let Some(Some(tm)) = self.tenants.get_mut(p.tenant.index()) else {
+            return Observation::Ok;
+        };
+        tm.packets += 1;
+        tm.last_seen = Some(now);
+        tm.hist.record(p.rank);
+        if tm.declared.contains(p.rank) {
+            return Observation::Ok;
+        }
+        tm.violations += 1;
+        if self.config.violation_action == ViolationAction::Clamp {
+            p.rank = tm.declared.clamp(p.rank);
+        }
+        Observation::Violation(self.config.violation_action)
+    }
+
+    /// Tenants seen within the idle window ending at `now`.
+    pub fn active_tenants(&self, now: Nanos) -> Vec<TenantId> {
+        self.tenants
+            .iter()
+            .enumerate()
+            .filter_map(|(i, tm)| {
+                let tm = tm.as_ref()?;
+                let seen = tm.last_seen?;
+                (now.saturating_sub(seen) <= self.config.idle_after).then_some(TenantId(i as u16))
+            })
+            .collect()
+    }
+
+    /// Violations counted for `tenant`.
+    pub fn violations(&self, tenant: TenantId) -> u64 {
+        self.tenants
+            .get(tenant.index())
+            .and_then(|t| t.as_ref())
+            .map(|t| t.violations)
+            .unwrap_or(0)
+    }
+
+    /// Packets observed for `tenant`.
+    pub fn packets(&self, tenant: TenantId) -> u64 {
+        self.tenants
+            .get(tenant.index())
+            .and_then(|t| t.as_ref())
+            .map(|t| t.packets)
+            .unwrap_or(0)
+    }
+
+    /// Observed upper bound on `tenant`'s ranks at quantile `p`.
+    pub fn observed_bound(&self, tenant: TenantId, p: f64) -> Option<u64> {
+        self.tenants
+            .get(tenant.index())
+            .and_then(|t| t.as_ref())
+            .and_then(|t| t.hist.quantile_bound(p))
+    }
+}
+
+/// A proposed re-synthesis, produced by [`RuntimeAdapter::propose`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Adaptation {
+    /// Tenants still active (the new policy covers exactly these).
+    pub active: Vec<TenantId>,
+    /// Range tightenings to apply: (tenant, new range).
+    pub tightened: Vec<(TenantId, RankRange)>,
+}
+
+/// Event-driven controller that re-synthesizes the joint policy as tenants
+/// come, go, or drift (§2's SDN-controller analogy).
+#[derive(Clone, Debug)]
+pub struct RuntimeAdapter {
+    specs: Vec<TenantSpec>,
+    policy: Policy,
+    synth_config: SynthConfig,
+    monitor_config: MonitorConfig,
+    /// Active set used by the last synthesis.
+    current_active: Vec<TenantId>,
+}
+
+impl RuntimeAdapter {
+    /// An adapter over the full tenant population and operator policy.
+    pub fn new(
+        specs: Vec<TenantSpec>,
+        policy: Policy,
+        synth_config: SynthConfig,
+        monitor_config: MonitorConfig,
+    ) -> RuntimeAdapter {
+        let current_active = specs.iter().map(|s| s.id).collect();
+        RuntimeAdapter {
+            specs,
+            policy,
+            synth_config,
+            monitor_config,
+            current_active,
+        }
+    }
+
+    /// Compare monitor state against the current deployment and propose an
+    /// adaptation, or `None` when nothing changed.
+    pub fn propose(&self, monitor: &RuntimeMonitor, now: Nanos) -> Option<Adaptation> {
+        let mut active = monitor.active_tenants(now);
+        active.sort();
+        let mut current = self.current_active.clone();
+        current.sort();
+
+        let mut tightened = Vec::new();
+        for spec in &self.specs {
+            if !active.contains(&spec.id) {
+                continue;
+            }
+            if let Some(bound) = monitor.observed_bound(spec.id, 0.999) {
+                let bound = bound.max(spec.range.min);
+                if (bound as f64) * self.monitor_config.drift_ratio < spec.range.max as f64 {
+                    tightened.push((spec.id, RankRange::new(spec.range.min, bound)));
+                }
+            }
+        }
+
+        if active == current && tightened.is_empty() {
+            return None;
+        }
+        Some(Adaptation { active, tightened })
+    }
+
+    /// Apply an adaptation: re-synthesize over the active tenants with any
+    /// tightened ranges. Returns `None` when no scheduled tenant remains.
+    ///
+    /// Tightened ranges persist into the adapter's view of the specs so the
+    /// same drift is not re-proposed every tick. Tightening is a one-way
+    /// ratchet: a tenant that later exceeds its tightened range shows up as
+    /// monitor violations (clamped/dropped per policy) — the signal to
+    /// re-declare, not something the adapter widens silently.
+    pub fn apply(&mut self, adaptation: &Adaptation) -> Option<Result<JointPolicy>> {
+        let mut specs = self.specs.clone();
+        for (tenant, range) in &adaptation.tightened {
+            if let Some(s) = specs.iter_mut().find(|s| s.id == *tenant) {
+                s.range = *range;
+            }
+        }
+        let keep: Vec<&str> = specs
+            .iter()
+            .filter(|s| adaptation.active.contains(&s.id))
+            .map(|s| s.name.as_str())
+            .collect();
+        let policy = retain_tenants(&self.policy, &keep)?;
+        self.current_active = adaptation.active.clone();
+        let active_specs: Vec<TenantSpec> = specs
+            .iter()
+            .filter(|s| adaptation.active.contains(&s.id))
+            .cloned()
+            .collect();
+        self.specs = specs;
+        Some(synthesize(&active_specs, &policy, self.synth_config))
+    }
+}
+
+/// Project a policy onto a subset of tenants, dropping empty groups,
+/// chains, and levels. `None` when nothing remains.
+pub fn retain_tenants(policy: &Policy, keep: &[&str]) -> Option<Policy> {
+    let levels: Vec<PrefChain> = policy
+        .levels
+        .iter()
+        .filter_map(|level| {
+            let groups: Vec<ShareGroup> = level
+                .groups
+                .iter()
+                .filter_map(|g| {
+                    let members: Vec<_> = g
+                        .members
+                        .iter()
+                        .filter(|m| keep.contains(&m.name.as_str()))
+                        .cloned()
+                        .collect();
+                    (!members.is_empty()).then_some(ShareGroup { members })
+                })
+                .collect();
+            (!groups.is_empty()).then_some(PrefChain { groups })
+        })
+        .collect();
+    (!levels.is_empty()).then_some(Policy { levels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qvisor_sim::{FlowId, NodeId};
+
+    fn specs() -> Vec<TenantSpec> {
+        vec![
+            TenantSpec::new(TenantId(1), "T1", "pFabric", RankRange::new(0, 1000)),
+            TenantSpec::new(TenantId(2), "T2", "EDF", RankRange::new(0, 500)),
+            TenantSpec::new(TenantId(3), "T3", "FQ", RankRange::new(0, 50)),
+        ]
+    }
+
+    fn pkt(tenant: u16, rank: u64) -> Packet {
+        Packet::data(
+            FlowId(1),
+            TenantId(tenant),
+            0,
+            1500,
+            NodeId(0),
+            NodeId(1),
+            rank,
+            Nanos::ZERO,
+        )
+    }
+
+    #[test]
+    fn in_range_ranks_pass() {
+        let mut m = RuntimeMonitor::new(&specs(), MonitorConfig::default());
+        let mut p = pkt(1, 500);
+        assert_eq!(m.observe(&mut p, Nanos::ZERO), Observation::Ok);
+        assert_eq!(m.packets(TenantId(1)), 1);
+        assert_eq!(m.violations(TenantId(1)), 0);
+    }
+
+    #[test]
+    fn violations_are_clamped() {
+        let mut m = RuntimeMonitor::new(&specs(), MonitorConfig::default());
+        let mut p = pkt(2, 9999); // declared max 500
+        let obs = m.observe(&mut p, Nanos::ZERO);
+        assert_eq!(obs, Observation::Violation(ViolationAction::Clamp));
+        assert_eq!(p.rank, 500, "rank clamped into declared range");
+        assert_eq!(m.violations(TenantId(2)), 1);
+    }
+
+    #[test]
+    fn violation_drop_action() {
+        let cfg = MonitorConfig {
+            violation_action: ViolationAction::Drop,
+            ..MonitorConfig::default()
+        };
+        let mut m = RuntimeMonitor::new(&specs(), cfg);
+        let mut p = pkt(2, 9999);
+        assert_eq!(
+            m.observe(&mut p, Nanos::ZERO),
+            Observation::Violation(ViolationAction::Drop)
+        );
+        assert_eq!(p.rank, 9999, "drop action leaves the packet unmodified");
+    }
+
+    #[test]
+    fn adversarial_low_ranks_also_flagged() {
+        let specs = vec![TenantSpec::new(
+            TenantId(1),
+            "T1",
+            "x",
+            RankRange::new(100, 200),
+        )];
+        let mut m = RuntimeMonitor::new(&specs, MonitorConfig::default());
+        let mut p = pkt(1, 0); // grabbing priority below its floor
+        assert!(matches!(
+            m.observe(&mut p, Nanos::ZERO),
+            Observation::Violation(_)
+        ));
+        assert_eq!(p.rank, 100);
+    }
+
+    #[test]
+    fn activity_tracking() {
+        let mut m = RuntimeMonitor::new(&specs(), MonitorConfig::default());
+        m.observe(&mut pkt(1, 1), Nanos::from_millis(1));
+        m.observe(&mut pkt(2, 1), Nanos::from_millis(20));
+        // At t=25ms with idle_after=10ms, only T2 is active.
+        let active = m.active_tenants(Nanos::from_millis(25));
+        assert_eq!(active, vec![TenantId(2)]);
+    }
+
+    #[test]
+    fn adapter_proposes_on_tenant_departure() {
+        let policy = Policy::parse("T1 >> T2 + T3").unwrap();
+        let adapter = RuntimeAdapter::new(
+            specs(),
+            policy,
+            SynthConfig::default(),
+            MonitorConfig::default(),
+        );
+        let mut m = RuntimeMonitor::new(&specs(), MonitorConfig::default());
+        // Only T3 transmits recently.
+        m.observe(&mut pkt(3, 10), Nanos::from_millis(100));
+        let proposal = adapter.propose(&m, Nanos::from_millis(101)).unwrap();
+        assert_eq!(proposal.active, vec![TenantId(3)]);
+    }
+
+    #[test]
+    fn adapter_apply_resynthesizes_for_active_set() {
+        let policy = Policy::parse("T1 >> T2 + T3").unwrap();
+        let mut adapter = RuntimeAdapter::new(
+            specs(),
+            policy,
+            SynthConfig::default(),
+            MonitorConfig::default(),
+        );
+        let adaptation = Adaptation {
+            active: vec![TenantId(3)],
+            tightened: vec![],
+        };
+        let joint = adapter.apply(&adaptation).unwrap().unwrap();
+        // T3 alone now owns the whole (single-level) rank space from 0.
+        assert!(joint.chain(TenantId(3)).is_some());
+        assert!(joint.chain(TenantId(1)).is_none());
+        assert_eq!(joint.layout.len(), 1);
+        assert_eq!(joint.layout[0].base, 0);
+    }
+
+    #[test]
+    fn adapter_tightens_drifted_ranges() {
+        let policy = Policy::parse("T1 >> T2 + T3").unwrap();
+        let adapter = RuntimeAdapter::new(
+            specs(),
+            policy,
+            SynthConfig::default(),
+            MonitorConfig::default(),
+        );
+        let mut m = RuntimeMonitor::new(&specs(), MonitorConfig::default());
+        // T1 declared [0,1000] but only ever uses ranks <= 15.
+        for r in [3u64, 7, 9, 15, 2, 5] {
+            m.observe(&mut pkt(1, r), Nanos::from_millis(5));
+        }
+        m.observe(&mut pkt(2, 499), Nanos::from_millis(5));
+        m.observe(&mut pkt(3, 49), Nanos::from_millis(5));
+        let proposal = adapter.propose(&m, Nanos::from_millis(6)).unwrap();
+        let t1 = proposal
+            .tightened
+            .iter()
+            .find(|(t, _)| *t == TenantId(1))
+            .expect("T1 drifted");
+        assert!(t1.1.max < 1000 / 4, "range tightened: {}", t1.1);
+    }
+
+    #[test]
+    fn no_change_no_proposal() {
+        let policy = Policy::parse("T1 >> T2 + T3").unwrap();
+        let adapter = RuntimeAdapter::new(
+            specs(),
+            policy,
+            SynthConfig::default(),
+            MonitorConfig::default(),
+        );
+        let mut m = RuntimeMonitor::new(&specs(), MonitorConfig::default());
+        // Everyone active, everyone spanning their declared range.
+        for (t, max) in [(1u16, 1000u64), (2, 500), (3, 50)] {
+            m.observe(&mut pkt(t, max / 2), Nanos::from_millis(5));
+            m.observe(&mut pkt(t, max), Nanos::from_millis(5));
+        }
+        assert!(adapter.propose(&m, Nanos::from_millis(6)).is_none());
+    }
+
+    #[test]
+    fn retain_tenants_prunes_structure() {
+        let policy = Policy::parse("T1 >> T2 > T3 + T4 >> T5").unwrap();
+        let kept = retain_tenants(&policy, &["T3", "T5"]).unwrap();
+        assert_eq!(kept.to_string(), "T3 >> T5");
+        assert!(retain_tenants(&policy, &[]).is_none());
+        let same = retain_tenants(&policy, &["T1", "T2", "T3", "T4", "T5"]).unwrap();
+        assert_eq!(same, policy);
+    }
+}

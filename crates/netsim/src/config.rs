@@ -1,0 +1,175 @@
+//! Simulation configuration.
+
+use qvisor_core::{MonitorConfig, SynthConfig, TenantSpec, UnknownTenantAction};
+use qvisor_ranking::RankRange;
+use qvisor_scheduler::Capacity;
+use qvisor_sim::Nanos;
+
+/// Which scheduler model runs at every output port.
+#[derive(Clone, Copy, Debug)]
+pub enum SchedulerKind {
+    /// Rank-oblivious FIFO (tail drop).
+    Fifo,
+    /// Ideal PIFO (priority drop).
+    Pifo,
+    /// Strict-priority FIFO bank with a static rank→queue split.
+    ///
+    /// Without QVISOR, ranks are split uniformly over `span`; with QVISOR,
+    /// the banded allocator honours the joint policy's strict levels.
+    StrictStatic {
+        /// Hardware queues available.
+        queues: usize,
+        /// Rank span used when no joint policy is deployed.
+        span: RankRange,
+    },
+    /// Strict-priority FIFO bank with SP-PIFO adaptive mapping.
+    SpPifo {
+        /// Hardware queues available.
+        queues: usize,
+    },
+    /// AIFO: single FIFO with rank-aware admission.
+    Aifo {
+        /// Rank window size.
+        window: usize,
+        /// Burst tolerance in `[0, 1)`.
+        burst: f64,
+    },
+    /// An idealized hierarchical scheduler (PIFO tree): the root
+    /// fair-shares across tenants by per-tenant virtual time, each leaf
+    /// orders its tenant's packets by rank. This is what dedicated
+    /// multi-tenant scheduling *hardware* would do — the upper bound the
+    /// paper's flat-PIFO virtualization approximates (§5 expressivity).
+    FairTree {
+        /// Number of tenant classes (tenant id modulo this picks the leaf).
+        tenants: u16,
+    },
+}
+
+/// Where QVISOR's pre-processor runs (§5 "cross-device virtualization"):
+/// rank rewriting can happen at every egress, only inside the fabric, or
+/// only at the first hop — trading deployment surface against how early
+/// the joint policy takes effect.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PreprocScope {
+    /// Every egress port, hosts included (the default; transformations are
+    /// idempotent, so re-applying per hop is safe).
+    #[default]
+    Everywhere,
+    /// Only switch egress ports: host NICs forward raw tenant ranks, as
+    /// when QVISOR is deployed purely in-network.
+    SwitchesOnly,
+    /// Only the first hop (the sending host): a pure end-host deployment,
+    /// as in NIC-based multi-tenant scheduling (Loom/Eiffel).
+    FirstHopOnly,
+}
+
+/// QVISOR deployment inside the simulation: the hypervisor's two inputs
+/// plus runtime options.
+#[derive(Clone, Debug)]
+pub struct QvisorSetup {
+    /// Tenant specifications.
+    pub specs: Vec<TenantSpec>,
+    /// Operator policy string (e.g. `"T1 >> T2 + T3"`).
+    pub policy: String,
+    /// Synthesizer knobs.
+    pub synth: SynthConfig,
+    /// Unknown-tenant handling at the pre-processor.
+    pub unknown: UnknownTenantAction,
+    /// Where in the network the pre-processor runs.
+    pub scope: PreprocScope,
+    /// Enable the runtime monitor with this configuration.
+    pub monitor: Option<MonitorConfig>,
+}
+
+impl QvisorSetup {
+    /// A setup with default synthesis, best-effort unknown handling, and no
+    /// monitor.
+    pub fn new(specs: Vec<TenantSpec>, policy: impl Into<String>) -> QvisorSetup {
+        QvisorSetup {
+            specs,
+            policy: policy.into(),
+            synth: SynthConfig::default(),
+            unknown: UnknownTenantAction::BestEffort,
+            scope: PreprocScope::default(),
+            monitor: None,
+        }
+    }
+}
+
+/// Full simulation configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Root seed; every random decision derives from it.
+    pub seed: u64,
+    /// Maximum application payload per packet.
+    pub mss: u32,
+    /// Header overhead added to every data packet, bytes.
+    pub header_bytes: u32,
+    /// ACK size on the wire, bytes.
+    pub ack_bytes: u32,
+    /// Fixed sender window, packets.
+    pub cwnd: u32,
+    /// Retransmission timeout.
+    pub rto: Nanos,
+    /// Per-port buffer capacity.
+    pub buffer: Capacity,
+    /// Scheduler at switch output ports.
+    pub scheduler: SchedulerKind,
+    /// Scheduler at host NIC ports; `None` uses `scheduler` everywhere.
+    /// Real deployments often pair scheduled switches with plain FIFO
+    /// NICs — this knob measures how much the host queue matters.
+    pub host_scheduler: Option<SchedulerKind>,
+    /// Hard stop time.
+    pub horizon: Nanos,
+    /// Uniform random packet loss applied at link arrival (fault
+    /// injection; 0.0 = none).
+    pub random_loss: f64,
+    /// Sample per-tenant delivered bytes every interval into the report's
+    /// time series (for timeline plots like the paper's Fig. 2).
+    pub sample_interval: Option<Nanos>,
+    /// Run QVISOR's event-driven controller every interval: the runtime
+    /// monitor's view is fed to the adapter, which re-synthesizes the
+    /// joint policy on tenant churn or rank drift and hot-reloads the
+    /// pre-processor (§5 "optimizing configurations at runtime").
+    /// Requires `qvisor` with a monitor configured.
+    pub adaptation_interval: Option<Nanos>,
+    /// QVISOR deployment, if any.
+    pub qvisor: Option<QvisorSetup>,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            seed: 1,
+            mss: 1_460,
+            header_bytes: 40,
+            ack_bytes: 40,
+            cwnd: 12,
+            rto: Nanos::from_micros(500),
+            // pFabric-style shallow buffers: ~36 KB per port.
+            buffer: Capacity::packets(24, 1_500),
+            scheduler: SchedulerKind::Pifo,
+            host_scheduler: None,
+            horizon: Nanos::from_secs(10),
+            random_loss: 0.0,
+            sample_interval: None,
+            adaptation_interval: None,
+            qvisor: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SimConfig::default();
+        assert_eq!(c.mss, 1_460);
+        assert!(c.buffer.bytes >= 24 * 1_460);
+        assert!(matches!(c.scheduler, SchedulerKind::Pifo));
+        assert!(c.qvisor.is_none());
+        assert_eq!(c.random_loss, 0.0);
+    }
+}

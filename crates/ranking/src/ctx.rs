@@ -1,0 +1,77 @@
+//! Per-packet context handed to rank functions.
+
+use qvisor_sim::{FlowId, Nanos};
+
+/// Everything a rank function may look at when ranking one packet.
+///
+/// Built by the transport layer at the end host (the paper requires ranks
+/// to be assigned *before* packets reach QVISOR's pre-processor, §3.1).
+#[derive(Clone, Copy, Debug)]
+pub struct RankCtx {
+    /// Current simulation time.
+    pub now: Nanos,
+    /// The packet's flow.
+    pub flow: FlowId,
+    /// Total size of the flow in bytes (∞-like for unbounded streams).
+    pub flow_size: u64,
+    /// Bytes of the flow already handed to the network before this packet.
+    pub bytes_sent: u64,
+    /// This packet's size in bytes.
+    pub pkt_size: u32,
+    /// Absolute deadline, for deadline-constrained traffic.
+    pub deadline: Option<Nanos>,
+    /// Flow weight for fair-queueing policies (1 = default).
+    pub weight: u32,
+}
+
+impl RankCtx {
+    /// A minimal context for tests and simple sources.
+    pub fn simple(now: Nanos, flow: FlowId, flow_size: u64, bytes_sent: u64) -> RankCtx {
+        RankCtx {
+            now,
+            flow,
+            flow_size,
+            bytes_sent,
+            pkt_size: 1500,
+            deadline: None,
+            weight: 1,
+        }
+    }
+
+    /// Bytes of the flow not yet handed to the network (including this
+    /// packet).
+    pub fn bytes_remaining(&self) -> u64 {
+        self.flow_size.saturating_sub(self.bytes_sent)
+    }
+
+    /// Time remaining until the deadline (zero if passed or absent).
+    pub fn slack(&self) -> Nanos {
+        match self.deadline {
+            Some(d) => d.saturating_sub(self.now),
+            None => Nanos::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remaining_bytes() {
+        let c = RankCtx::simple(Nanos::ZERO, FlowId(1), 10_000, 4_000);
+        assert_eq!(c.bytes_remaining(), 6_000);
+        let done = RankCtx::simple(Nanos::ZERO, FlowId(1), 10_000, 12_000);
+        assert_eq!(done.bytes_remaining(), 0);
+    }
+
+    #[test]
+    fn slack_saturates() {
+        let mut c = RankCtx::simple(Nanos::from_micros(10), FlowId(1), 1, 0);
+        assert_eq!(c.slack(), Nanos::ZERO); // no deadline
+        c.deadline = Some(Nanos::from_micros(25));
+        assert_eq!(c.slack(), Nanos::from_micros(15));
+        c.deadline = Some(Nanos::from_micros(5)); // already passed
+        assert_eq!(c.slack(), Nanos::ZERO);
+    }
+}

@@ -1,0 +1,46 @@
+#![deny(missing_docs)]
+
+//! # qvisor-ranking — tenant rank functions
+//!
+//! Tenants program their scheduling policy by assigning each packet a rank
+//! (lower = more urgent) — the PIFO programming model the paper builds on.
+//! This crate provides the rank functions used in the paper and its
+//! evaluation: pFabric/SRPT ([`PFabric`]), earliest-deadline-first
+//! ([`Edf`]), least-slack-time-first ([`Lstf`]), start-time fair queueing
+//! ([`Stfq`]), byte-count fair queueing ([`ByteCountFq`]), FIFO+ style
+//! arrival-time ranking ([`ArrivalTime`]), and a constant rank
+//! ([`Constant`]).
+//!
+//! Every rank function declares a bounded [`RankRange`]; QVISOR's
+//! synthesizer relies on those declared bounds to normalize and shift
+//! tenant policies (§3.2 of the paper).
+
+pub mod ctx;
+pub mod funcs;
+pub mod multi;
+pub mod range;
+pub mod spec;
+
+pub use ctx::RankCtx;
+pub use funcs::{ArrivalTime, ByteCountFq, Constant, Edf, Lstf, PFabric, Stfq};
+pub use multi::MultiObjective;
+pub use range::RankRange;
+pub use spec::RankFnSpec;
+
+use qvisor_sim::Rank;
+
+/// A tenant's rank function: maps per-packet context to a scheduling rank.
+///
+/// Implementations may be stateful (e.g. [`Stfq`] tracks per-flow virtual
+/// finish times), hence `&mut self`.
+pub trait RankFn {
+    /// Rank for a packet described by `ctx`. Must lie within
+    /// [`RankFn::range`] — the synthesizer's transformations assume it.
+    fn rank(&mut self, ctx: &RankCtx) -> Rank;
+
+    /// The declared (inclusive) bounds of the ranks this function emits.
+    fn range(&self) -> RankRange;
+
+    /// Short algorithm name for reports and logs.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,161 @@
+//! Multi-objective rank functions (§5 "multi-objective scheduling
+//! algorithms").
+//!
+//! The paper asks whether multiple objectives can be achieved *on the same
+//! traffic*. [`MultiObjective`] composes existing rank functions into one:
+//! each component's rank is normalized onto a common scale and the results
+//! are combined by weighted sum — e.g. 70 % SRPT + 30 % slack gives a
+//! policy that chases FCTs while resisting deadline misses.
+
+use crate::ctx::RankCtx;
+use crate::range::RankRange;
+use crate::RankFn;
+use qvisor_sim::Rank;
+
+/// A weighted combination of rank functions.
+///
+/// Each component rank is first normalized from its declared range onto
+/// `[0, resolution]`, then summed with its weight; the output range is
+/// `[0, resolution * total_weight]`.
+pub struct MultiObjective {
+    components: Vec<(Box<dyn RankFn>, u32)>,
+    resolution: u64,
+    total_weight: u64,
+}
+
+impl MultiObjective {
+    /// Combine `components` (each with a positive weight) at the given
+    /// normalization `resolution` (distinct values per component).
+    ///
+    /// # Panics
+    /// Panics if there are no components, any weight is zero, or
+    /// `resolution` is zero.
+    pub fn new(components: Vec<(Box<dyn RankFn>, u32)>, resolution: u64) -> MultiObjective {
+        assert!(!components.is_empty(), "need at least one component");
+        assert!(resolution > 0, "resolution must be positive");
+        assert!(
+            components.iter().all(|&(_, w)| w > 0),
+            "weights must be positive"
+        );
+        let total_weight = components.iter().map(|&(_, w)| w as u64).sum();
+        MultiObjective {
+            components,
+            resolution,
+            total_weight,
+        }
+    }
+}
+
+impl RankFn for MultiObjective {
+    fn rank(&mut self, ctx: &RankCtx) -> Rank {
+        let resolution = self.resolution;
+        let mut sum = 0u64;
+        for (f, w) in &mut self.components {
+            let range = f.range();
+            let raw = range.clamp(f.rank(ctx));
+            let span = range.max - range.min;
+            let normalized = if span == 0 {
+                0
+            } else {
+                ((raw - range.min) as u128 * resolution as u128 / span as u128) as u64
+            };
+            sum += normalized * *w as u64;
+        }
+        sum
+    }
+
+    fn range(&self) -> RankRange {
+        RankRange::new(0, self.resolution * self.total_weight)
+    }
+
+    fn name(&self) -> &'static str {
+        "multi-objective"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::funcs::{Edf, PFabric};
+    use qvisor_sim::{FlowId, Nanos};
+
+    fn ctx(flow_size: u64, sent: u64, deadline_us: Option<u64>) -> RankCtx {
+        let mut c = RankCtx::simple(Nanos::ZERO, FlowId(1), flow_size, sent);
+        c.deadline = deadline_us.map(Nanos::from_micros);
+        c
+    }
+
+    fn srpt_edf(w_srpt: u32, w_edf: u32) -> MultiObjective {
+        MultiObjective::new(
+            vec![
+                (Box::new(PFabric::new(1_000, 1_000)), w_srpt),
+                (Box::new(Edf::new(Nanos::from_micros(1), 1_000)), w_edf),
+            ],
+            1_000,
+        )
+    }
+
+    #[test]
+    fn output_stays_in_declared_range() {
+        let mut m = srpt_edf(7, 3);
+        let range = m.range();
+        assert_eq!(range, RankRange::new(0, 10_000));
+        for size in [0u64, 1_000, 100_000, 10_000_000] {
+            for dl in [None, Some(1u64), Some(500), Some(10_000_000)] {
+                let r = m.rank(&ctx(size, 0, dl));
+                assert!(range.contains(r), "{r} outside {range}");
+            }
+        }
+    }
+
+    #[test]
+    fn combination_biases_toward_heavier_objective() {
+        // Flow A: tiny remaining (great SRPT), distant deadline (bad EDF).
+        // Flow B: huge remaining (bad SRPT), imminent deadline (great EDF).
+        let a = ctx(1_000, 0, Some(1_000_000));
+        let b = ctx(1_000_000, 0, Some(1));
+
+        let mut srpt_heavy = srpt_edf(9, 1);
+        assert!(
+            srpt_heavy.rank(&a) < srpt_heavy.rank(&b),
+            "SRPT-heavy mix must favour the short flow"
+        );
+        let mut edf_heavy = srpt_edf(1, 9);
+        assert!(
+            edf_heavy.rank(&b) < edf_heavy.rank(&a),
+            "EDF-heavy mix must favour the urgent flow"
+        );
+    }
+
+    #[test]
+    fn single_component_degenerates_to_normalized_original() {
+        let mut m = MultiObjective::new(vec![(Box::new(PFabric::new(1_000, 100)), 1)], 100);
+        // 50 KB remaining of a 100 KB-max function: normalized to 50/100.
+        assert_eq!(m.rank(&ctx(50_000, 0, None)), 50);
+        assert_eq!(m.range(), RankRange::new(0, 100));
+    }
+
+    #[test]
+    fn monotone_in_each_objective() {
+        let mut m = srpt_edf(1, 1);
+        // Holding the deadline fixed, more remaining bytes can't rank better.
+        let mut prev = 0;
+        for size in (0..10).map(|i| i * 100_000) {
+            let r = m.rank(&ctx(size, 0, Some(500)));
+            assert!(r >= prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn zero_weight_rejected() {
+        let _ = MultiObjective::new(vec![(Box::new(PFabric::new(1, 1)), 0)], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn empty_components_rejected() {
+        let _ = MultiObjective::new(vec![], 10);
+    }
+}

@@ -1,0 +1,196 @@
+//! Declarative rank-function specifications.
+//!
+//! Completes the Fig. 1 Configuration API on the tenant side: a rank
+//! function described as data (JSON-serializable), buildable into the
+//! corresponding [`RankFn`] implementation. Simulation harnesses can keep
+//! an entire experiment — topology, tenants, rank functions, policy — in
+//! one config file.
+
+use crate::funcs::{ArrivalTime, ByteCountFq, Constant, Edf, Lstf, PFabric, Stfq};
+use crate::multi::MultiObjective;
+use crate::RankFn;
+use qvisor_sim::Nanos;
+use serde::{Deserialize, Serialize};
+
+/// A rank function as data. See the variants for parameter meanings; all
+/// produce ranks where lower = more urgent.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "algorithm", rename_all = "snake_case")]
+pub enum RankFnSpec {
+    /// pFabric/SRPT: remaining flow size.
+    PFabric {
+        /// Bytes per rank unit.
+        unit_bytes: u64,
+        /// Largest emitted rank.
+        max_rank: u64,
+    },
+    /// Earliest deadline first: slack to deadline.
+    Edf {
+        /// Nanoseconds per rank unit.
+        unit_ns: u64,
+        /// Largest emitted rank.
+        max_rank: u64,
+    },
+    /// Least slack time first.
+    Lstf {
+        /// Nanoseconds per rank unit.
+        unit_ns: u64,
+        /// Largest emitted rank.
+        max_rank: u64,
+        /// Line rate used to estimate remaining transmission time.
+        line_rate_bps: u64,
+    },
+    /// Start-time fair queueing.
+    Stfq {
+        /// Largest emitted rank.
+        max_rank: u64,
+    },
+    /// Byte-count fair queueing (bytes already sent).
+    ByteCountFq {
+        /// Bytes per rank unit.
+        unit_bytes: u64,
+        /// Largest emitted rank.
+        max_rank: u64,
+    },
+    /// FIFO+ arrival-time ranking.
+    ArrivalTime {
+        /// Nanoseconds per rank unit.
+        unit_ns: u64,
+        /// Largest emitted rank.
+        max_rank: u64,
+    },
+    /// A constant rank.
+    Constant {
+        /// The rank.
+        rank: u64,
+    },
+    /// Weighted multi-objective combination (§5).
+    MultiObjective {
+        /// `(component, weight)` pairs.
+        components: Vec<(RankFnSpec, u32)>,
+        /// Per-component normalization resolution.
+        resolution: u64,
+    },
+}
+
+impl RankFnSpec {
+    /// Instantiate the described rank function.
+    pub fn build(&self) -> Box<dyn RankFn> {
+        match self {
+            RankFnSpec::PFabric {
+                unit_bytes,
+                max_rank,
+            } => Box::new(PFabric::new(*unit_bytes, *max_rank)),
+            RankFnSpec::Edf { unit_ns, max_rank } => Box::new(Edf::new(Nanos(*unit_ns), *max_rank)),
+            RankFnSpec::Lstf {
+                unit_ns,
+                max_rank,
+                line_rate_bps,
+            } => Box::new(Lstf::new(Nanos(*unit_ns), *max_rank, *line_rate_bps)),
+            RankFnSpec::Stfq { max_rank } => Box::new(Stfq::new(*max_rank)),
+            RankFnSpec::ByteCountFq {
+                unit_bytes,
+                max_rank,
+            } => Box::new(ByteCountFq::new(*unit_bytes, *max_rank)),
+            RankFnSpec::ArrivalTime { unit_ns, max_rank } => {
+                Box::new(ArrivalTime::new(Nanos(*unit_ns), *max_rank))
+            }
+            RankFnSpec::Constant { rank } => Box::new(Constant(*rank)),
+            RankFnSpec::MultiObjective {
+                components,
+                resolution,
+            } => Box::new(MultiObjective::new(
+                components
+                    .iter()
+                    .map(|(spec, w)| (spec.build(), *w))
+                    .collect(),
+                *resolution,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::RankCtx;
+    use qvisor_sim::FlowId;
+
+    #[test]
+    fn every_variant_builds_and_ranks() {
+        let specs = vec![
+            RankFnSpec::PFabric {
+                unit_bytes: 1_000,
+                max_rank: 100,
+            },
+            RankFnSpec::Edf {
+                unit_ns: 1_000,
+                max_rank: 100,
+            },
+            RankFnSpec::Lstf {
+                unit_ns: 1_000,
+                max_rank: 100,
+                line_rate_bps: 1_000_000,
+            },
+            RankFnSpec::Stfq { max_rank: 100 },
+            RankFnSpec::ByteCountFq {
+                unit_bytes: 1_000,
+                max_rank: 100,
+            },
+            RankFnSpec::ArrivalTime {
+                unit_ns: 1_000,
+                max_rank: 100,
+            },
+            RankFnSpec::Constant { rank: 7 },
+        ];
+        let ctx = RankCtx::simple(Nanos::from_micros(5), FlowId(1), 50_000, 10_000);
+        for spec in specs {
+            let mut f = spec.build();
+            let r = f.rank(&ctx);
+            assert!(f.range().contains(r), "{spec:?} emitted {r}");
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let spec = RankFnSpec::MultiObjective {
+            components: vec![
+                (
+                    RankFnSpec::PFabric {
+                        unit_bytes: 1_000,
+                        max_rank: 1_000,
+                    },
+                    7,
+                ),
+                (
+                    RankFnSpec::Edf {
+                        unit_ns: 1_000,
+                        max_rank: 1_000,
+                    },
+                    3,
+                ),
+            ],
+            resolution: 1_000,
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: RankFnSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+        let mut f = back.build();
+        assert_eq!(f.name(), "multi-objective");
+        let ctx = RankCtx::simple(Nanos::ZERO, FlowId(1), 1_000, 0);
+        assert!(f.range().contains(f.rank(&ctx)));
+    }
+
+    #[test]
+    fn json_shape_is_human_writable() {
+        let json = r#"{"algorithm": "p_fabric", "unit_bytes": 1000, "max_rank": 100000}"#;
+        let spec: RankFnSpec = serde_json::from_str(json).unwrap();
+        assert_eq!(
+            spec,
+            RankFnSpec::PFabric {
+                unit_bytes: 1_000,
+                max_rank: 100_000
+            }
+        );
+    }
+}

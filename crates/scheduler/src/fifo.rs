@@ -1,0 +1,120 @@
+//! Tail-drop FIFO queue — the baseline "commodity" scheduler.
+
+use crate::queue::{Capacity, Enqueue, PacketQueue};
+use qvisor_sim::{Nanos, Packet, Rank};
+use std::collections::VecDeque;
+
+/// A first-in first-out queue with tail drop. Ranks are ignored entirely —
+/// this is the paper's worst-case baseline (Fig. 4 "FIFO").
+#[derive(Debug)]
+pub struct FifoQueue {
+    queue: VecDeque<Packet>,
+    capacity: Capacity,
+    bytes: u64,
+}
+
+impl FifoQueue {
+    /// An empty FIFO with the given byte capacity.
+    pub fn new(capacity: Capacity) -> FifoQueue {
+        FifoQueue {
+            queue: VecDeque::new(),
+            capacity,
+            bytes: 0,
+        }
+    }
+}
+
+impl PacketQueue for FifoQueue {
+    fn enqueue(&mut self, p: Packet, _now: Nanos) -> Enqueue {
+        if !self.capacity.fits(self.bytes, p.size as u64) {
+            return Enqueue::Rejected(Box::new(p));
+        }
+        self.bytes += p.size as u64;
+        self.queue.push_back(p);
+        Enqueue::Accepted
+    }
+
+    fn dequeue(&mut self, _now: Nanos) -> Option<Packet> {
+        let p = self.queue.pop_front()?;
+        self.bytes -= p.size as u64;
+        Some(p)
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn head_rank(&self) -> Option<Rank> {
+        self.queue.front().map(|p| p.txf_rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qvisor_sim::{FlowId, NodeId, TenantId};
+
+    fn pkt(seq: u64, rank: Rank, size: u32) -> Packet {
+        let mut p = Packet::data(
+            FlowId(1),
+            TenantId(0),
+            seq,
+            size,
+            NodeId(0),
+            NodeId(1),
+            rank,
+            Nanos::ZERO,
+        );
+        p.txf_rank = rank;
+        p
+    }
+
+    #[test]
+    fn fifo_order_ignores_rank() {
+        let mut q = FifoQueue::new(Capacity::UNBOUNDED);
+        q.enqueue(pkt(0, 9, 100), Nanos::ZERO);
+        q.enqueue(pkt(1, 1, 100), Nanos::ZERO);
+        q.enqueue(pkt(2, 5, 100), Nanos::ZERO);
+        let out: Vec<u64> = std::iter::from_fn(|| q.dequeue(Nanos::ZERO))
+            .map(|p| p.seq)
+            .collect();
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tail_drop_when_full() {
+        let mut q = FifoQueue::new(Capacity::bytes(250));
+        assert!(q.enqueue(pkt(0, 0, 100), Nanos::ZERO).accepted());
+        assert!(q.enqueue(pkt(1, 0, 100), Nanos::ZERO).accepted());
+        let r = q.enqueue(pkt(2, 0, 100), Nanos::ZERO);
+        assert!(!r.accepted());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.bytes(), 200);
+        // a smaller packet still fits
+        assert!(q.enqueue(pkt(3, 0, 50), Nanos::ZERO).accepted());
+        assert_eq!(q.bytes(), 250);
+    }
+
+    #[test]
+    fn byte_accounting_across_dequeue() {
+        let mut q = FifoQueue::new(Capacity::bytes(300));
+        q.enqueue(pkt(0, 0, 200), Nanos::ZERO);
+        q.dequeue(Nanos::ZERO);
+        assert_eq!(q.bytes(), 0);
+        assert!(q.is_empty());
+        assert!(q.enqueue(pkt(1, 0, 300), Nanos::ZERO).accepted());
+    }
+
+    #[test]
+    fn head_rank_reports_front() {
+        let mut q = FifoQueue::new(Capacity::UNBOUNDED);
+        assert_eq!(q.head_rank(), None);
+        q.enqueue(pkt(0, 7, 10), Nanos::ZERO);
+        q.enqueue(pkt(1, 3, 10), Nanos::ZERO);
+        assert_eq!(q.head_rank(), Some(7));
+    }
+}

@@ -1,0 +1,191 @@
+//! Deterministic discrete-event queue.
+//!
+//! Events scheduled for the same instant pop in the order they were pushed
+//! (FIFO tie-break via a monotone sequence number), so simulations are
+//! reproducible regardless of heap internals.
+
+use crate::time::Nanos;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: Nanos,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest (then lowest
+        // seq) first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered event queue driving a discrete-event simulation.
+///
+/// The queue tracks the current simulation clock: [`EventQueue::pop`]
+/// advances it to the popped event's timestamp, and scheduling an event in
+/// the past is a logic error that panics.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: Nanos,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Nanos::ZERO,
+        }
+    }
+
+    /// Current simulation time (timestamp of the last popped event).
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current clock — causality violation.
+    pub fn schedule(&mut self, at: Nanos, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at:?} now={:?}",
+            self.now
+        );
+        self.heap.push(Entry {
+            at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedule `event` at `delay` after the current clock.
+    pub fn schedule_in(&mut self, delay: Nanos, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pop the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(30), "c");
+        q.schedule(Nanos(10), "a");
+        q.schedule(Nanos(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for label in ["first", "second", "third"] {
+            q.schedule(Nanos(5), label);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(100), ());
+        assert_eq!(q.now(), Nanos::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Nanos(100));
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(50), 1);
+        q.pop();
+        q.schedule_in(Nanos(25), 2);
+        assert_eq!(q.peek_time(), Some(Nanos(75)));
+    }
+
+    #[test]
+    #[should_panic(expected = "event scheduled in the past")]
+    fn past_scheduling_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(10), ());
+        q.pop();
+        q.schedule(Nanos(5), ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(Nanos(1), 0);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_time_interleaved_push_pop_stays_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(Nanos(10), 1);
+        q.schedule(Nanos(10), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.schedule(Nanos(10), 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+}

@@ -1,0 +1,87 @@
+//! Strongly-typed identifiers used throughout the simulator.
+//!
+//! Newtypes instead of bare integers so a `FlowId` can never be passed where
+//! a `NodeId` is expected — with zero runtime cost.
+
+use core::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Raw numeric value.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                $name(v)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A node (host or switch) in the simulated network.
+    NodeId, u32, "n"
+);
+
+id_type!(
+    /// A flow: one logical transfer between a source and destination host.
+    FlowId, u64, "f"
+);
+
+id_type!(
+    /// A tenant: a traffic segment owning one scheduling policy.
+    ///
+    /// Per the paper (§3.1), a tenant "refers to a traffic segment (e.g.,
+    /// from a given application), not necessarily a physical tenant".
+    TenantId, u16, "T"
+);
+
+/// A scheduling rank. Lower rank = higher priority (PIFO convention).
+pub type Rank = u64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_format_with_prefix() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(FlowId(42).to_string(), "f42");
+        assert_eq!(TenantId(1).to_string(), "T1");
+        assert_eq!(format!("{:?}", TenantId(1)), "T1");
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        assert!(NodeId(1) < NodeId(2));
+        let set: HashSet<FlowId> = [FlowId(1), FlowId(1), FlowId(2)].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(NodeId::from(7u32).index(), 7);
+        assert_eq!(FlowId::from(9u64).index(), 9);
+    }
+}

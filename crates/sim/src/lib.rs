@@ -1,0 +1,25 @@
+#![deny(missing_docs)]
+
+//! # qvisor-sim — simulation kernel
+//!
+//! The substrate every other crate builds on: integer simulation time, a
+//! deterministic event queue, strongly-typed identifiers, the shared
+//! [`Packet`] model, a reproducible PRNG, and streaming statistics.
+//!
+//! This crate is deliberately free of any networking or scheduling logic so
+//! it can be reused by the scheduler models, the hypervisor, and the
+//! packet-level network simulator without cycles.
+
+pub mod events;
+pub mod id;
+pub mod packet;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use events::EventQueue;
+pub use id::{FlowId, NodeId, Rank, TenantId};
+pub use packet::{Packet, PacketKind};
+pub use rng::{stable_hash, SimRng};
+pub use stats::{jain_fairness, Ewma, Log2Histogram, OnlineStats, PercentileCollector};
+pub use time::{gbps, mbps, transmission_time, Nanos};

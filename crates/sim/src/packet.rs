@@ -1,0 +1,147 @@
+//! The packet model shared by every layer of the simulator.
+
+use crate::id::{FlowId, NodeId, Rank, TenantId};
+use crate::time::Nanos;
+
+/// What a packet carries, as far as the simulator cares.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PacketKind {
+    /// A data segment of a reliable flow; `seq` identifies it for ACKing.
+    Data,
+    /// An acknowledgement for `acked_seq` of the reverse-direction flow.
+    /// ACKs are scheduled at the highest priority (rank 0) like in pFabric.
+    Ack {
+        /// Sequence number being acknowledged.
+        acked_seq: u64,
+    },
+    /// An unreliable datagram (CBR / deadline traffic): never retransmitted.
+    Datagram,
+}
+
+/// A simulated packet.
+///
+/// Two rank fields implement the paper's split between *tenants* and the
+/// *hypervisor*: `rank` is assigned by the tenant's rank function at the end
+/// host; `txf_rank` ("transformed rank") is what QVISOR's pre-processor
+/// rewrites it to, and is what the hardware scheduler actually sorts on.
+/// For a network without QVISOR the two are identical.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    /// Owning flow.
+    pub flow: FlowId,
+    /// Owning tenant (traffic segment).
+    pub tenant: TenantId,
+    /// Sequence number within the flow (data packets), or 0.
+    pub seq: u64,
+    /// Size on the wire, in bytes (headers included).
+    pub size: u32,
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Tenant-assigned rank (lower = more urgent).
+    pub rank: Rank,
+    /// Rank after QVISOR's pre-processor; schedulers sort on this.
+    pub txf_rank: Rank,
+    /// Payload classification.
+    pub kind: PacketKind,
+    /// Simulation time at which the packet was first sent.
+    pub sent_at: Nanos,
+    /// Absolute deadline for deadline-constrained traffic.
+    pub deadline: Option<Nanos>,
+}
+
+impl Packet {
+    /// A data packet with `txf_rank` initialised to `rank`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn data(
+        flow: FlowId,
+        tenant: TenantId,
+        seq: u64,
+        size: u32,
+        src: NodeId,
+        dst: NodeId,
+        rank: Rank,
+        sent_at: Nanos,
+    ) -> Packet {
+        Packet {
+            flow,
+            tenant,
+            seq,
+            size,
+            src,
+            dst,
+            rank,
+            txf_rank: rank,
+            kind: PacketKind::Data,
+            sent_at,
+            deadline: None,
+        }
+    }
+
+    /// The ACK for this data packet, travelling the reverse path at the
+    /// highest priority with a minimal wire size.
+    pub fn ack_for(&self, size: u32, now: Nanos) -> Packet {
+        debug_assert_eq!(self.kind, PacketKind::Data, "only data packets are ACKed");
+        Packet {
+            flow: self.flow,
+            tenant: self.tenant,
+            seq: self.seq,
+            size,
+            src: self.dst,
+            dst: self.src,
+            rank: 0,
+            txf_rank: 0,
+            kind: PacketKind::Ack {
+                acked_seq: self.seq,
+            },
+            sent_at: now,
+            deadline: None,
+        }
+    }
+
+    /// True for data or datagram packets (things that occupy the forward
+    /// path and are subject to tenant scheduling).
+    pub fn is_payload(&self) -> bool {
+        matches!(self.kind, PacketKind::Data | PacketKind::Datagram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Packet {
+        Packet::data(
+            FlowId(1),
+            TenantId(2),
+            7,
+            1500,
+            NodeId(0),
+            NodeId(5),
+            42,
+            Nanos::from_micros(3),
+        )
+    }
+
+    #[test]
+    fn data_packet_initialises_txf_rank() {
+        let p = sample();
+        assert_eq!(p.rank, 42);
+        assert_eq!(p.txf_rank, 42);
+        assert!(p.is_payload());
+    }
+
+    #[test]
+    fn ack_reverses_direction_and_has_top_priority() {
+        let p = sample();
+        let ack = p.ack_for(64, Nanos::from_micros(9));
+        assert_eq!(ack.src, p.dst);
+        assert_eq!(ack.dst, p.src);
+        assert_eq!(ack.rank, 0);
+        assert_eq!(ack.txf_rank, 0);
+        assert_eq!(ack.kind, PacketKind::Ack { acked_seq: 7 });
+        assert_eq!(ack.size, 64);
+        assert!(!ack.is_payload());
+    }
+}

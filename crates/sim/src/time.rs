@@ -1,0 +1,261 @@
+//! Simulation time.
+//!
+//! All simulation time is kept in integer nanoseconds ([`Nanos`]). Integer
+//! time makes event ordering exact and runs bit-reproducible across
+//! platforms, which the whole test suite relies on.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulation time (or a duration), in nanoseconds.
+///
+/// `Nanos` is deliberately a single type for both instants and durations:
+/// the simulator only ever adds offsets to the current clock and subtracts
+/// instants to obtain durations, and a separate duration type would double
+/// the API surface for no safety gain at this scale.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// Time zero — the start of every simulation.
+    pub const ZERO: Nanos = Nanos(0);
+    /// The maximum representable time; used as an "infinite" horizon.
+    pub const MAX: Nanos = Nanos(u64::MAX);
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(s: u64) -> Nanos {
+        Nanos(s * 1_000_000_000)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Nanos {
+        Nanos(ms * 1_000_000)
+    }
+
+    /// Construct from microseconds.
+    pub const fn from_micros(us: u64) -> Nanos {
+        Nanos(us * 1_000)
+    }
+
+    /// Construct from nanoseconds (identity; for symmetry with the others).
+    pub const fn from_nanos(ns: u64) -> Nanos {
+        Nanos(ns)
+    }
+
+    /// This time expressed as (possibly fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// This time expressed as (possibly fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// This time expressed as (possibly fractional) microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction: `self - rhs`, clamped at zero.
+    ///
+    /// Useful for slack computations (`deadline - now`) where the deadline
+    /// may already have passed.
+    pub const fn saturating_sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition, `None` on overflow.
+    pub const fn checked_add(self, rhs: Nanos) -> Option<Nanos> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Nanos(v)),
+            None => None,
+        }
+    }
+
+    /// The larger of two times.
+    pub fn max(self, other: Nanos) -> Nanos {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two times.
+    pub fn min(self, other: Nanos) -> Nanos {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Nanos {
+    fn sub_assign(&mut self, rhs: Nanos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+/// Time to serialize `bytes` onto a link of `bits_per_sec`, rounded up to the
+/// next nanosecond so a queued packet never finishes "early".
+///
+/// # Panics
+/// Panics if `bits_per_sec` is zero.
+pub fn transmission_time(bytes: u64, bits_per_sec: u64) -> Nanos {
+    assert!(bits_per_sec > 0, "link rate must be positive");
+    let bits = bytes as u128 * 8;
+    let ns = (bits * 1_000_000_000).div_ceil(bits_per_sec as u128);
+    Nanos(u64::try_from(ns).expect("transmission time overflows u64 nanoseconds"))
+}
+
+/// Convenience: gigabits per second expressed in bits per second.
+pub const fn gbps(g: u64) -> u64 {
+    g * 1_000_000_000
+}
+
+/// Convenience: megabits per second expressed in bits per second.
+pub const fn mbps(m: u64) -> u64 {
+    m * 1_000_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Nanos::from_secs(1), Nanos(1_000_000_000));
+        assert_eq!(Nanos::from_millis(1), Nanos(1_000_000));
+        assert_eq!(Nanos::from_micros(1), Nanos(1_000));
+        assert_eq!(Nanos::from_nanos(7), Nanos(7));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Nanos::from_micros(3);
+        let b = Nanos::from_micros(1);
+        assert_eq!(a + b, Nanos::from_micros(4));
+        assert_eq!(a - b, Nanos::from_micros(2));
+        assert_eq!(b * 3, a);
+        assert_eq!(a / 3, b);
+        assert_eq!(b.saturating_sub(a), Nanos::ZERO);
+        assert_eq!(a.saturating_sub(b), Nanos::from_micros(2));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Nanos(1);
+        let b = Nanos(2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn transmission_time_exact() {
+        // 1500 bytes at 1 Gbps = 12 microseconds.
+        assert_eq!(transmission_time(1500, gbps(1)), Nanos::from_micros(12));
+        // 1 byte at 8 Gbps = 1 ns.
+        assert_eq!(transmission_time(1, gbps(8)), Nanos(1));
+    }
+
+    #[test]
+    fn transmission_time_rounds_up() {
+        // 1 byte at 3 bps: 8/3 * 1e9 ns = 2666666666.67 -> rounds up.
+        assert_eq!(transmission_time(1, 3), Nanos(2_666_666_667));
+    }
+
+    #[test]
+    #[should_panic(expected = "link rate must be positive")]
+    fn zero_rate_panics() {
+        let _ = transmission_time(1, 0);
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(Nanos(500).to_string(), "500ns");
+        assert_eq!(Nanos::from_micros(12).to_string(), "12.000us");
+        assert_eq!(Nanos::from_millis(3).to_string(), "3.000ms");
+        assert_eq!(Nanos::from_secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Nanos = [Nanos(1), Nanos(2), Nanos(3)].into_iter().sum();
+        assert_eq!(total, Nanos(6));
+    }
+
+    #[test]
+    fn checked_add_overflow() {
+        assert_eq!(Nanos::MAX.checked_add(Nanos(1)), None);
+        assert_eq!(Nanos(1).checked_add(Nanos(2)), Some(Nanos(3)));
+    }
+}

@@ -1,0 +1,296 @@
+//! Canned topologies used by the paper's evaluation and the examples.
+
+use crate::graph::Topology;
+use qvisor_sim::{Nanos, NodeId};
+
+/// Parameters of a two-tier leaf–spine fabric.
+///
+/// The paper's evaluation (§4) uses 9 leaves × 16 hosts = 144 servers,
+/// 4 spines, 1 Gbps access links and 4 Gbps leaf–spine links.
+#[derive(Clone, Copy, Debug)]
+pub struct LeafSpineConfig {
+    /// Number of leaf (top-of-rack) switches.
+    pub leaves: usize,
+    /// Number of spine switches; every leaf connects to every spine.
+    pub spines: usize,
+    /// Hosts attached to each leaf.
+    pub hosts_per_leaf: usize,
+    /// Host-to-leaf link rate (bits/s).
+    pub access_bps: u64,
+    /// Leaf-to-spine link rate (bits/s).
+    pub fabric_bps: u64,
+    /// Host-to-leaf propagation delay.
+    pub access_delay: Nanos,
+    /// Leaf-to-spine propagation delay.
+    pub fabric_delay: Nanos,
+}
+
+impl LeafSpineConfig {
+    /// The paper's evaluation fabric: 144 servers, 9 leaves, 4 spines,
+    /// 1 Gbps access and 4 Gbps fabric links.
+    pub fn paper() -> LeafSpineConfig {
+        LeafSpineConfig {
+            leaves: 9,
+            spines: 4,
+            hosts_per_leaf: 16,
+            access_bps: qvisor_sim::gbps(1),
+            fabric_bps: qvisor_sim::gbps(4),
+            access_delay: Nanos::from_micros(1),
+            fabric_delay: Nanos::from_micros(1),
+        }
+    }
+
+    /// A scaled-down fabric for fast tests and smoke benchmarks.
+    pub fn small() -> LeafSpineConfig {
+        LeafSpineConfig {
+            leaves: 2,
+            spines: 2,
+            hosts_per_leaf: 4,
+            access_bps: qvisor_sim::gbps(1),
+            fabric_bps: qvisor_sim::gbps(4),
+            access_delay: Nanos::from_micros(1),
+            fabric_delay: Nanos::from_micros(1),
+        }
+    }
+}
+
+/// A leaf–spine topology plus the id layout needed to address it.
+#[derive(Clone, Debug)]
+pub struct LeafSpine {
+    /// The underlying graph.
+    pub topology: Topology,
+    /// Host ids, grouped by leaf: `hosts[leaf][i]`.
+    pub hosts: Vec<Vec<NodeId>>,
+    /// Leaf switch ids.
+    pub leaf_switches: Vec<NodeId>,
+    /// Spine switch ids.
+    pub spine_switches: Vec<NodeId>,
+}
+
+impl LeafSpine {
+    /// Build a leaf–spine fabric from `cfg`.
+    ///
+    /// # Panics
+    /// Panics if any dimension is zero.
+    pub fn build(cfg: &LeafSpineConfig) -> LeafSpine {
+        assert!(cfg.leaves > 0 && cfg.spines > 0 && cfg.hosts_per_leaf > 0);
+        let mut b = Topology::builder();
+        let leaf_switches: Vec<NodeId> = (0..cfg.leaves)
+            .map(|l| b.add_switch(format!("leaf{l}")))
+            .collect();
+        let spine_switches: Vec<NodeId> = (0..cfg.spines)
+            .map(|s| b.add_switch(format!("spine{s}")))
+            .collect();
+        let mut hosts = Vec::with_capacity(cfg.leaves);
+        for (l, &leaf) in leaf_switches.iter().enumerate() {
+            let mut rack = Vec::with_capacity(cfg.hosts_per_leaf);
+            for h in 0..cfg.hosts_per_leaf {
+                let host = b.add_host(format!("h{l}-{h}"));
+                b.add_link(host, leaf, cfg.access_bps, cfg.access_delay);
+                rack.push(host);
+            }
+            hosts.push(rack);
+        }
+        for &leaf in &leaf_switches {
+            for &spine in &spine_switches {
+                b.add_link(leaf, spine, cfg.fabric_bps, cfg.fabric_delay);
+            }
+        }
+        LeafSpine {
+            topology: b.build(),
+            hosts,
+            leaf_switches,
+            spine_switches,
+        }
+    }
+
+    /// Flat list of every host.
+    pub fn all_hosts(&self) -> Vec<NodeId> {
+        self.hosts.iter().flatten().copied().collect()
+    }
+}
+
+/// A dumbbell: `n` senders and `n` receivers joined by one bottleneck link
+/// between two switches. The classic single-bottleneck scheduling testbed.
+#[derive(Clone, Debug)]
+pub struct Dumbbell {
+    /// The underlying graph.
+    pub topology: Topology,
+    /// Sender hosts (left side).
+    pub senders: Vec<NodeId>,
+    /// Receiver hosts (right side).
+    pub receivers: Vec<NodeId>,
+    /// Left switch (owns the bottleneck output port).
+    pub left_switch: NodeId,
+    /// Right switch.
+    pub right_switch: NodeId,
+}
+
+impl Dumbbell {
+    /// Build a dumbbell with `n` hosts per side, `edge_bps` access links and
+    /// a `bottleneck_bps` core link.
+    pub fn build(n: usize, edge_bps: u64, bottleneck_bps: u64, delay: Nanos) -> Dumbbell {
+        assert!(n > 0);
+        let mut b = Topology::builder();
+        let left = b.add_switch("left");
+        let right = b.add_switch("right");
+        b.add_link(left, right, bottleneck_bps, delay);
+        let senders: Vec<NodeId> = (0..n)
+            .map(|i| {
+                let h = b.add_host(format!("s{i}"));
+                b.add_link(h, left, edge_bps, delay);
+                h
+            })
+            .collect();
+        let receivers: Vec<NodeId> = (0..n)
+            .map(|i| {
+                let h = b.add_host(format!("r{i}"));
+                b.add_link(h, right, edge_bps, delay);
+                h
+            })
+            .collect();
+        Dumbbell {
+            topology: b.build(),
+            senders,
+            receivers,
+            left_switch: left,
+            right_switch: right,
+        }
+    }
+}
+
+/// A `k`-ary fat-tree (Al-Fares et al.): `k` pods, `(k/2)²` core switches,
+/// `k²/4 · k` hosts. Provided for experiments beyond the paper's fabric.
+#[derive(Clone, Debug)]
+pub struct FatTree {
+    /// The underlying graph.
+    pub topology: Topology,
+    /// All host ids in pod order.
+    pub hosts: Vec<NodeId>,
+    /// Edge switches per pod.
+    pub edge_switches: Vec<Vec<NodeId>>,
+    /// Aggregation switches per pod.
+    pub agg_switches: Vec<Vec<NodeId>>,
+    /// Core switches.
+    pub core_switches: Vec<NodeId>,
+}
+
+impl FatTree {
+    /// Build a `k`-ary fat tree with uniform link rate and delay.
+    ///
+    /// # Panics
+    /// Panics unless `k` is even and at least 2.
+    pub fn build(k: usize, rate_bps: u64, delay: Nanos) -> FatTree {
+        assert!(
+            k >= 2 && k.is_multiple_of(2),
+            "fat-tree arity must be even and >= 2"
+        );
+        let half = k / 2;
+        let mut b = Topology::builder();
+        let core_switches: Vec<NodeId> = (0..half * half)
+            .map(|i| b.add_switch(format!("core{i}")))
+            .collect();
+        let mut edge_switches = Vec::with_capacity(k);
+        let mut agg_switches = Vec::with_capacity(k);
+        let mut hosts = Vec::new();
+        for pod in 0..k {
+            let aggs: Vec<NodeId> = (0..half)
+                .map(|a| b.add_switch(format!("agg{pod}-{a}")))
+                .collect();
+            let edges: Vec<NodeId> = (0..half)
+                .map(|e| b.add_switch(format!("edge{pod}-{e}")))
+                .collect();
+            for (e, &edge) in edges.iter().enumerate() {
+                for h in 0..half {
+                    let host = b.add_host(format!("h{pod}-{e}-{h}"));
+                    b.add_link(host, edge, rate_bps, delay);
+                    hosts.push(host);
+                }
+                for &agg in &aggs {
+                    b.add_link(edge, agg, rate_bps, delay);
+                }
+            }
+            for (a, &agg) in aggs.iter().enumerate() {
+                for c in 0..half {
+                    b.add_link(agg, core_switches[a * half + c], rate_bps, delay);
+                }
+            }
+            agg_switches.push(aggs);
+            edge_switches.push(edges);
+        }
+        FatTree {
+            topology: b.build(),
+            hosts,
+            edge_switches,
+            agg_switches,
+            core_switches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+
+    #[test]
+    fn paper_fabric_dimensions() {
+        let ls = LeafSpine::build(&LeafSpineConfig::paper());
+        assert_eq!(ls.all_hosts().len(), 144);
+        assert_eq!(ls.leaf_switches.len(), 9);
+        assert_eq!(ls.spine_switches.len(), 4);
+        // nodes = 144 hosts + 13 switches
+        assert_eq!(ls.topology.node_count(), 157);
+        // directed links = 2*(144 access + 9*4 fabric)
+        assert_eq!(ls.topology.links().len(), 2 * (144 + 36));
+    }
+
+    #[test]
+    fn leaf_spine_wiring() {
+        let ls = LeafSpine::build(&LeafSpineConfig::small());
+        let host = ls.hosts[0][0];
+        let leaf = ls.leaf_switches[0];
+        assert_eq!(ls.topology.node(host).kind, NodeKind::Host);
+        let l = ls.topology.link_between(host, leaf).unwrap();
+        assert_eq!(l.rate_bps, qvisor_sim::gbps(1));
+        // every leaf connects to every spine at fabric rate
+        for &leaf in &ls.leaf_switches {
+            for &spine in &ls.spine_switches {
+                let l = ls.topology.link_between(leaf, spine).unwrap();
+                assert_eq!(l.rate_bps, qvisor_sim::gbps(4));
+            }
+        }
+    }
+
+    #[test]
+    fn dumbbell_shape() {
+        let d = Dumbbell::build(3, 1_000, 500, Nanos(100));
+        assert_eq!(d.senders.len(), 3);
+        assert_eq!(d.receivers.len(), 3);
+        let l = d
+            .topology
+            .link_between(d.left_switch, d.right_switch)
+            .unwrap();
+        assert_eq!(l.rate_bps, 500);
+        for &s in &d.senders {
+            assert!(d.topology.link_between(s, d.left_switch).is_some());
+        }
+    }
+
+    #[test]
+    fn fat_tree_k4() {
+        let ft = FatTree::build(4, 1_000, Nanos(1));
+        assert_eq!(ft.hosts.len(), 16); // k^3/4
+        assert_eq!(ft.core_switches.len(), 4); // (k/2)^2
+        assert_eq!(ft.edge_switches.iter().flatten().count(), 8);
+        assert_eq!(ft.agg_switches.iter().flatten().count(), 8);
+        // 16 hosts + 20 switches
+        assert_eq!(ft.topology.node_count(), 36);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity must be even")]
+    fn fat_tree_rejects_odd_k() {
+        let _ = FatTree::build(3, 1_000, Nanos(1));
+    }
+}

@@ -1,0 +1,199 @@
+//! Shortest-path routing with ECMP.
+//!
+//! Routes are precomputed: for every (current node, destination host) pair
+//! we store *all* shortest-path next hops; at forwarding time one of them is
+//! picked by a stable hash of the flow id, so a flow always follows a single
+//! path (no reordering) while flows spread across the fabric.
+
+use crate::graph::{NodeKind, Topology};
+use qvisor_sim::{stable_hash, FlowId, NodeId};
+use std::collections::VecDeque;
+
+/// Precomputed ECMP route tables.
+#[derive(Clone, Debug)]
+pub struct Routes {
+    /// `next_hops[node][dst]` = shortest-path next hops from `node` to `dst`.
+    /// Empty when `dst` is unreachable or `node == dst`.
+    next_hops: Vec<Vec<Vec<NodeId>>>,
+}
+
+impl Routes {
+    /// Compute all-pairs (node → host) shortest-path next hops by BFS from
+    /// every destination over the reversed graph.
+    ///
+    /// Hop count is the metric (uniform per-hop cost), which matches
+    /// leaf–spine/fat-tree ECMP practice.
+    pub fn compute(topo: &Topology) -> Routes {
+        let n = topo.node_count();
+        // Reverse adjacency: rev[v] = nodes u with a link u->v.
+        let mut rev: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for l in topo.links() {
+            rev[l.to.index()].push(l.from);
+        }
+
+        let mut next_hops = vec![vec![Vec::new(); n]; n];
+        for dst in topo.nodes().iter().map(|nd| nd.id) {
+            if topo.node(dst).kind != NodeKind::Host {
+                continue; // only hosts terminate traffic
+            }
+            // BFS distances to dst over reversed edges.
+            let mut dist = vec![u32::MAX; n];
+            dist[dst.index()] = 0;
+            let mut q = VecDeque::from([dst]);
+            while let Some(v) = q.pop_front() {
+                for &u in &rev[v.index()] {
+                    if dist[u.index()] == u32::MAX {
+                        dist[u.index()] = dist[v.index()] + 1;
+                        q.push_back(u);
+                    }
+                }
+            }
+            // next hop of u: any neighbor v with dist[v] == dist[u] - 1.
+            for node in topo.nodes() {
+                let u = node.id;
+                if u == dst || dist[u.index()] == u32::MAX {
+                    continue;
+                }
+                let hops: Vec<NodeId> = topo
+                    .neighbors(u)
+                    .filter(|v| {
+                        dist[v.index()] != u32::MAX && dist[v.index()] + 1 == dist[u.index()]
+                    })
+                    .collect();
+                next_hops[u.index()][dst.index()] = hops;
+            }
+        }
+        Routes { next_hops }
+    }
+
+    /// All equal-cost next hops from `at` towards `dst`.
+    pub fn next_hops(&self, at: NodeId, dst: NodeId) -> &[NodeId] {
+        &self.next_hops[at.index()][dst.index()]
+    }
+
+    /// The ECMP next hop for `flow` from `at` towards `dst`.
+    ///
+    /// Deterministic in `(flow, at, dst)`; per-flow so a flow's packets never
+    /// reorder across paths.
+    ///
+    /// # Panics
+    /// Panics if `dst` is unreachable from `at`.
+    pub fn ecmp_next_hop(&self, at: NodeId, dst: NodeId, flow: FlowId) -> NodeId {
+        let hops = self.next_hops(at, dst);
+        assert!(
+            !hops.is_empty(),
+            "no route from {at} to {dst} (unreachable or at == dst)"
+        );
+        if hops.len() == 1 {
+            return hops[0];
+        }
+        let h = stable_hash(&[flow.0, at.0 as u64, dst.0 as u64]);
+        hops[(h % hops.len() as u64) as usize]
+    }
+
+    /// The full ECMP path of `flow` from `src` to `dst`, inclusive of both
+    /// endpoints. Useful for tests and path-length statistics.
+    pub fn ecmp_path(&self, src: NodeId, dst: NodeId, flow: FlowId) -> Vec<NodeId> {
+        let mut path = vec![src];
+        let mut at = src;
+        while at != dst {
+            at = self.ecmp_next_hop(at, dst, flow);
+            path.push(at);
+            assert!(
+                path.len() <= self.next_hops.len(),
+                "routing loop from {src} to {dst}"
+            );
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{LeafSpine, LeafSpineConfig};
+    use crate::graph::Topology;
+    use qvisor_sim::Nanos;
+    use std::collections::HashSet;
+
+    fn line() -> Topology {
+        // h0 - s0 - s1 - h1
+        let mut b = Topology::builder();
+        let h0 = b.add_host("h0");
+        let s0 = b.add_switch("s0");
+        let s1 = b.add_switch("s1");
+        let h1 = b.add_host("h1");
+        b.add_link(h0, s0, 1_000, Nanos(1));
+        b.add_link(s0, s1, 1_000, Nanos(1));
+        b.add_link(s1, h1, 1_000, Nanos(1));
+        b.build()
+    }
+
+    #[test]
+    fn line_path() {
+        let t = line();
+        let r = Routes::compute(&t);
+        let path = r.ecmp_path(NodeId(0), NodeId(3), FlowId(9));
+        assert_eq!(path, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn no_route_to_non_host() {
+        let t = line();
+        let r = Routes::compute(&t);
+        // s1 (NodeId 2) is a switch: no routes terminate there.
+        assert!(r.next_hops(NodeId(0), NodeId(2)).is_empty());
+    }
+
+    #[test]
+    fn leaf_spine_uses_all_spines() {
+        let ls = LeafSpine::build(&LeafSpineConfig::paper());
+        let r = Routes::compute(&ls.topology);
+        let src = ls.hosts[0][0];
+        let dst = ls.hosts[5][3];
+        // Cross-rack: leaf should offer all 4 spines as next hops.
+        let leaf = ls.leaf_switches[0];
+        assert_eq!(r.next_hops(leaf, dst).len(), 4);
+        // Different flows spread over spines.
+        let spines: HashSet<NodeId> = (0..64)
+            .map(|f| r.ecmp_path(src, dst, FlowId(f))[2])
+            .collect();
+        assert!(spines.len() > 1, "ECMP should use multiple spines");
+        for s in &spines {
+            assert!(ls.spine_switches.contains(s));
+        }
+    }
+
+    #[test]
+    fn same_rack_path_stays_in_rack() {
+        let ls = LeafSpine::build(&LeafSpineConfig::small());
+        let r = Routes::compute(&ls.topology);
+        let a = ls.hosts[1][0];
+        let b = ls.hosts[1][2];
+        let path = r.ecmp_path(a, b, FlowId(1));
+        assert_eq!(path, vec![a, ls.leaf_switches[1], b]);
+    }
+
+    #[test]
+    fn per_flow_path_is_stable() {
+        let ls = LeafSpine::build(&LeafSpineConfig::paper());
+        let r = Routes::compute(&ls.topology);
+        let src = ls.hosts[0][0];
+        let dst = ls.hosts[8][15];
+        let p1 = r.ecmp_path(src, dst, FlowId(77));
+        let p2 = r.ecmp_path(src, dst, FlowId(77));
+        assert_eq!(p1, p2);
+        assert_eq!(p1.len(), 5); // host-leaf-spine-leaf-host
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn unreachable_panics() {
+        let mut b = Topology::builder();
+        let h0 = b.add_host("h0");
+        let _h1 = b.add_host("h1");
+        let t = b.build();
+        let r = Routes::compute(&t);
+        let _ = r.ecmp_next_hop(h0, NodeId(1), FlowId(0));
+    }
+}

@@ -1,0 +1,91 @@
+//! Flow definitions shared by senders, receivers, and the simulator.
+
+use qvisor_sim::{FlowId, Nanos, NodeId, TenantId};
+
+/// Definition of one reliable flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowDef {
+    /// Unique flow id (index into the simulator's flow table).
+    pub id: FlowId,
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Application bytes to transfer.
+    pub size: u64,
+    /// Start time.
+    pub start: Nanos,
+    /// Optional absolute deadline (for EDF-style tenants running reliable
+    /// flows).
+    pub deadline: Option<Nanos>,
+    /// Fair-queueing weight.
+    pub weight: u32,
+}
+
+impl FlowDef {
+    /// A flow with weight 1 and no deadline.
+    pub fn new(
+        id: FlowId,
+        tenant: TenantId,
+        src: NodeId,
+        dst: NodeId,
+        size: u64,
+        start: Nanos,
+    ) -> FlowDef {
+        FlowDef {
+            id,
+            tenant,
+            src,
+            dst,
+            size,
+            start,
+            deadline: None,
+            weight: 1,
+        }
+    }
+}
+
+/// Definition of one CBR (constant-bit-rate) datagram stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CbrDef {
+    /// Unique flow id.
+    pub id: FlowId,
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Sending rate, bits per second.
+    pub rate_bps: u64,
+    /// Datagram size on the wire, bytes.
+    pub pkt_size: u32,
+    /// Stream start.
+    pub start: Nanos,
+    /// Stream stop (no emissions at or after this instant).
+    pub stop: Nanos,
+    /// Deadline offset: each datagram's deadline is emission time plus
+    /// this.
+    pub deadline_offset: Nanos,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flowdef_defaults() {
+        let f = FlowDef::new(
+            FlowId(1),
+            TenantId(2),
+            NodeId(0),
+            NodeId(1),
+            10_000,
+            Nanos::ZERO,
+        );
+        assert_eq!(f.weight, 1);
+        assert_eq!(f.deadline, None);
+    }
+}

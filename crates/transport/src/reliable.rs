@@ -1,0 +1,333 @@
+//! A minimal reliable window transport, in the spirit of pFabric's
+//! "minimal transport" (Alizadeh et al., SIGCOMM '13).
+//!
+//! Design: a fixed window of `cwnd` unacknowledged packets, per-packet
+//! ACKs, and per-packet retransmission timers. There is no congestion
+//! window adaptation — pFabric's thesis is that rank-aware switches (small
+//! buffers + priority drop) do the congestion control, and the transport
+//! only needs to keep the pipe full and recover losses. This preserves the
+//! behaviour the paper's evaluation depends on while staying simple enough
+//! to reason about.
+//!
+//! The sender is a pure state machine: the simulator drives it with
+//! `on_start` / `on_ack` / `on_timeout` and receives send requests back.
+
+use crate::flow::FlowDef;
+use qvisor_sim::Nanos;
+use std::collections::BTreeSet;
+
+/// A request from the sender to emit one data packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SendReq {
+    /// Sequence number (0-based packet index within the flow).
+    pub seq: u64,
+    /// Application payload bytes in this packet.
+    pub payload: u32,
+    /// True when this is a retransmission.
+    pub retransmit: bool,
+}
+
+/// Outcome of delivering an ACK to the sender.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AckOutcome {
+    /// New packets the window now admits.
+    pub sends: Vec<SendReq>,
+    /// The flow just completed (all bytes acknowledged).
+    pub completed: bool,
+}
+
+/// Sender-side state machine of one reliable flow.
+#[derive(Clone, Debug)]
+pub struct ReliableSender {
+    def: FlowDef,
+    mss: u32,
+    cwnd: u32,
+    /// Total packets in the flow.
+    total_pkts: u64,
+    /// Next never-sent sequence.
+    next_seq: u64,
+    /// Sequences sent and not yet acknowledged.
+    unacked: BTreeSet<u64>,
+    /// Acknowledged payload bytes.
+    acked_bytes: u64,
+    completed: bool,
+}
+
+impl ReliableSender {
+    /// A sender for `def`, segmenting into `mss`-byte packets with a fixed
+    /// window of `cwnd` packets.
+    ///
+    /// # Panics
+    /// Panics if `mss`, `cwnd`, or the flow size is zero.
+    pub fn new(def: FlowDef, mss: u32, cwnd: u32) -> ReliableSender {
+        assert!(mss > 0, "mss must be positive");
+        assert!(cwnd > 0, "window must be positive");
+        assert!(def.size > 0, "empty flow");
+        let total_pkts = def.size.div_ceil(mss as u64);
+        ReliableSender {
+            def,
+            mss,
+            cwnd,
+            total_pkts,
+            next_seq: 0,
+            unacked: BTreeSet::new(),
+            acked_bytes: 0,
+            completed: false,
+        }
+    }
+
+    /// The flow definition.
+    pub fn def(&self) -> &FlowDef {
+        &self.def
+    }
+
+    /// Packets in the flow.
+    pub fn total_pkts(&self) -> u64 {
+        self.total_pkts
+    }
+
+    /// Payload bytes of packet `seq` (the last packet may be short).
+    pub fn payload_of(&self, seq: u64) -> u32 {
+        debug_assert!(seq < self.total_pkts);
+        if seq + 1 == self.total_pkts {
+            let rem = self.def.size - (self.total_pkts - 1) * self.mss as u64;
+            rem as u32
+        } else {
+            self.mss
+        }
+    }
+
+    /// Bytes not yet acknowledged — pFabric's rank signal ("remaining flow
+    /// size").
+    pub fn remaining_bytes(&self) -> u64 {
+        self.def.size - self.acked_bytes
+    }
+
+    /// Bytes already handed to the network at least once.
+    pub fn bytes_sent(&self) -> u64 {
+        (self.next_seq * self.mss as u64).min(self.def.size)
+    }
+
+    /// Has every byte been acknowledged?
+    pub fn is_complete(&self) -> bool {
+        self.completed
+    }
+
+    fn fill_window(&mut self) -> Vec<SendReq> {
+        let mut sends = Vec::new();
+        while (self.unacked.len() as u32) < self.cwnd && self.next_seq < self.total_pkts {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.unacked.insert(seq);
+            sends.push(SendReq {
+                seq,
+                payload: self.payload_of(seq),
+                retransmit: false,
+            });
+        }
+        sends
+    }
+
+    /// Start the flow: emit the initial window.
+    pub fn on_start(&mut self, _now: Nanos) -> Vec<SendReq> {
+        debug_assert_eq!(self.next_seq, 0, "on_start called twice");
+        self.fill_window()
+    }
+
+    /// Deliver an ACK for `seq`. Duplicate ACKs are ignored.
+    pub fn on_ack(&mut self, seq: u64, _now: Nanos) -> AckOutcome {
+        if self.completed || !self.unacked.remove(&seq) {
+            return AckOutcome::default();
+        }
+        self.acked_bytes += self.payload_of(seq) as u64;
+        if self.acked_bytes >= self.def.size {
+            self.completed = true;
+            debug_assert!(self.unacked.is_empty());
+            return AckOutcome {
+                sends: Vec::new(),
+                completed: true,
+            };
+        }
+        AckOutcome {
+            sends: self.fill_window(),
+            completed: false,
+        }
+    }
+
+    /// The retransmission timer for `seq` fired. Returns the packet to
+    /// resend, or `None` if it was acknowledged in the meantime.
+    pub fn on_timeout(&mut self, seq: u64, _now: Nanos) -> Option<SendReq> {
+        if self.completed || !self.unacked.contains(&seq) {
+            return None;
+        }
+        Some(SendReq {
+            seq,
+            payload: self.payload_of(seq),
+            retransmit: true,
+        })
+    }
+}
+
+/// Receiver-side state of one reliable flow: tracks distinct payload bytes
+/// seen so duplicates (from retransmissions) aren't double counted.
+#[derive(Clone, Debug, Default)]
+pub struct ReliableReceiver {
+    received: BTreeSet<u64>,
+    received_bytes: u64,
+    duplicate_pkts: u64,
+}
+
+impl ReliableReceiver {
+    /// Fresh receiver.
+    pub fn new() -> ReliableReceiver {
+        ReliableReceiver::default()
+    }
+
+    /// A data packet arrived; returns true if it carried new bytes.
+    /// (An ACK is generated either way — the sender needs it.)
+    pub fn on_data(&mut self, seq: u64, payload: u32) -> bool {
+        if self.received.insert(seq) {
+            self.received_bytes += payload as u64;
+            true
+        } else {
+            self.duplicate_pkts += 1;
+            false
+        }
+    }
+
+    /// Distinct payload bytes received.
+    pub fn received_bytes(&self) -> u64 {
+        self.received_bytes
+    }
+
+    /// Duplicate data packets seen.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicate_pkts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qvisor_sim::{FlowId, NodeId, TenantId};
+
+    fn def(size: u64) -> FlowDef {
+        FlowDef::new(
+            FlowId(1),
+            TenantId(1),
+            NodeId(0),
+            NodeId(1),
+            size,
+            Nanos::ZERO,
+        )
+    }
+
+    #[test]
+    fn initial_window_respects_cwnd() {
+        let mut s = ReliableSender::new(def(100_000), 1_000, 8);
+        let sends = s.on_start(Nanos::ZERO);
+        assert_eq!(sends.len(), 8);
+        assert_eq!(sends[0].seq, 0);
+        assert_eq!(sends[7].seq, 7);
+        assert!(sends.iter().all(|r| !r.retransmit && r.payload == 1_000));
+    }
+
+    #[test]
+    fn short_flow_sends_everything_at_once() {
+        let mut s = ReliableSender::new(def(2_500), 1_000, 8);
+        assert_eq!(s.total_pkts(), 3);
+        let sends = s.on_start(Nanos::ZERO);
+        assert_eq!(sends.len(), 3);
+        assert_eq!(sends[2].payload, 500, "tail packet is short");
+    }
+
+    #[test]
+    fn ack_opens_window_and_completes() {
+        let mut s = ReliableSender::new(def(5_000), 1_000, 2);
+        let first = s.on_start(Nanos::ZERO);
+        assert_eq!(first.len(), 2);
+        // ACK seq 0 -> slides to seq 2.
+        let out = s.on_ack(0, Nanos::ZERO);
+        assert_eq!(
+            out.sends,
+            vec![SendReq {
+                seq: 2,
+                payload: 1_000,
+                retransmit: false
+            }]
+        );
+        assert!(!out.completed);
+        s.on_ack(1, Nanos::ZERO);
+        s.on_ack(2, Nanos::ZERO);
+        s.on_ack(3, Nanos::ZERO);
+        let last = s.on_ack(4, Nanos::ZERO);
+        assert!(last.completed);
+        assert!(s.is_complete());
+        assert_eq!(s.remaining_bytes(), 0);
+    }
+
+    #[test]
+    fn remaining_bytes_tracks_acks_not_sends() {
+        let mut s = ReliableSender::new(def(10_000), 1_000, 4);
+        s.on_start(Nanos::ZERO);
+        assert_eq!(s.remaining_bytes(), 10_000, "sends don't shrink remaining");
+        s.on_ack(0, Nanos::ZERO);
+        assert_eq!(s.remaining_bytes(), 9_000);
+        assert_eq!(s.bytes_sent(), 5_000, "4 initial + 1 slid");
+    }
+
+    #[test]
+    fn duplicate_acks_ignored() {
+        let mut s = ReliableSender::new(def(3_000), 1_000, 3);
+        s.on_start(Nanos::ZERO);
+        s.on_ack(1, Nanos::ZERO);
+        let dup = s.on_ack(1, Nanos::ZERO);
+        assert_eq!(dup, AckOutcome::default());
+        assert_eq!(s.remaining_bytes(), 2_000);
+    }
+
+    #[test]
+    fn timeout_retransmits_only_unacked() {
+        let mut s = ReliableSender::new(def(3_000), 1_000, 3);
+        s.on_start(Nanos::ZERO);
+        s.on_ack(1, Nanos::ZERO);
+        assert_eq!(
+            s.on_timeout(0, Nanos::ZERO),
+            Some(SendReq {
+                seq: 0,
+                payload: 1_000,
+                retransmit: true
+            })
+        );
+        assert_eq!(s.on_timeout(1, Nanos::ZERO), None, "already acked");
+    }
+
+    #[test]
+    fn retransmission_then_ack_completes_once() {
+        let mut s = ReliableSender::new(def(1_000), 1_000, 4);
+        s.on_start(Nanos::ZERO);
+        let _ = s.on_timeout(0, Nanos::ZERO);
+        let out = s.on_ack(0, Nanos::ZERO);
+        assert!(out.completed);
+        // A late duplicate (from the retransmitted copy) changes nothing.
+        let dup = s.on_ack(0, Nanos::ZERO);
+        assert!(!dup.completed);
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn receiver_dedupes() {
+        let mut r = ReliableReceiver::new();
+        assert!(r.on_data(0, 1_000));
+        assert!(r.on_data(1, 500));
+        assert!(!r.on_data(0, 1_000));
+        assert_eq!(r.received_bytes(), 1_500);
+        assert_eq!(r.duplicates(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty flow")]
+    fn zero_size_flow_rejected() {
+        let _ = ReliableSender::new(def(0), 1_000, 4);
+    }
+}

@@ -1,0 +1,300 @@
+//! Flow-size distributions.
+//!
+//! The paper's evaluation runs a *data-mining* workload (the heavy-tailed
+//! distribution from the pFabric paper, originally measured by VL2) against
+//! CBR cross-traffic. We provide that CDF, the *web-search* (DCTCP) CDF,
+//! and simple synthetic distributions. Empirical CDFs are sampled by
+//! inverse transform with log-linear interpolation between knots, which
+//! respects the orders-of-magnitude spread of flow sizes.
+
+use qvisor_sim::SimRng;
+
+/// A distribution over flow sizes in bytes.
+pub trait FlowSizeDist {
+    /// Draw one flow size.
+    fn sample(&self, rng: &mut SimRng) -> u64;
+
+    /// Analytical (or numerically integrated) mean, used to convert target
+    /// load into a flow arrival rate.
+    fn mean_bytes(&self) -> f64;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Every flow has the same size.
+#[derive(Clone, Copy, Debug)]
+pub struct FixedSize(pub u64);
+
+impl FlowSizeDist for FixedSize {
+    fn sample(&self, _rng: &mut SimRng) -> u64 {
+        self.0
+    }
+
+    fn mean_bytes(&self) -> f64 {
+        self.0 as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+/// Uniform over `[min, max]`.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformSize {
+    min: u64,
+    max: u64,
+}
+
+impl UniformSize {
+    /// Uniform flow sizes in `[min, max]` bytes.
+    ///
+    /// # Panics
+    /// Panics if `min > max` or `min == 0`.
+    pub fn new(min: u64, max: u64) -> UniformSize {
+        assert!(min > 0 && min <= max, "need 0 < min <= max");
+        UniformSize { min, max }
+    }
+}
+
+impl FlowSizeDist for UniformSize {
+    fn sample(&self, rng: &mut SimRng) -> u64 {
+        self.min + rng.below(self.max - self.min + 1)
+    }
+
+    fn mean_bytes(&self) -> f64 {
+        (self.min + self.max) as f64 / 2.0
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+/// An empirical CDF over flow sizes: knots of `(bytes, cumulative
+/// probability)`, sampled by inverse transform, log-linear interpolation.
+#[derive(Clone, Debug)]
+pub struct EmpiricalCdf {
+    /// `(size_bytes, cum_prob)`, strictly increasing in both coordinates,
+    /// last knot has probability 1.0.
+    knots: Vec<(u64, f64)>,
+    mean: f64,
+    name: &'static str,
+    /// Global scale factor applied to sampled sizes (for CI-speed runs).
+    scale_num: u64,
+    scale_den: u64,
+}
+
+impl EmpiricalCdf {
+    /// Build from knots.
+    ///
+    /// # Panics
+    /// Panics if fewer than two knots, coordinates are not strictly
+    /// increasing, probabilities leave `[0,1]`, or the last is not 1.0.
+    pub fn new(knots: Vec<(u64, f64)>, name: &'static str) -> EmpiricalCdf {
+        assert!(knots.len() >= 2, "need at least two knots");
+        for w in knots.windows(2) {
+            assert!(w[0].0 < w[1].0, "sizes must strictly increase");
+            assert!(w[0].1 < w[1].1, "probabilities must strictly increase");
+        }
+        assert!(knots[0].1 >= 0.0);
+        assert!(
+            (knots.last().unwrap().1 - 1.0).abs() < 1e-12,
+            "last knot must have probability 1.0"
+        );
+        let mean = Self::integrate_mean(&knots);
+        EmpiricalCdf {
+            knots,
+            mean,
+            name,
+            scale_num: 1,
+            scale_den: 1,
+        }
+    }
+
+    /// Scale every sampled size by `num/den` (minimum 1 byte). Used to
+    /// shrink heavy-tailed workloads for fast runs while preserving shape.
+    pub fn scaled(mut self, num: u64, den: u64) -> EmpiricalCdf {
+        assert!(num > 0 && den > 0);
+        self.scale_num = num;
+        self.scale_den = den;
+        self.mean = self.mean * num as f64 / den as f64;
+        self
+    }
+
+    fn integrate_mean(knots: &[(u64, f64)]) -> f64 {
+        // Piecewise: within a segment sizes are log-linear in probability;
+        // approximate the segment mean by the log-midpoint (adequate for
+        // load conversion; documented in EXPERIMENTS.md).
+        let mut mean = knots[0].1 * knots[0].0 as f64;
+        for w in knots.windows(2) {
+            let ((s0, p0), (s1, p1)) = (w[0], w[1]);
+            let mid = ((s0 as f64).ln() * 0.5 + (s1 as f64).ln() * 0.5).exp();
+            mean += (p1 - p0) * mid;
+        }
+        mean
+    }
+
+    /// The data-mining workload CDF (pFabric §5.1, measured by VL2): over
+    /// half of the flows are tiny, but the vast majority of *bytes* come
+    /// from multi-megabyte elephants. Knot values approximate the published
+    /// curve.
+    pub fn data_mining() -> EmpiricalCdf {
+        EmpiricalCdf::new(
+            vec![
+                (100, 0.015),
+                (300, 0.28),
+                (1_000, 0.50),
+                (2_000, 0.58),
+                (10_000, 0.70),
+                (100_000, 0.79),
+                (1_000_000, 0.88),
+                (10_000_000, 0.96),
+                (30_000_000, 0.98),
+                (100_000_000, 1.0),
+            ],
+            "data-mining",
+        )
+    }
+
+    /// The web-search workload CDF (DCTCP): flows between ~6 KB and ~20 MB,
+    /// milder tail than data-mining.
+    pub fn web_search() -> EmpiricalCdf {
+        EmpiricalCdf::new(
+            vec![
+                (6_000, 0.15),
+                (13_000, 0.30),
+                (19_000, 0.40),
+                (33_000, 0.53),
+                (53_000, 0.60),
+                (133_000, 0.70),
+                (667_000, 0.80),
+                (1_333_000, 0.90),
+                (6_667_000, 0.97),
+                (20_000_000, 1.0),
+            ],
+            "web-search",
+        )
+    }
+
+    fn inverse(&self, u: f64) -> u64 {
+        let (first_size, first_p) = self.knots[0];
+        if u <= first_p {
+            return first_size;
+        }
+        for w in self.knots.windows(2) {
+            let ((s0, p0), (s1, p1)) = (w[0], w[1]);
+            if u <= p1 {
+                let t = (u - p0) / (p1 - p0);
+                let ln = (s0 as f64).ln() * (1.0 - t) + (s1 as f64).ln() * t;
+                return ln.exp().round() as u64;
+            }
+        }
+        self.knots.last().unwrap().0
+    }
+}
+
+impl FlowSizeDist for EmpiricalCdf {
+    fn sample(&self, rng: &mut SimRng) -> u64 {
+        let raw = self.inverse(rng.uniform());
+        ((raw as u128 * self.scale_num as u128 / self.scale_den as u128) as u64).max(1)
+    }
+
+    fn mean_bytes(&self) -> f64 {
+        self.mean
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_and_uniform() {
+        let mut rng = SimRng::seed_from(1);
+        assert_eq!(FixedSize(500).sample(&mut rng), 500);
+        assert_eq!(FixedSize(500).mean_bytes(), 500.0);
+        let u = UniformSize::new(10, 20);
+        for _ in 0..1000 {
+            let s = u.sample(&mut rng);
+            assert!((10..=20).contains(&s));
+        }
+        assert_eq!(u.mean_bytes(), 15.0);
+    }
+
+    #[test]
+    fn empirical_sample_within_support() {
+        let d = EmpiricalCdf::data_mining();
+        let mut rng = SimRng::seed_from(2);
+        for _ in 0..10_000 {
+            let s = d.sample(&mut rng);
+            assert!((1..=100_000_000).contains(&s));
+        }
+    }
+
+    #[test]
+    fn data_mining_is_heavy_tailed() {
+        let d = EmpiricalCdf::data_mining();
+        let mut rng = SimRng::seed_from(3);
+        let n = 50_000;
+        let samples: Vec<u64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let small = samples.iter().filter(|&&s| s <= 10_000).count() as f64 / n as f64;
+        assert!(
+            (0.6..0.8).contains(&small),
+            "~70% of flows should be <= 10KB, got {small}"
+        );
+        // Bytes concentrate in the elephants.
+        let total: u128 = samples.iter().map(|&s| s as u128).sum();
+        let big: u128 = samples
+            .iter()
+            .filter(|&&s| s >= 1_000_000)
+            .map(|&s| s as u128)
+            .sum();
+        assert!(
+            big as f64 / total as f64 > 0.8,
+            "elephants should carry most bytes"
+        );
+    }
+
+    #[test]
+    fn sample_mean_tracks_declared_mean() {
+        let d = EmpiricalCdf::web_search();
+        let mut rng = SimRng::seed_from(4);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum();
+        let sample_mean = sum / n as f64;
+        let declared = d.mean_bytes();
+        let ratio = sample_mean / declared;
+        assert!(
+            (0.6..1.6).contains(&ratio),
+            "sample mean {sample_mean:.0} vs declared {declared:.0}"
+        );
+    }
+
+    #[test]
+    fn scaling_shrinks_sizes_proportionally() {
+        let d = EmpiricalCdf::data_mining();
+        let scaled = EmpiricalCdf::data_mining().scaled(1, 10);
+        assert!((scaled.mean_bytes() - d.mean_bytes() / 10.0).abs() < 1.0);
+        let mut rng = SimRng::seed_from(5);
+        let s = scaled.sample(&mut rng);
+        assert!(s >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn rejects_non_monotone_knots() {
+        let _ = EmpiricalCdf::new(vec![(100, 0.5), (100, 1.0)], "bad");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability 1.0")]
+    fn rejects_incomplete_cdf() {
+        let _ = EmpiricalCdf::new(vec![(100, 0.5), (200, 0.9)], "bad");
+    }
+}

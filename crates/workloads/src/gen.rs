@@ -1,0 +1,236 @@
+//! Workload generators: Poisson flow arrivals and CBR tenants.
+
+use crate::dist::FlowSizeDist;
+use qvisor_sim::{Nanos, NodeId, SimRng, TenantId};
+
+/// One generated reliable flow, before transport instantiation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GeneratedFlow {
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Flow size in bytes.
+    pub size: u64,
+    /// Arrival (start) time.
+    pub start: Nanos,
+    /// Optional absolute deadline.
+    pub deadline: Option<Nanos>,
+}
+
+/// One generated constant-bit-rate stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GeneratedCbr {
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Sending rate in bits per second.
+    pub rate_bps: u64,
+    /// Datagram payload size in bytes.
+    pub pkt_size: u32,
+    /// Stream start.
+    pub start: Nanos,
+    /// Stream stop.
+    pub stop: Nanos,
+    /// Per-datagram deadline offset (deadline = emission + offset).
+    pub deadline_offset: Nanos,
+}
+
+/// Convert a target *load* on the access links into a Poisson flow arrival
+/// rate: `λ = load · hosts · access_bps / (8 · mean_flow_size)` flows/sec.
+///
+/// This is the standard data-center-evaluation convention (and the paper's
+/// x-axis in Fig. 4): load 0.8 means each host's access link would be 80 %
+/// utilized by this tenant's traffic in expectation.
+pub fn arrival_rate_for_load(
+    load: f64,
+    hosts: usize,
+    access_bps: u64,
+    mean_flow_bytes: f64,
+) -> f64 {
+    assert!(load > 0.0, "load must be positive");
+    assert!(mean_flow_bytes > 0.0);
+    load * hosts as f64 * access_bps as f64 / (8.0 * mean_flow_bytes)
+}
+
+/// Poisson-arrival flow generator over uniformly random distinct host
+/// pairs.
+pub struct PoissonFlowGen<'a> {
+    /// Tenant the flows belong to.
+    pub tenant: TenantId,
+    /// Candidate hosts (src/dst drawn uniformly, src != dst).
+    pub hosts: &'a [NodeId],
+    /// Flow size distribution.
+    pub sizes: &'a dyn FlowSizeDist,
+    /// Mean arrival rate, flows per second.
+    pub rate_flows_per_sec: f64,
+}
+
+impl PoissonFlowGen<'_> {
+    /// Generate `count` flows starting from time zero.
+    ///
+    /// # Panics
+    /// Panics with fewer than two hosts or a non-positive rate.
+    pub fn generate(&self, count: usize, rng: &mut SimRng) -> Vec<GeneratedFlow> {
+        assert!(self.hosts.len() >= 2, "need at least two hosts");
+        assert!(self.rate_flows_per_sec > 0.0, "rate must be positive");
+        let mean_gap_ns = 1e9 / self.rate_flows_per_sec;
+        let mut t = 0.0f64;
+        let mut flows = Vec::with_capacity(count);
+        for _ in 0..count {
+            t += rng.exponential(mean_gap_ns);
+            let src = self.hosts[rng.below(self.hosts.len() as u64) as usize];
+            let dst = loop {
+                let d = self.hosts[rng.below(self.hosts.len() as u64) as usize];
+                if d != src {
+                    break d;
+                }
+            };
+            flows.push(GeneratedFlow {
+                tenant: self.tenant,
+                src,
+                dst,
+                size: self.sizes.sample(rng),
+                start: Nanos(t as u64),
+                deadline: None,
+            });
+        }
+        flows
+    }
+}
+
+/// The paper's second tenant: `count` CBR streams at `rate_bps` each
+/// between uniformly random distinct host pairs, scheduled with EDF
+/// deadlines.
+#[allow(clippy::too_many_arguments)]
+pub fn cbr_tenant(
+    tenant: TenantId,
+    hosts: &[NodeId],
+    count: usize,
+    rate_bps: u64,
+    pkt_size: u32,
+    start: Nanos,
+    stop: Nanos,
+    deadline_offset: Nanos,
+    rng: &mut SimRng,
+) -> Vec<GeneratedCbr> {
+    assert!(hosts.len() >= 2, "need at least two hosts");
+    assert!(stop > start, "empty CBR interval");
+    (0..count)
+        .map(|_| {
+            let src = hosts[rng.below(hosts.len() as u64) as usize];
+            let dst = loop {
+                let d = hosts[rng.below(hosts.len() as u64) as usize];
+                if d != src {
+                    break d;
+                }
+            };
+            GeneratedCbr {
+                tenant,
+                src,
+                dst,
+                rate_bps,
+                pkt_size,
+                start,
+                stop,
+                deadline_offset,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::FixedSize;
+
+    fn hosts(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn load_conversion() {
+        // 144 hosts at 1 Gbps, mean flow 1 MB, load 0.5:
+        // 0.5 * 144e9 / (8 * 1e6) = 9000 flows/s.
+        let rate = arrival_rate_for_load(0.5, 144, 1_000_000_000, 1_000_000.0);
+        assert!((rate - 9_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn poisson_interarrivals_match_rate() {
+        let hs = hosts(16);
+        let sizes = FixedSize(1000);
+        let gen = PoissonFlowGen {
+            tenant: TenantId(1),
+            hosts: &hs,
+            sizes: &sizes,
+            rate_flows_per_sec: 10_000.0,
+        };
+        let mut rng = SimRng::seed_from(7);
+        let flows = gen.generate(20_000, &mut rng);
+        assert_eq!(flows.len(), 20_000);
+        // Last arrival should be near 20_000 / 10_000 = 2 s.
+        let last = flows.last().unwrap().start.as_secs_f64();
+        assert!((1.8..2.2).contains(&last), "got {last}");
+        // Starts are sorted.
+        assert!(flows.windows(2).all(|w| w[0].start <= w[1].start));
+    }
+
+    #[test]
+    fn flows_never_self_target() {
+        let hs = hosts(3);
+        let sizes = FixedSize(1);
+        let gen = PoissonFlowGen {
+            tenant: TenantId(1),
+            hosts: &hs,
+            sizes: &sizes,
+            rate_flows_per_sec: 1000.0,
+        };
+        let mut rng = SimRng::seed_from(8);
+        for f in gen.generate(5_000, &mut rng) {
+            assert_ne!(f.src, f.dst);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let hs = hosts(8);
+        let sizes = FixedSize(100);
+        let gen = PoissonFlowGen {
+            tenant: TenantId(1),
+            hosts: &hs,
+            sizes: &sizes,
+            rate_flows_per_sec: 500.0,
+        };
+        let a = gen.generate(100, &mut SimRng::seed_from(9));
+        let b = gen.generate(100, &mut SimRng::seed_from(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cbr_tenant_shape() {
+        let hs = hosts(10);
+        let mut rng = SimRng::seed_from(10);
+        let streams = cbr_tenant(
+            TenantId(2),
+            &hs,
+            100,
+            500_000_000,
+            1500,
+            Nanos::ZERO,
+            Nanos::from_millis(100),
+            Nanos::from_micros(500),
+            &mut rng,
+        );
+        assert_eq!(streams.len(), 100);
+        for s in &streams {
+            assert_ne!(s.src, s.dst);
+            assert_eq!(s.rate_bps, 500_000_000);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Workload trace export/import.
+//!
+//! Generated workloads can be saved as JSON and replayed later, so an
+//! experiment's exact flow set travels with its results (and third-party
+//! traces can be converted into this shape and driven through the
+//! simulator).
+
+use crate::gen::{GeneratedCbr, GeneratedFlow};
+use qvisor_sim::{Nanos, NodeId, TenantId};
+use serde::{Deserialize, Serialize};
+
+/// Serializable form of one reliable flow.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowTraceEntry {
+    /// Tenant id.
+    pub tenant: u16,
+    /// Source host id.
+    pub src: u32,
+    /// Destination host id.
+    pub dst: u32,
+    /// Flow size in bytes.
+    pub size: u64,
+    /// Start time in nanoseconds.
+    pub start_ns: u64,
+    /// Absolute deadline in nanoseconds, if any.
+    pub deadline_ns: Option<u64>,
+}
+
+/// Serializable form of one CBR stream.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CbrTraceEntry {
+    /// Tenant id.
+    pub tenant: u16,
+    /// Source host id.
+    pub src: u32,
+    /// Destination host id.
+    pub dst: u32,
+    /// Rate in bits per second.
+    pub rate_bps: u64,
+    /// Datagram wire size in bytes.
+    pub pkt_size: u32,
+    /// Start time in nanoseconds.
+    pub start_ns: u64,
+    /// Stop time in nanoseconds.
+    pub stop_ns: u64,
+    /// Deadline offset in nanoseconds.
+    pub deadline_offset_ns: u64,
+}
+
+/// A complete workload trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadTrace {
+    /// Reliable flows.
+    pub flows: Vec<FlowTraceEntry>,
+    /// CBR streams.
+    pub cbr: Vec<CbrTraceEntry>,
+}
+
+impl WorkloadTrace {
+    /// Build a trace from generated workloads.
+    pub fn from_generated(flows: &[GeneratedFlow], cbr: &[GeneratedCbr]) -> WorkloadTrace {
+        WorkloadTrace {
+            flows: flows
+                .iter()
+                .map(|f| FlowTraceEntry {
+                    tenant: f.tenant.0,
+                    src: f.src.0,
+                    dst: f.dst.0,
+                    size: f.size,
+                    start_ns: f.start.as_nanos(),
+                    deadline_ns: f.deadline.map(|d| d.as_nanos()),
+                })
+                .collect(),
+            cbr: cbr
+                .iter()
+                .map(|c| CbrTraceEntry {
+                    tenant: c.tenant.0,
+                    src: c.src.0,
+                    dst: c.dst.0,
+                    rate_bps: c.rate_bps,
+                    pkt_size: c.pkt_size,
+                    start_ns: c.start.as_nanos(),
+                    stop_ns: c.stop.as_nanos(),
+                    deadline_offset_ns: c.deadline_offset.as_nanos(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Reconstruct the generated workloads.
+    pub fn to_generated(&self) -> (Vec<GeneratedFlow>, Vec<GeneratedCbr>) {
+        let flows = self
+            .flows
+            .iter()
+            .map(|f| GeneratedFlow {
+                tenant: TenantId(f.tenant),
+                src: NodeId(f.src),
+                dst: NodeId(f.dst),
+                size: f.size,
+                start: Nanos(f.start_ns),
+                deadline: f.deadline_ns.map(Nanos),
+            })
+            .collect();
+        let cbr = self
+            .cbr
+            .iter()
+            .map(|c| GeneratedCbr {
+                tenant: TenantId(c.tenant),
+                src: NodeId(c.src),
+                dst: NodeId(c.dst),
+                rate_bps: c.rate_bps,
+                pkt_size: c.pkt_size,
+                start: Nanos(c.start_ns),
+                stop: Nanos(c.stop_ns),
+                deadline_offset: Nanos(c.deadline_offset_ns),
+            })
+            .collect();
+        (flows, cbr)
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace types are always serializable")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(json: &str) -> Result<WorkloadTrace, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::FixedSize;
+    use crate::gen::{cbr_tenant, PoissonFlowGen};
+    use qvisor_sim::SimRng;
+
+    fn sample() -> (Vec<GeneratedFlow>, Vec<GeneratedCbr>) {
+        let hosts: Vec<NodeId> = (0..8).map(NodeId).collect();
+        let sizes = FixedSize(10_000);
+        let mut rng = SimRng::seed_from(5);
+        let flows = PoissonFlowGen {
+            tenant: TenantId(1),
+            hosts: &hosts,
+            sizes: &sizes,
+            rate_flows_per_sec: 1_000.0,
+        }
+        .generate(25, &mut rng);
+        let cbr = cbr_tenant(
+            TenantId(2),
+            &hosts,
+            5,
+            1_000_000,
+            1_500,
+            Nanos::ZERO,
+            Nanos::from_millis(10),
+            Nanos::from_micros(100),
+            &mut rng,
+        );
+        (flows, cbr)
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let (flows, cbr) = sample();
+        let trace = WorkloadTrace::from_generated(&flows, &cbr);
+        let json = trace.to_json();
+        let back = WorkloadTrace::from_json(&json).unwrap();
+        assert_eq!(trace, back);
+        let (flows2, cbr2) = back.to_generated();
+        assert_eq!(flows, flows2);
+        assert_eq!(cbr, cbr2);
+    }
+
+    #[test]
+    fn deadline_survives_roundtrip() {
+        let mut flows = sample().0;
+        flows[0].deadline = Some(Nanos::from_millis(5));
+        let trace = WorkloadTrace::from_generated(&flows, &[]);
+        let (back, _) = WorkloadTrace::from_json(&trace.to_json())
+            .unwrap()
+            .to_generated();
+        assert_eq!(back[0].deadline, Some(Nanos::from_millis(5)));
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(WorkloadTrace::from_json("{not json").is_err());
+        assert!(WorkloadTrace::from_json(r#"{"flows": 3}"#).is_err());
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = WorkloadTrace::default();
+        let back = WorkloadTrace::from_json(&t.to_json()).unwrap();
+        assert!(back.flows.is_empty() && back.cbr.is_empty());
+    }
+}

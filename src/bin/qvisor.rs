@@ -1,0 +1,15 @@
+//! The `qvisor` command-line tool: synthesize, analyze, and compile
+//! multi-tenant scheduling policies from JSON configuration files.
+//!
+//! See `qvisor::cli::USAGE` (printed on any usage error) and the README.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match qvisor::cli::run(&args) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Implementation of the `qvisor` command-line tool.
+//!
+//! Kept as a library module (the binary in `src/bin/qvisor.rs` is a thin
+//! wrapper) so every command is unit-testable: each takes parsed inputs
+//! and returns the text it would print.
+
+use qvisor_core::{analyze, compile, DeploymentConfig, HardwareModel, QvisorError};
+use qvisor_scheduler::Capacity;
+use std::fmt::Write as _;
+
+/// CLI-level errors: usage problems or underlying QVISOR errors.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation (prints usage).
+    Usage(String),
+    /// I/O problem reading a config file.
+    Io(std::io::Error),
+    /// QVISOR rejected the input.
+    Qvisor(QvisorError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}\n\n{USAGE}"),
+            CliError::Io(e) => write!(f, "cannot read configuration: {e}"),
+            CliError::Qvisor(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<QvisorError> for CliError {
+    fn from(e: QvisorError) -> CliError {
+        CliError::Qvisor(e)
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> CliError {
+        CliError::Io(e)
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+qvisor — multi-tenant packet scheduling hypervisor (HotNets '23 reproduction)
+
+USAGE:
+    qvisor synth   <config.json>                 synthesize and show chains
+    qvisor analyze <config.json>                 verify worst-case guarantees
+    qvisor compile <config.json> --queues N --rank-bits B
+                                                 fit onto constrained hardware
+    qvisor example                               print a starter config
+
+The config file is the Fig. 1 Configuration API as JSON:
+    { \"tenants\": [ {\"id\": 1, \"name\": \"T1\", \"algorithm\": \"pFabric\",
+                     \"rank_min\": 0, \"rank_max\": 100000, \"levels\": 512}, ... ],
+      \"policy\": \"T1 >> T2 + T3\" }
+";
+
+/// Run the CLI against `args` (without the program name); returns the text
+/// to print on success.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    match args.first().map(String::as_str) {
+        Some("synth") => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("synth needs a config file".into()))?;
+            cmd_synth(&std::fs::read_to_string(path)?)
+        }
+        Some("analyze") => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("analyze needs a config file".into()))?;
+            cmd_analyze(&std::fs::read_to_string(path)?)
+        }
+        Some("compile") => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("compile needs a config file".into()))?;
+            let (queues, rank_bits) = parse_compile_flags(&args[2..])?;
+            cmd_compile(&std::fs::read_to_string(path)?, queues, rank_bits)
+        }
+        Some("example") => Ok(example_config()),
+        Some(other) => Err(CliError::Usage(format!("unknown command '{other}'"))),
+        None => Err(CliError::Usage("no command given".into())),
+    }
+}
+
+fn parse_compile_flags(args: &[String]) -> Result<(usize, u32), CliError> {
+    let mut queues = 8usize;
+    let mut rank_bits = 16u32;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--queues" => {
+                queues = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| CliError::Usage("--queues needs a number".into()))?;
+                i += 2;
+            }
+            "--rank-bits" => {
+                rank_bits = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&b| (1..=63).contains(&b))
+                    .ok_or_else(|| CliError::Usage("--rank-bits needs 1..=63".into()))?;
+                i += 2;
+            }
+            other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
+        }
+    }
+    Ok((queues, rank_bits))
+}
+
+/// `qvisor synth`: synthesize and print the per-tenant chains.
+pub fn cmd_synth(config_json: &str) -> Result<String, CliError> {
+    let config = DeploymentConfig::from_json(config_json)?;
+    let joint = config.synthesize()?;
+    let mut out = String::new();
+    writeln!(out, "policy      : {}", joint.policy).unwrap();
+    writeln!(out, "rank span   : {}", joint.output_span()).unwrap();
+    for spec in &joint.specs {
+        if let Some(chain) = joint.chain(spec.id) {
+            writeln!(out, "  {:<12} {}", spec.name, chain).unwrap();
+        }
+    }
+    writeln!(out).unwrap();
+    write!(out, "{}", analyze(&joint)).unwrap();
+    Ok(out)
+}
+
+/// `qvisor analyze`: guarantees report only; exit error text if violated.
+pub fn cmd_analyze(config_json: &str) -> Result<String, CliError> {
+    let config = DeploymentConfig::from_json(config_json)?;
+    let joint = config.synthesize()?;
+    let report = analyze(&joint);
+    let mut out = report.to_string();
+    if !report.all_guarantees_hold() {
+        out.push_str("\nRESULT: guarantees VIOLATED\n");
+    } else {
+        out.push_str("\nRESULT: ok\n");
+    }
+    Ok(out)
+}
+
+/// `qvisor compile`: fit onto hardware with the concession ladder.
+pub fn cmd_compile(config_json: &str, queues: usize, rank_bits: u32) -> Result<String, CliError> {
+    let config = DeploymentConfig::from_json(config_json)?;
+    let (specs, policy, synth) = config.build()?;
+    let hw = HardwareModel {
+        queues,
+        max_rank: (1u64 << rank_bits) - 1,
+        buffer: Capacity::packets(64, 1_500),
+    };
+    let out = compile(&specs, &policy, synth, &hw)?;
+    let mut text = String::new();
+    writeln!(text, "target      : {queues} queues, {rank_bits}-bit ranks").unwrap();
+    writeln!(text, "deployed    : {}", out.policy).unwrap();
+    writeln!(text, "rank span   : {}", out.joint.output_span()).unwrap();
+    if out.concessions.is_empty() {
+        writeln!(text, "concessions : none (faithful)").unwrap();
+    } else {
+        writeln!(text, "concessions :").unwrap();
+        for c in &out.concessions {
+            writeln!(text, "  - {c}").unwrap();
+        }
+    }
+    writeln!(
+        text,
+        "guarantees  : {}",
+        if out.guarantees.all_guarantees_hold() {
+            "all hold"
+        } else {
+            "violations present"
+        }
+    )
+    .unwrap();
+    Ok(text)
+}
+
+/// `qvisor example`: a starter configuration.
+pub fn example_config() -> String {
+    DeploymentConfig::from_json(
+        r#"{
+        "tenants": [
+            { "id": 1, "name": "T1", "algorithm": "pFabric",
+              "rank_min": 0, "rank_max": 100000, "levels": 512 },
+            { "id": 2, "name": "T2", "algorithm": "EDF",
+              "rank_min": 0, "rank_max": 10000, "levels": 64 },
+            { "id": 3, "name": "T3", "algorithm": "FQ",
+              "rank_min": 0, "rank_max": 1000, "levels": 32 }
+        ],
+        "policy": "T1 >> T2 + T3"
+    }"#,
+    )
+    .expect("example config is valid")
+    .to_json()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_json() -> String {
+        example_config()
+    }
+
+    #[test]
+    fn example_is_valid_and_synthesizes() {
+        let out = cmd_synth(&example_json()).unwrap();
+        assert!(out.contains("policy      : T1 >> T2 + T3"));
+        assert!(out.contains("ISOLATED"));
+        assert!(out.contains("normalize"));
+    }
+
+    #[test]
+    fn analyze_reports_ok() {
+        let out = cmd_analyze(&example_json()).unwrap();
+        assert!(out.contains("RESULT: ok"));
+    }
+
+    #[test]
+    fn compile_reports_concessions_on_tiny_hardware() {
+        let out = cmd_compile(&example_json(), 8, 8).unwrap();
+        assert!(out.contains("concessions :"));
+        assert!(out.contains("quantization"));
+        assert!(out.contains("all hold"));
+    }
+
+    #[test]
+    fn compile_faithful_on_big_hardware() {
+        let out = cmd_compile(&example_json(), 32, 32).unwrap();
+        assert!(out.contains("none (faithful)"));
+    }
+
+    #[test]
+    fn bad_json_is_a_clean_error() {
+        let err = cmd_synth("{nope").unwrap_err();
+        assert!(matches!(err, CliError::Qvisor(QvisorError::Parse { .. })));
+        assert!(err.to_string().contains("configuration JSON"));
+    }
+
+    #[test]
+    fn run_dispatch_and_usage() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(matches!(run(&args(&[])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&args(&["bogus"])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&args(&["synth"])), Err(CliError::Usage(_))));
+        let example = run(&args(&["example"])).unwrap();
+        assert!(example.contains("\"policy\""));
+        // File-based path: write a temp config and run synth on it.
+        let path = std::env::temp_dir().join("qvisor_cli_test_config.json");
+        std::fs::write(&path, example).unwrap();
+        let out = run(&args(&["synth", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("all hold"));
+        let out = run(&args(&[
+            "compile",
+            path.to_str().unwrap(),
+            "--queues",
+            "4",
+            "--rank-bits",
+            "10",
+        ]))
+        .unwrap();
+        assert!(out.contains("target      : 4 queues, 10-bit ranks"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flag_validation() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(matches!(
+            parse_compile_flags(&args(&["--queues"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_compile_flags(&args(&["--rank-bits", "64"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_compile_flags(&args(&["--wat"])),
+            Err(CliError::Usage(_))
+        ));
+        let (q, b) = parse_compile_flags(&args(&[])).unwrap();
+        assert_eq!((q, b), (8, 16));
+    }
+}

@@ -1,0 +1,109 @@
+//! Cross-device placement of the pre-processor (§5 "cross-device
+//! virtualization"): does it matter *where* rank rewriting happens?
+//!
+//! Three deployments of the same joint policy on the same workload:
+//! everywhere (default), switches-only (in-network QVISOR, hosts forward
+//! raw ranks), and first-hop-only (end-host QVISOR, à la Loom/Eiffel NIC
+//! scheduling). Because transformed ranks travel *in the packet*
+//! (`txf_rank`), rewriting once at the first hop is sufficient for
+//! downstream PIFOs; switches-only leaves the host NIC queue ordering by
+//! raw (clashing) ranks.
+
+use qvisor::core::{SynthConfig, TenantSpec, UnknownTenantAction};
+use qvisor::netsim::{
+    NewCbr, NewFlow, PreprocScope, QvisorSetup, SchedulerKind, SimConfig, SimReport, Simulation,
+};
+use qvisor::ranking::{Edf, PFabric, RankRange};
+use qvisor::sim::{gbps, Nanos, TenantId};
+use qvisor::topology::Dumbbell;
+use qvisor::transport::SizeBucket;
+
+const T1: TenantId = TenantId(1);
+const T2: TenantId = TenantId(2);
+
+/// T1's pFabric flows and T2's numerically-dominant EDF flood share both
+/// the *sending hosts* and the bottleneck, so the host queue's ordering
+/// matters too.
+fn run(scope: PreprocScope) -> SimReport {
+    let d = Dumbbell::build(2, gbps(1), gbps(1), Nanos::from_micros(1));
+    let specs = vec![
+        TenantSpec::new(T1, "T1", "pFabric", RankRange::new(0, 200)).with_levels(64),
+        TenantSpec::new(T2, "T2", "EDF", RankRange::new(0, 100)).with_levels(16),
+    ];
+    let cfg = SimConfig {
+        seed: 23,
+        horizon: Nanos::from_millis(300),
+        scheduler: SchedulerKind::Pifo,
+        qvisor: Some(QvisorSetup {
+            specs,
+            policy: "T1 >> T2".into(),
+            synth: SynthConfig::default(),
+            unknown: UnknownTenantAction::BestEffort,
+            scope,
+            monitor: None,
+        }),
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(d.topology.clone(), cfg).unwrap();
+    sim.register_rank_fn(T1, Box::new(PFabric::new(1_000, 200)));
+    sim.register_rank_fn(T2, Box::new(Edf::new(Nanos::from_micros(1), 100)));
+    // Both tenants send from BOTH hosts: contention starts at the NIC.
+    for i in 0..30u64 {
+        sim.add_flow(NewFlow::new(
+            T1,
+            d.senders[(i % 2) as usize],
+            d.receivers[(i % 2) as usize],
+            200_000,
+            Nanos::from_millis(3 * i),
+        ));
+    }
+    for s in 0..2 {
+        sim.add_cbr(NewCbr {
+            tenant: T2,
+            src: d.senders[s],
+            dst: d.receivers[1 - s],
+            rate_bps: 350_000_000,
+            pkt_size: 1_500,
+            start: Nanos::ZERO,
+            stop: Nanos::from_millis(90),
+            deadline_offset: Nanos::from_micros(100),
+        });
+    }
+    sim.run()
+}
+
+fn t1_fct(r: &SimReport) -> f64 {
+    r.fct.mean_fct_ms(Some(T1), SizeBucket::ALL).unwrap()
+}
+
+#[test]
+fn first_hop_rewriting_is_sufficient() {
+    // Transformed ranks ride in the packet, so rewriting once at the
+    // source gives downstream switches the same ordering information as
+    // rewriting everywhere.
+    let everywhere = run(PreprocScope::Everywhere);
+    let first_hop = run(PreprocScope::FirstHopOnly);
+    assert_eq!(everywhere.incomplete_flows, 0);
+    assert_eq!(first_hop.incomplete_flows, 0);
+    let (e, f) = (t1_fct(&everywhere), t1_fct(&first_hop));
+    assert!(
+        (f - e).abs() / e < 0.05,
+        "first-hop-only should match everywhere: {e:.3} vs {f:.3} ms"
+    );
+}
+
+#[test]
+fn switches_only_leaks_the_clash_at_the_nic() {
+    // With hosts forwarding raw ranks, T2's numerically-lower EDF ranks
+    // win the NIC queue; T1 pays at the first hop even though the fabric
+    // enforces the policy.
+    let everywhere = run(PreprocScope::Everywhere);
+    let switches_only = run(PreprocScope::SwitchesOnly);
+    assert_eq!(switches_only.incomplete_flows, 0);
+    let (e, s) = (t1_fct(&everywhere), t1_fct(&switches_only));
+    assert!(
+        s > e * 1.15,
+        "raw-ranked NIC queues must cost T1 visibly: everywhere {e:.3} ms \
+         vs switches-only {s:.3} ms"
+    );
+}

@@ -1,0 +1,304 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! invariants the whole system rests on.
+
+use proptest::prelude::*;
+use qvisor::core::{synthesize, Policy, RankTransform, SynthConfig, TenantSpec, TransformChain};
+use qvisor::ranking::RankRange;
+use qvisor::scheduler::{
+    CalendarQueue, Capacity, Enqueue, FifoQueue, PacketQueue, PathStep, PifoQueue, PifoTree,
+    QueueMapper, SpPifoMapper, TreePath, TreeShape,
+};
+use qvisor::sim::{EventQueue, FlowId, Nanos, NodeId, Packet, TenantId};
+
+fn packet(seq: u64, rank: u64, size: u32) -> Packet {
+    let mut p = Packet::data(
+        FlowId(1),
+        TenantId(0),
+        seq,
+        size,
+        NodeId(0),
+        NodeId(1),
+        rank,
+        Nanos::ZERO,
+    );
+    p.txf_rank = rank;
+    p
+}
+
+proptest! {
+    /// A PIFO must always emit packets in non-decreasing rank order,
+    /// whatever the arrival order and capacity pressure.
+    #[test]
+    fn pifo_dequeue_order_is_sorted(
+        ranks in proptest::collection::vec(0u64..1_000, 1..200),
+        cap_pkts in 1u64..64,
+    ) {
+        let mut q = PifoQueue::new(Capacity::packets(cap_pkts, 100));
+        for (i, &r) in ranks.iter().enumerate() {
+            q.enqueue(packet(i as u64, r, 100), Nanos::ZERO);
+        }
+        let out: Vec<u64> = std::iter::from_fn(|| q.dequeue(Nanos::ZERO))
+            .map(|p| p.txf_rank)
+            .collect();
+        prop_assert!(out.windows(2).all(|w| w[0] <= w[1]), "unsorted: {out:?}");
+        prop_assert!(out.len() <= cap_pkts as usize);
+    }
+
+    /// PIFO conservation: every offered packet is either still queued,
+    /// dequeued, or reported dropped — none vanish, none duplicate.
+    #[test]
+    fn pifo_conserves_packets(
+        ops in proptest::collection::vec((0u64..500, prop::bool::ANY), 1..300),
+    ) {
+        let mut q = PifoQueue::new(Capacity::packets(16, 100));
+        let mut offered = 0u64;
+        let mut dropped = 0u64;
+        let mut dequeued = 0u64;
+        for (i, (rank, do_dequeue)) in ops.into_iter().enumerate() {
+            offered += 1;
+            dropped += q.enqueue(packet(i as u64, rank, 100), Nanos::ZERO)
+                .dropped().len() as u64;
+            if do_dequeue && q.dequeue(Nanos::ZERO).is_some() {
+                dequeued += 1;
+            }
+        }
+        prop_assert_eq!(offered, dropped + dequeued + q.len() as u64);
+    }
+
+    /// FIFO byte accounting never drifts.
+    #[test]
+    fn fifo_byte_accounting(
+        sizes in proptest::collection::vec(1u32..2_000, 1..100),
+    ) {
+        let mut q = FifoQueue::new(Capacity::bytes(10_000));
+        let mut expect = 0u64;
+        for (i, &s) in sizes.iter().enumerate() {
+            if let Enqueue::Accepted = q.enqueue(packet(i as u64, 0, s), Nanos::ZERO) {
+                expect += s as u64;
+            }
+            if i % 3 == 0 {
+                if let Some(p) = q.dequeue(Nanos::ZERO) {
+                    expect -= p.size as u64;
+                }
+            }
+            prop_assert_eq!(q.bytes(), expect);
+        }
+    }
+
+    /// SP-PIFO bounds stay sorted under arbitrary rank streams.
+    #[test]
+    fn sp_pifo_bounds_sorted(
+        ranks in proptest::collection::vec(0u64..100_000, 1..500),
+        queues in 2usize..12,
+    ) {
+        let mut m = SpPifoMapper::new(queues);
+        for r in ranks {
+            let q = m.map(r);
+            prop_assert!(q < queues);
+            let b = m.bounds();
+            prop_assert!(b.windows(2).all(|w| w[0] <= w[1]), "bounds {b:?}");
+        }
+    }
+
+    /// Every transform is monotone: it can never invert the relative order
+    /// of two ranks of the same tenant (intra-tenant scheduling must
+    /// survive the pre-processor, §3.2).
+    #[test]
+    fn transforms_are_monotone(
+        a in 0u64..1_000_000,
+        b in 0u64..1_000_000,
+        min in 0u64..1_000,
+        width in 1u64..100_000,
+        levels in 1u64..512,
+        every in 1u64..16,
+        offset in 0u64..1_000,
+    ) {
+        let ops = vec![
+            RankTransform::Normalize {
+                input: RankRange::new(min, min + width),
+                levels,
+            },
+            RankTransform::Stride { every, width: 1, offset: offset % every },
+            RankTransform::Shift { offset },
+        ];
+        let chain = TransformChain::from_ops(ops);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(chain.apply(lo) <= chain.apply(hi));
+    }
+
+    /// Chain output ranges are exact for monotone chains: applying the
+    /// chain to anything in the declared input range lands within the
+    /// computed output range.
+    #[test]
+    fn chain_output_range_is_sound(
+        min in 0u64..1_000,
+        width in 1u64..10_000,
+        levels in 1u64..64,
+        shift in 0u64..10_000,
+        sample in 0u64..20_000,
+    ) {
+        let input = RankRange::new(min, min + width);
+        let chain = TransformChain::from_ops(vec![
+            RankTransform::Normalize { input, levels },
+            RankTransform::Shift { offset: shift },
+        ]);
+        let out = chain.output_range(input);
+        let x = input.clamp(sample);
+        let y = chain.apply(x);
+        prop_assert!(out.contains(y), "{y} outside {out}");
+    }
+
+    /// The event queue pops in time order with FIFO tie-breaks, for any
+    /// schedule of pushes.
+    #[test]
+    fn event_queue_total_order(
+        times in proptest::collection::vec(0u64..1_000, 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Nanos(t), i);
+        }
+        let mut last: Option<(Nanos, usize)> = None;
+        while let Some((at, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(at >= lt);
+                if at == lt {
+                    prop_assert!(idx > lidx, "FIFO tie-break violated");
+                }
+            }
+            prop_assert_eq!(Nanos(times[idx]), at);
+            last = Some((at, idx));
+        }
+    }
+
+    /// A calendar queue with monotone (virtual-clock) arrivals dequeues in
+    /// exact rank order, however enqueues and dequeues interleave.
+    #[test]
+    fn calendar_exact_for_monotone_ranks(
+        increments in proptest::collection::vec(0u64..100, 1..300),
+        buckets in 2usize..32,
+        width in 1u64..200,
+        drain_every in 1usize..6,
+    ) {
+        let mut q = CalendarQueue::new(buckets, width, Capacity::UNBOUNDED);
+        let mut rank = 0u64;
+        let mut expect = std::collections::VecDeque::new();
+        for (i, inc) in increments.iter().enumerate() {
+            rank += inc;
+            q.enqueue(packet(i as u64, rank, 100), Nanos::ZERO);
+            expect.push_back(rank);
+            if i % drain_every == 0 {
+                let got = q.dequeue(Nanos::ZERO).unwrap().txf_rank;
+                prop_assert_eq!(got, expect.pop_front().unwrap());
+            }
+        }
+        while let Some(p) = q.dequeue(Nanos::ZERO) {
+            prop_assert_eq!(p.txf_rank, expect.pop_front().unwrap());
+        }
+        prop_assert!(expect.is_empty());
+    }
+
+    /// PIFO trees conserve packets and never emit more than admitted.
+    #[test]
+    fn pifo_tree_conserves_packets(
+        ops in proptest::collection::vec((0u64..100, 0u64..4, prop::bool::ANY), 1..200),
+    ) {
+        let shape = TreeShape::Internal(vec![
+            TreeShape::Leaf, TreeShape::Leaf, TreeShape::Leaf, TreeShape::Leaf,
+        ]);
+        let mut vt = [0u64; 4];
+        let classifier = move |p: &qvisor::sim::Packet| {
+            let class = (p.flow.0 % 4) as usize;
+            vt[class] += 1;
+            TreePath {
+                steps: vec![PathStep { child: class, rank: vt[class] }],
+                leaf_rank: p.txf_rank,
+            }
+        };
+        let mut tree = PifoTree::new(&shape, classifier, Capacity::packets(32, 100));
+        let mut admitted = 0u64;
+        let mut dequeued = 0u64;
+        for (i, (rank, class, drain)) in ops.into_iter().enumerate() {
+            let mut p = packet(i as u64, rank, 100);
+            p.flow = qvisor::sim::FlowId(class);
+            if tree.enqueue(p, Nanos::ZERO).accepted() {
+                admitted += 1;
+            }
+            if drain && tree.dequeue(Nanos::ZERO).is_some() {
+                dequeued += 1;
+            }
+        }
+        while tree.dequeue(Nanos::ZERO).is_some() {
+            dequeued += 1;
+        }
+        prop_assert_eq!(admitted, dequeued);
+        prop_assert_eq!(tree.len(), 0);
+        prop_assert_eq!(tree.bytes(), 0);
+    }
+
+    /// Policy parsing round-trips through Display for arbitrary shapes.
+    #[test]
+    fn policy_display_roundtrip(
+        shape in proptest::collection::vec(
+            (proptest::collection::vec((0u8..3, 1u32..5), 1..4),),
+            1..4,
+        ),
+    ) {
+        // Build a policy string from the random shape: levels of groups of
+        // weighted tenants with unique names.
+        let mut name = 0usize;
+        let levels: Vec<String> = shape.iter().map(|(groups,)| {
+            let gs: Vec<String> = groups.iter().map(|&(_, w)| {
+                name += 1;
+                if w == 1 { format!("t{name}") } else { format!("t{name}:{w}") }
+            }).collect();
+            gs.join(" + ")
+        }).collect();
+        let text = levels.join(" >> ");
+        let p = Policy::parse(&text).unwrap();
+        prop_assert_eq!(p.to_string(), text);
+        let p2 = Policy::parse(&p.to_string()).unwrap();
+        prop_assert_eq!(p, p2);
+    }
+
+    /// Synthesis invariant: for any number of strictly-stacked tenants with
+    /// random ranges, adjacent bands never overlap and every tenant's
+    /// output stays inside the joint span.
+    #[test]
+    fn strict_synthesis_always_isolates(
+        ranges in proptest::collection::vec((0u64..10_000, 1u64..100_000), 1..6),
+        default_levels in 1u64..64,
+    ) {
+        let specs: Vec<TenantSpec> = ranges
+            .iter()
+            .enumerate()
+            .map(|(i, &(min, width))| {
+                TenantSpec::new(
+                    TenantId(i as u16 + 1),
+                    format!("T{}", i + 1),
+                    "alg",
+                    RankRange::new(min, min + width),
+                )
+            })
+            .collect();
+        let text = specs
+            .iter()
+            .map(|s| s.name.clone())
+            .collect::<Vec<_>>()
+            .join(" >> ");
+        let policy = Policy::parse(&text).unwrap();
+        let config = SynthConfig { default_levels, ..SynthConfig::default() };
+        let joint = synthesize(&specs, &policy, config).unwrap();
+        let span = joint.output_span();
+        let mut prev_max: Option<u64> = None;
+        for spec in &specs {
+            let out = joint.chain(spec.id).unwrap().output_range(spec.range);
+            prop_assert!(span.contains(out.min) && span.contains(out.max));
+            if let Some(pm) = prev_max {
+                prop_assert!(pm < out.min, "bands overlap: {pm} vs {out}");
+            }
+            prev_max = Some(out.max);
+        }
+        prop_assert!(qvisor::core::analyze(&joint).all_guarantees_hold());
+    }
+}
