@@ -1,26 +1,19 @@
 //! Smoke-scale Fig. 4: one point per scheme at load 0.5 on the small
-//! fabric. Criterion measures wall-clock per point; the *quality* numbers
+//! fabric. This measures wall-clock per point; the *quality* numbers
 //! (FCTs per scheme × load) come from the `fig4` binary — see
 //! EXPERIMENTS.md.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use qvisor_bench::harness::{bench, print_header};
 use qvisor_bench::{run_point, Fig4Config, Scheme};
 
-fn fig4_smoke(c: &mut Criterion) {
+fn main() {
+    print_header("fig4_smoke: one point per scheme, load 0.5");
     let cfg = Fig4Config::smoke();
-    let mut g = c.benchmark_group("fig4_smoke");
-    g.sample_size(10);
     for scheme in Scheme::ALL {
-        g.bench_function(format!("{scheme:?}_load0.5"), |b| {
-            b.iter(|| {
-                let p = run_point(scheme, 0.5, &cfg);
-                assert!(p.completed > 0);
-                p.events
-            })
+        bench(&format!("{scheme:?}_load0.5"), || {
+            let p = run_point(scheme, 0.5, &cfg);
+            assert!(p.completed > 0);
+            p.events
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, fig4_smoke);
-criterion_main!(benches);

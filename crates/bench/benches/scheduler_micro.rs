@@ -3,7 +3,7 @@
 //! These bound the per-packet cost of the software scheduler substrate —
 //! the denominator of every simulated experiment.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use qvisor_bench::harness::{bench_batched, print_header};
 use qvisor_scheduler::{
     AifoQueue, CalendarQueue, Capacity, FifoQueue, PacketQueue, PathStep, PifoQueue, PifoTree,
     SpPifoMapper, StaticRangeMapper, StrictPriorityBank, TreePath, TreeShape,
@@ -32,38 +32,37 @@ fn packets() -> Vec<Packet> {
         .collect()
 }
 
-fn bench_queue<Q: PacketQueue, F: Fn() -> Q>(c: &mut Criterion, name: &str, make: F) {
+fn bench_queue<Q: PacketQueue, F: Fn() -> Q>(name: &str, make: F) {
     let pkts = packets();
-    c.bench_function(name, |b| {
-        b.iter_batched(
-            || (make(), pkts.clone()),
-            |(mut q, pkts)| {
-                for p in pkts {
-                    q.enqueue(p, Nanos::ZERO);
-                }
-                while q.dequeue(Nanos::ZERO).is_some() {}
-                q.len()
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    bench_batched(
+        name,
+        || (make(), pkts.clone()),
+        |(mut q, pkts)| {
+            for p in pkts {
+                q.enqueue(p, Nanos::ZERO);
+            }
+            while q.dequeue(Nanos::ZERO).is_some() {}
+            q.len()
+        },
+    );
 }
 
-fn scheduler_micro(c: &mut Criterion) {
+fn main() {
+    print_header("scheduler_micro: enqueue+drain 1k packets per backend");
     let cap = Capacity::packets(256, 1_500);
-    bench_queue(c, "fifo_1k_pkts", move || FifoQueue::new(cap));
-    bench_queue(c, "pifo_1k_pkts", move || PifoQueue::new(cap));
-    bench_queue(c, "sp_pifo8_1k_pkts", move || {
+    bench_queue("fifo_1k_pkts", move || FifoQueue::new(cap));
+    bench_queue("pifo_1k_pkts", move || PifoQueue::new(cap));
+    bench_queue("sp_pifo8_1k_pkts", move || {
         StrictPriorityBank::new(SpPifoMapper::new(8), cap)
     });
-    bench_queue(c, "strict_static8_1k_pkts", move || {
+    bench_queue("strict_static8_1k_pkts", move || {
         StrictPriorityBank::new(StaticRangeMapper::new(0, 100_000, 8), cap)
     });
-    bench_queue(c, "aifo_1k_pkts", move || AifoQueue::new(cap, 64, 0.1));
-    bench_queue(c, "calendar64_1k_pkts", move || {
+    bench_queue("aifo_1k_pkts", move || AifoQueue::new(cap, 64, 0.1));
+    bench_queue("calendar64_1k_pkts", move || {
         CalendarQueue::new(64, 2_000, cap)
     });
-    bench_queue(c, "pifo_tree4_1k_pkts", move || {
+    bench_queue("pifo_tree4_1k_pkts", move || {
         let shape = TreeShape::Internal(vec![
             TreeShape::Leaf,
             TreeShape::Leaf,
@@ -88,6 +87,3 @@ fn scheduler_micro(c: &mut Criterion) {
         )
     });
 }
-
-criterion_group!(benches, scheduler_micro);
-criterion_main!(benches);

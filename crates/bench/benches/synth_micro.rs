@@ -6,7 +6,7 @@
 //!   "applied at line rate" claim of §3.2, including the exact Fig. 3
 //!   chain).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use qvisor_bench::harness::{bench, bench_batched, print_header};
 use qvisor_core::{synthesize, Policy, PreProcessor, SynthConfig, TenantSpec, UnknownTenantAction};
 use qvisor_ranking::RankRange;
 use qvisor_sim::{FlowId, Nanos, NodeId, Packet, SimRng, TenantId};
@@ -42,19 +42,17 @@ fn mixed_policy(n: u16) -> String {
         .collect()
 }
 
-fn synth_latency(c: &mut Criterion) {
-    let mut g = c.benchmark_group("synthesizer");
+fn synth_latency() {
     for n in [2u16, 8, 32, 128] {
         let specs = specs(n);
         let policy = Policy::parse(&mixed_policy(n)).unwrap();
-        g.bench_function(format!("synthesize_{n}_tenants"), |b| {
-            b.iter(|| synthesize(&specs, &policy, SynthConfig::default()).unwrap())
+        bench(&format!("synthesize_{n}_tenants"), || {
+            synthesize(&specs, &policy, SynthConfig::default()).unwrap()
         });
     }
-    g.finish();
 }
 
-fn preprocessor_cost(c: &mut Criterion) {
+fn preprocessor_cost() {
     let specs = specs(16);
     let policy = Policy::parse(&mixed_policy(16)).unwrap();
     let joint = synthesize(&specs, &policy, SynthConfig::default()).unwrap();
@@ -77,21 +75,16 @@ fn preprocessor_cost(c: &mut Criterion) {
         })
         .collect();
 
-    let mut g = c.benchmark_group("preprocessor");
-    g.throughput(Throughput::Elements(pkts.len() as u64));
-    g.bench_function("transform_4k_pkts_16_tenants", |b| {
-        b.iter_batched(
-            || (pre.clone(), pkts.clone()),
-            |(mut pre, mut pkts)| {
-                for p in &mut pkts {
-                    pre.process(p);
-                }
-                pkts.len()
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+    bench_batched(
+        "transform_4k_pkts_16_tenants",
+        || (pre.clone(), pkts.clone()),
+        |(mut pre, mut pkts)| {
+            for p in &mut pkts {
+                pre.process(p);
+            }
+            pkts.len()
+        },
+    );
 
     // The exact Fig. 3 chain as a single-transformation latency probe.
     let fig3_specs = vec![
@@ -110,10 +103,13 @@ fn preprocessor_cost(c: &mut Criterion) {
     )
     .unwrap();
     let chain = fig3.chain(TenantId(2)).unwrap().clone();
-    c.bench_function("fig3_chain_apply", |b| {
-        b.iter(|| std::hint::black_box(chain.apply(std::hint::black_box(3))))
+    bench("fig3_chain_apply", || {
+        std::hint::black_box(chain.apply(std::hint::black_box(3)))
     });
 }
 
-criterion_group!(benches, synth_latency, preprocessor_cost);
-criterion_main!(benches);
+fn main() {
+    print_header("synth_micro: synthesizer and pre-processor latency");
+    synth_latency();
+    preprocessor_cost();
+}

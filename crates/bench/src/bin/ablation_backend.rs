@@ -7,11 +7,14 @@
 //! backend.
 //!
 //! Usage: cargo run -p qvisor-bench --release --bin ablation_backend
+//!        [-- --telemetry PREFIX]   write PREFIX-<backend>.jsonl per backend
 
+use qvisor_bench::snapshot;
 use qvisor_core::{SynthConfig, TenantSpec, UnknownTenantAction};
 use qvisor_netsim::{QvisorSetup, SchedulerKind, SimConfig, Simulation};
 use qvisor_ranking::{Edf, PFabric, RankRange};
 use qvisor_sim::{Nanos, SimRng, TenantId};
+use qvisor_telemetry::Telemetry;
 use qvisor_topology::{LeafSpine, LeafSpineConfig};
 use qvisor_transport::SizeBucket;
 use qvisor_workloads::{
@@ -21,7 +24,7 @@ use qvisor_workloads::{
 const PF: TenantId = TenantId(1);
 const ED: TenantId = TenantId(2);
 
-fn run(scheduler: SchedulerKind) -> (f64, f64, f64) {
+fn run(scheduler: SchedulerKind, telemetry: &Telemetry) -> (f64, f64, f64) {
     let fabric = LeafSpine::build(&LeafSpineConfig::paper());
     let hosts = fabric.all_hosts();
     let scale = 10u64;
@@ -44,6 +47,7 @@ fn run(scheduler: SchedulerKind) -> (f64, f64, f64) {
             scope: Default::default(),
             monitor: None,
         }),
+        telemetry: telemetry.clone(),
         ..SimConfig::default()
     };
     let mut sim = Simulation::new(fabric.topology.clone(), cfg).unwrap();
@@ -92,6 +96,16 @@ fn run(scheduler: SchedulerKind) -> (f64, f64, f64) {
     )
 }
 
+fn telemetry_prefix() -> Option<String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    args.iter().position(|a| a == "--telemetry").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("missing value after --telemetry");
+            std::process::exit(2);
+        })
+    })
+}
+
 fn main() {
     println!("Ablation: deployment backends (policy pFabric >> EDF, load 0.6)");
     println!(
@@ -125,9 +139,20 @@ fn main() {
         ),
         ("FIFO", SchedulerKind::Fifo),
     ];
+    let prefix = telemetry_prefix();
     for (name, sched) in backends {
-        let (small, large, hit) = run(sched);
+        let telemetry = match prefix {
+            Some(_) => Telemetry::enabled(),
+            None => Telemetry::disabled(),
+        };
+        let (small, large, hit) = run(sched, &telemetry);
         println!("{name:<28}{small:>16.3}{large:>16.2}{hit:>16.1}");
+        if let Some(prefix) = &prefix {
+            eprintln!(
+                "  wrote {}",
+                snapshot::write_snapshot(&telemetry, prefix, name)
+            );
+        }
     }
     println!(
         "\nMore queues bring the banded bank closer to the PIFO; SP-PIFO \

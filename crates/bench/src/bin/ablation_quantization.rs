@@ -7,11 +7,14 @@
 //! under `pFabric >> EDF` varying Q for the pFabric tenant.
 //!
 //! Usage: cargo run -p qvisor-bench --release --bin ablation_quantization
+//!        [-- --telemetry PREFIX]   write PREFIX-levels<N>.jsonl per point
 
+use qvisor_bench::snapshot;
 use qvisor_core::{SynthConfig, TenantSpec, UnknownTenantAction};
 use qvisor_netsim::{QvisorSetup, SchedulerKind, SimConfig, Simulation};
 use qvisor_ranking::{Edf, PFabric, RankRange};
 use qvisor_sim::{Nanos, SimRng, TenantId};
+use qvisor_telemetry::Telemetry;
 use qvisor_topology::{LeafSpine, LeafSpineConfig};
 use qvisor_transport::SizeBucket;
 use qvisor_workloads::{
@@ -21,7 +24,7 @@ use qvisor_workloads::{
 const PF: TenantId = TenantId(1);
 const ED: TenantId = TenantId(2);
 
-fn run(levels: u64) -> (f64, f64) {
+fn run(levels: u64, telemetry: &Telemetry) -> (f64, f64) {
     let fabric = LeafSpine::build(&LeafSpineConfig::paper());
     let hosts = fabric.all_hosts();
     let scale = 10u64;
@@ -44,6 +47,7 @@ fn run(levels: u64) -> (f64, f64) {
             scope: Default::default(),
             monitor: None,
         }),
+        telemetry: telemetry.clone(),
         ..SimConfig::default()
     };
     let mut sim = Simulation::new(fabric.topology.clone(), cfg).unwrap();
@@ -97,9 +101,27 @@ fn main() {
         "{:>8}{:>16}{:>16}",
         "levels", "small FCT (ms)", "large FCT (ms)"
     );
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let prefix = args.iter().position(|a| a == "--telemetry").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("missing value after --telemetry");
+            std::process::exit(2);
+        })
+    });
     for levels in [2u64, 4, 8, 32, 128, 512, 2048] {
-        let (small, large) = run(levels);
+        let telemetry = match prefix {
+            Some(_) => Telemetry::enabled(),
+            None => Telemetry::disabled(),
+        };
+        let (small, large) = run(levels, &telemetry);
         println!("{levels:>8}{small:>16.3}{large:>16.2}");
+        if let Some(prefix) = &prefix {
+            let tag = format!("levels{levels}");
+            eprintln!(
+                "  wrote {}",
+                snapshot::write_snapshot(&telemetry, prefix, &tag)
+            );
+        }
     }
     println!(
         "\nFew levels collapse pFabric's SRPT behaviour (small flows slow \

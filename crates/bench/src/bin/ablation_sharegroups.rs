@@ -6,19 +6,23 @@
 //! naively (untransformed) onto the PIFO.
 //!
 //! Usage: cargo run -p qvisor-bench --release --bin ablation_sharegroups
+//!        [-- --telemetry PREFIX]   write PREFIX-n<N>_{qvisor,naive}.jsonl
 
+use qvisor_bench::snapshot;
 use qvisor_core::{SynthConfig, TenantSpec, UnknownTenantAction};
 use qvisor_netsim::{NewFlow, QvisorSetup, SchedulerKind, SimConfig, Simulation};
 use qvisor_ranking::{ByteCountFq, RankRange};
 use qvisor_sim::{gbps, jain_fairness, Nanos, TenantId};
+use qvisor_telemetry::Telemetry;
 use qvisor_topology::Dumbbell;
 
-fn run(n: usize, qvisor: bool) -> (f64, f64) {
+fn run(n: usize, qvisor: bool, telemetry: &Telemetry) -> (f64, f64) {
     let d = Dumbbell::build(n, gbps(1), gbps(1), Nanos::from_micros(1));
     let mut cfg = SimConfig {
         seed: 9,
         horizon: Nanos::from_millis(120),
         scheduler: SchedulerKind::Pifo,
+        telemetry: telemetry.clone(),
         ..SimConfig::default()
     };
     if qvisor {
@@ -73,10 +77,31 @@ fn main() {
         "{:>4}{:>22}{:>22}{:>14}",
         "N", "Jain (QVISOR +)", "Jain (naive PIFO)", "util (QVISOR)"
     );
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let prefix = args.iter().position(|a| a == "--telemetry").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("missing value after --telemetry");
+            std::process::exit(2);
+        })
+    });
     for n in [2usize, 3, 4, 6, 8] {
-        let (jq, uq) = run(n, true);
-        let (jn, _) = run(n, false);
+        let make = || match prefix {
+            Some(_) => Telemetry::enabled(),
+            None => Telemetry::disabled(),
+        };
+        let tq = make();
+        let tn = make();
+        let (jq, uq) = run(n, true, &tq);
+        let (jn, _) = run(n, false, &tn);
         println!("{n:>4}{jq:>22.4}{jn:>22.4}{uq:>13.2}x");
+        if let Some(prefix) = &prefix {
+            for (telemetry, tag) in [(&tq, format!("n{n}_qvisor")), (&tn, format!("n{n}_naive"))] {
+                eprintln!(
+                    "  wrote {}",
+                    snapshot::write_snapshot(telemetry, prefix, &tag)
+                );
+            }
+        }
     }
     println!(
         "\nQVISOR's stride interleaving holds Jain ~1.0 as the group grows; \

@@ -12,14 +12,18 @@
 //!   --workload W       datamining | websearch    (default datamining)
 //!   --seed N           root seed                 (default 1)
 //!   --json PATH        also dump machine-readable results
+//!   --telemetry PREFIX write a telemetry snapshot PREFIX-<scheme>-<load>.jsonl
+//!                      per point (render with `qvisor telemetry report`)
 
-use qvisor_bench::{run_point, Fig4Config, Scheme};
+use qvisor_bench::{run_point_telemetry, snapshot, Fig4Config, Scheme};
+use qvisor_telemetry::Telemetry;
 use std::io::Write;
 
-fn parse_args() -> (Fig4Config, Vec<f64>, Option<String>) {
+fn parse_args() -> (Fig4Config, Vec<f64>, Option<String>, Option<String>) {
     let mut cfg = Fig4Config::paper_scaled();
     let mut loads: Vec<f64> = (2..=8).map(|l| l as f64 / 10.0).collect();
     let mut json = None;
+    let mut telemetry = None;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -48,6 +52,7 @@ fn parse_args() -> (Fig4Config, Vec<f64>, Option<String>) {
                     .collect();
             }
             "--json" => json = Some(value(&mut i)),
+            "--telemetry" => telemetry = Some(value(&mut i)),
             "--workload" => {
                 cfg.workload = match value(&mut i).as_str() {
                     "datamining" => qvisor_bench::Workload::DataMining,
@@ -65,11 +70,11 @@ fn parse_args() -> (Fig4Config, Vec<f64>, Option<String>) {
         }
         i += 1;
     }
-    (cfg, loads, json)
+    (cfg, loads, json, telemetry)
 }
 
 fn main() {
-    let (cfg, loads, json_path) = parse_args();
+    let (cfg, loads, json_path, telemetry_prefix) = parse_args();
     eprintln!(
         "fig4: {} hosts, {} flows/point, sizes /{}, {} CBR x {} Mbps, loads {loads:?}",
         cfg.fabric.leaves * cfg.fabric.hosts_per_leaf,
@@ -85,7 +90,18 @@ fn main() {
         let mut row = Vec::new();
         for &load in &loads {
             let t0 = std::time::Instant::now();
-            let p = run_point(scheme, load, &cfg);
+            let telemetry = match telemetry_prefix {
+                Some(_) => Telemetry::enabled(),
+                None => Telemetry::disabled(),
+            };
+            let p = run_point_telemetry(scheme, load, &cfg, &telemetry);
+            if let Some(prefix) = &telemetry_prefix {
+                let tag = format!("{}-load{load}", scheme.label());
+                eprintln!(
+                    "    wrote {}",
+                    snapshot::write_snapshot(&telemetry, prefix, &tag)
+                );
+            }
             eprintln!(
                 "  {:<26} load {:.1}: small {:>8} ms, large {:>9} ms, \
                  {}/{} flows, {:>4.1}s wall",
@@ -137,33 +153,25 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        #[derive(serde::Serialize)]
-        struct Row<'a> {
-            scheme: &'a str,
-            load: f64,
-            small_fct_ms: Option<f64>,
-            large_fct_ms: Option<f64>,
-            completed: usize,
-            incomplete: u64,
-            deadline_hit: Option<f64>,
-        }
-        let rows: Vec<Row> = Scheme::ALL
+        use qvisor_sim::json::Value;
+        let rows: Vec<Value> = Scheme::ALL
             .iter()
             .enumerate()
             .flat_map(|(si, s)| {
-                results[si].iter().map(move |p| Row {
-                    scheme: s.label(),
-                    load: p.load,
-                    small_fct_ms: p.small_fct_ms,
-                    large_fct_ms: p.large_fct_ms,
-                    completed: p.completed,
-                    incomplete: p.incomplete,
-                    deadline_hit: p.deadline_hit,
+                results[si].iter().map(move |p| {
+                    Value::object()
+                        .set("scheme", s.label())
+                        .set("load", p.load)
+                        .set("small_fct_ms", p.small_fct_ms)
+                        .set("large_fct_ms", p.large_fct_ms)
+                        .set("completed", p.completed)
+                        .set("incomplete", p.incomplete)
+                        .set("deadline_hit", p.deadline_hit)
                 })
             })
             .collect();
         let mut f = std::fs::File::create(&path).expect("create json output");
-        writeln!(f, "{}", serde_json::to_string_pretty(&rows).unwrap()).unwrap();
+        writeln!(f, "{}", Value::from(rows).to_pretty()).unwrap();
         eprintln!("wrote {path}");
     }
 }

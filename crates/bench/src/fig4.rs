@@ -188,8 +188,19 @@ fn scaled_bucket(bucket: SizeBucket, den: u64) -> SizeBucket {
     }
 }
 
-/// Run one (scheme, load) point.
+/// Run one (scheme, load) point without telemetry.
 pub fn run_point(scheme: Scheme, load: f64, cfg: &Fig4Config) -> Fig4Point {
+    run_point_telemetry(scheme, load, cfg, &qvisor_telemetry::Telemetry::disabled())
+}
+
+/// Run one (scheme, load) point, reporting through `telemetry`. Pass a
+/// fresh registry per point — queue and tenant labels repeat across points.
+pub fn run_point_telemetry(
+    scheme: Scheme,
+    load: f64,
+    cfg: &Fig4Config,
+    telemetry: &qvisor_telemetry::Telemetry,
+) -> Fig4Point {
     let fabric = LeafSpine::build(&cfg.fabric);
     let hosts = fabric.all_hosts();
     let sizes = cfg.workload.cdf().scaled(1, cfg.size_scale_den);
@@ -225,6 +236,7 @@ pub fn run_point(scheme: Scheme, load: f64, cfg: &Fig4Config) -> Fig4Point {
             Scheme::Fifo => SchedulerKind::Fifo,
             _ => SchedulerKind::Pifo,
         },
+        telemetry: telemetry.clone(),
         ..SimConfig::default()
     };
 

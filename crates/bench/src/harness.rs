@@ -1,0 +1,80 @@
+//! Minimal dependency-free micro-benchmark harness.
+//!
+//! The benches in `benches/` use `harness = false`, so each one is a plain
+//! `main()` that calls [`bench`]/[`bench_batched`]. The harness calibrates
+//! an iteration count, then reports the best-of-batches ns/iter (the
+//! minimum is the most repeatable point estimate for micro-benchmarks,
+//! since noise is strictly additive).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Print the header once at the top of a bench binary.
+pub fn print_header(title: &str) {
+    println!("{title}");
+    println!("{:<44} {:>14}  iters/batch", "benchmark", "ns/iter");
+}
+
+fn report(name: &str, iters: u64, ns_per_iter: f64) {
+    println!("{name:<44} {ns_per_iter:>14.1}  {iters}");
+}
+
+/// Benchmark `f`, timing everything it does.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Calibrate: double the batch size until one batch takes >= 20 ms.
+    let mut iters = 1u64;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        if t0.elapsed().as_millis() >= 20 || iters >= 1 << 24 {
+            break;
+        }
+        iters *= 2;
+    }
+    // Measure: best of a few batches (fewer when a batch is slow).
+    let batches = if iters == 1 { 3 } else { 5 };
+    let mut best = f64::INFINITY;
+    for _ in 0..batches {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        best = best.min(t0.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    report(name, iters, best);
+}
+
+/// Benchmark `routine` on fresh input from `setup`; setup time is excluded.
+pub fn bench_batched<S, T>(
+    name: &str,
+    mut setup: impl FnMut() -> S,
+    mut routine: impl FnMut(S) -> T,
+) {
+    let timed = |n: u64, setup: &mut dyn FnMut() -> S, routine: &mut dyn FnMut(S) -> T| {
+        let mut total_ns = 0u128;
+        for _ in 0..n {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            total_ns += t0.elapsed().as_nanos();
+        }
+        total_ns
+    };
+    let mut iters = 1u64;
+    loop {
+        let ns = timed(iters, &mut setup, &mut routine);
+        if ns >= 20_000_000 || iters >= 1 << 24 {
+            break;
+        }
+        iters *= 2;
+    }
+    let batches = if iters == 1 { 3 } else { 5 };
+    let mut best = f64::INFINITY;
+    for _ in 0..batches {
+        let ns = timed(iters, &mut setup, &mut routine);
+        best = best.min(ns as f64 / iters as f64);
+    }
+    report(name, iters, best);
+}

@@ -5,8 +5,12 @@
 //! Shared scenario code regenerating the paper's evaluation (§4):
 //! [`fig4`] builds and runs one point of Fig. 4 (any scheme × load), and
 //! the binaries in `src/bin/` sweep the full figures and ablations.
-//! Criterion microbenches live in `benches/`.
+//! Microbenches live in `benches/`, on the dependency-free [`harness`].
 
 pub mod fig4;
+pub mod harness;
+pub mod snapshot;
 
-pub use fig4::{run_point, Fig4Config, Fig4Point, Scheme, Workload, EDF, PFABRIC};
+pub use fig4::{
+    run_point, run_point_telemetry, Fig4Config, Fig4Point, Scheme, Workload, EDF, PFABRIC,
+};

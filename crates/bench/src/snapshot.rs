@@ -1,0 +1,69 @@
+//! Telemetry snapshot files for the experiment binaries.
+//!
+//! Every sweep binary takes `--telemetry PREFIX`; each measured point then
+//! writes `PREFIX-<tag>.jsonl` (one self-contained registry export per
+//! point) that `qvisor telemetry report <file>` renders.
+
+use qvisor_telemetry::Telemetry;
+
+/// Reduce a human label (`"QVISOR: pFabric >> EDF"`) to a file-name-safe
+/// tag (`"qvisor_pfabric_over_edf"`). Policy operators are spelled out so
+/// `A >> B` and `A + B` stay distinct files.
+pub fn slug(label: &str) -> String {
+    let label = label.replace(">>", " over ").replace('+', " plus ");
+    let mut out = String::with_capacity(label.len());
+    let mut last_sep = true;
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+            last_sep = false;
+        } else if !last_sep {
+            out.push('_');
+            last_sep = true;
+        }
+    }
+    while out.ends_with('_') {
+        out.pop();
+    }
+    out
+}
+
+/// Write one telemetry export to `PREFIX-<tag>.jsonl`; returns the path.
+///
+/// # Panics
+/// Panics when the file cannot be written (bench binaries treat output
+/// paths as fatal, like their `--json` flag does).
+pub fn write_snapshot(telemetry: &Telemetry, prefix: &str, tag: &str) -> String {
+    let path = format!("{prefix}-{}.jsonl", slug(tag));
+    std::fs::write(&path, telemetry.export_jsonl())
+        .unwrap_or_else(|e| panic!("cannot write telemetry snapshot {path}: {e}"));
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slugs_are_file_safe() {
+        assert_eq!(slug("QVISOR: pFabric >> EDF"), "qvisor_pfabric_over_edf");
+        assert_eq!(slug("QVISOR: pFabric + EDF"), "qvisor_pfabric_plus_edf");
+        assert_eq!(slug("8q SP-PIFO"), "8q_sp_pifo");
+        assert_eq!(slug("load 0.6"), "load_0_6");
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_report() {
+        let t = Telemetry::enabled();
+        t.counter("net_sent_pkts", &[("tenant", "T1")]).add(5);
+        let dir = std::env::temp_dir().join("qvisor_bench_snapshot_test");
+        let prefix = dir.to_str().unwrap();
+        let path = write_snapshot(&t, prefix, "ideal PIFO");
+        assert!(path.ends_with("-ideal_pifo.jsonl"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(qvisor_telemetry::report::render(&text)
+            .unwrap()
+            .contains("T1"));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -28,11 +28,11 @@ use crate::policy::Policy;
 use crate::spec::{SynthConfig, TenantSpec};
 use crate::synth::{synthesize, JointPolicy};
 use qvisor_ranking::RankRange;
+use qvisor_sim::json::{self, Value};
 use qvisor_sim::TenantId;
-use serde::{Deserialize, Serialize};
 
 /// One tenant's entry in the configuration.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TenantConfig {
     /// Tenant identifier carried in packet labels.
     pub id: u16,
@@ -44,14 +44,12 @@ pub struct TenantConfig {
     pub rank_min: u64,
     /// Largest declared rank.
     pub rank_max: u64,
-    /// Optional quantization override.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
+    /// Optional quantization override (omitted from JSON when `None`).
     pub levels: Option<u64>,
 }
 
-/// Synthesizer options, all defaulted.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(default)]
+/// Synthesizer options, all defaulted (each may be omitted from JSON).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SynthOptions {
     /// Default quantization levels per tenant.
     pub default_levels: u64,
@@ -73,29 +71,124 @@ impl Default for SynthOptions {
 }
 
 /// A complete QVISOR deployment description.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DeploymentConfig {
     /// Tenant entries.
     pub tenants: Vec<TenantConfig>,
     /// Operator policy string.
     pub policy: String,
-    /// Synthesizer options.
-    #[serde(default)]
+    /// Synthesizer options (may be omitted from JSON entirely).
     pub synth: SynthOptions,
+}
+
+fn config_err(e: json::ParseError) -> QvisorError {
+    QvisorError::Parse {
+        at: e.at,
+        msg: format!("configuration JSON: {}", e.msg),
+    }
+}
+
+fn semantic(msg: impl Into<String>) -> json::ParseError {
+    json::ParseError {
+        at: 0,
+        msg: msg.into(),
+    }
+}
+
+fn tenant_from_value(v: &Value) -> std::result::Result<TenantConfig, json::ParseError> {
+    let id = json::field_u64(v, "id")?;
+    let id =
+        u16::try_from(id).map_err(|_| semantic("field 'id' does not fit a tenant id (u16)"))?;
+    let levels = match v.get("levels") {
+        None => None,
+        Some(l) if l.is_null() => None,
+        Some(l) => Some(
+            l.as_u64()
+                .ok_or_else(|| semantic("field 'levels' must be a non-negative integer"))?,
+        ),
+    };
+    Ok(TenantConfig {
+        id,
+        name: json::field_str(v, "name")?.to_string(),
+        algorithm: json::field_str(v, "algorithm")?.to_string(),
+        rank_min: json::field_u64(v, "rank_min")?,
+        rank_max: json::field_u64(v, "rank_max")?,
+        levels,
+    })
+}
+
+fn synth_from_value(v: &Value) -> std::result::Result<SynthOptions, json::ParseError> {
+    let defaults = SynthOptions::default();
+    let opt = |key: &str, fallback: u64| match v.get(key) {
+        None => Ok(fallback),
+        Some(x) => x
+            .as_u64()
+            .ok_or_else(|| semantic(format!("field '{key}' must be a non-negative integer"))),
+    };
+    Ok(SynthOptions {
+        default_levels: opt("default_levels", defaults.default_levels)?,
+        first_rank: opt("first_rank", defaults.first_rank)?,
+        pref_bias_divisor: opt("pref_bias_divisor", defaults.pref_bias_divisor)?,
+    })
 }
 
 impl DeploymentConfig {
     /// Parse from JSON.
-    pub fn from_json(json: &str) -> Result<DeploymentConfig> {
-        serde_json::from_str(json).map_err(|e| QvisorError::Parse {
-            at: e.column(),
-            msg: format!("configuration JSON: {e}"),
+    pub fn from_json(text: &str) -> Result<DeploymentConfig> {
+        let root = Value::parse(text).map_err(config_err)?;
+        let tenants = json::field(&root, "tenants")
+            .and_then(|t| {
+                t.as_array()
+                    .ok_or_else(|| semantic("field 'tenants' must be an array"))
+            })
+            .map_err(config_err)?
+            .iter()
+            .map(tenant_from_value)
+            .collect::<std::result::Result<Vec<_>, _>>()
+            .map_err(config_err)?;
+        let policy = json::field_str(&root, "policy")
+            .map_err(config_err)?
+            .to_string();
+        let synth = match root.get("synth") {
+            None => SynthOptions::default(),
+            Some(v) => synth_from_value(v).map_err(config_err)?,
+        };
+        Ok(DeploymentConfig {
+            tenants,
+            policy,
+            synth,
         })
     }
 
     /// Serialize to pretty JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("config types always serialize")
+        let tenants: Vec<Value> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                let obj = Value::object()
+                    .set("id", u64::from(t.id))
+                    .set("name", t.name.as_str())
+                    .set("algorithm", t.algorithm.as_str())
+                    .set("rank_min", t.rank_min)
+                    .set("rank_max", t.rank_max);
+                match t.levels {
+                    Some(levels) => obj.set("levels", levels),
+                    None => obj,
+                }
+            })
+            .collect();
+        Value::object()
+            .set("tenants", Value::from(tenants))
+            .set("policy", self.policy.as_str())
+            .set(
+                "synth",
+                Value::object()
+                    .set("default_levels", self.synth.default_levels)
+                    .set("first_rank", self.synth.first_rank)
+                    .set("pref_bias_divisor", self.synth.pref_bias_divisor),
+            )
+            .to_pretty()
     }
 
     /// Validate and lower into specs, policy, and synth config.

@@ -18,6 +18,7 @@ use crate::spec::{SynthConfig, TenantSpec};
 use crate::synth::{synthesize, JointPolicy};
 use qvisor_ranking::RankRange;
 use qvisor_sim::{Log2Histogram, Nanos, Packet, TenantId};
+use qvisor_telemetry::{Counter, Gauge, Histogram, Telemetry};
 
 /// What to do with a packet whose rank violates the declared range.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -178,6 +179,14 @@ pub struct RuntimeAdapter {
     monitor_config: MonitorConfig,
     /// Active set used by the last synthesis.
     current_active: Vec<TenantId>,
+    /// Transform-table version: 1 for the initial deployment, bumped on
+    /// every successful re-synthesis.
+    version: u64,
+    /// Wall-clock re-synthesis latency (telemetry; wall time never feeds
+    /// back into simulated behaviour).
+    synth_ns: Histogram,
+    recompiles: Counter,
+    version_gauge: Gauge,
 }
 
 impl RuntimeAdapter {
@@ -195,7 +204,28 @@ impl RuntimeAdapter {
             synth_config,
             monitor_config,
             current_active,
+            version: 1,
+            synth_ns: Histogram::default(),
+            recompiles: Counter::default(),
+            version_gauge: Gauge::default(),
         }
+    }
+
+    /// Report recompilation latency (`runtime_synth_ns`), recompile count
+    /// (`runtime_recompiles`), and the deployed transform-table version
+    /// (`runtime_transform_version`) through `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> RuntimeAdapter {
+        self.synth_ns = telemetry.histogram("runtime_synth_ns", &[]);
+        self.recompiles = telemetry.counter("runtime_recompiles", &[]);
+        self.version_gauge = telemetry.gauge("runtime_transform_version", &[]);
+        self.version_gauge.set(self.version as i64);
+        self
+    }
+
+    /// Version of the currently deployed transform table (1 = initial
+    /// synthesis; each successful [`RuntimeAdapter::apply`] bumps it).
+    pub fn transform_version(&self) -> u64 {
+        self.version
     }
 
     /// Compare monitor state against the current deployment and propose an
@@ -253,7 +283,16 @@ impl RuntimeAdapter {
             .cloned()
             .collect();
         self.specs = specs;
-        Some(synthesize(&active_specs, &policy, self.synth_config))
+        let started = std::time::Instant::now();
+        let result = synthesize(&active_specs, &policy, self.synth_config);
+        self.synth_ns
+            .record(started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        self.recompiles.inc();
+        if result.is_ok() {
+            self.version += 1;
+            self.version_gauge.set(self.version as i64);
+        }
+        Some(result)
     }
 }
 
@@ -448,6 +487,29 @@ mod tests {
             m.observe(&mut pkt(t, max), Nanos::from_millis(5));
         }
         assert!(adapter.propose(&m, Nanos::from_millis(6)).is_none());
+    }
+
+    #[test]
+    fn apply_reports_through_telemetry() {
+        let t = Telemetry::enabled();
+        let policy = Policy::parse("T1 >> T2 + T3").unwrap();
+        let mut adapter = RuntimeAdapter::new(
+            specs(),
+            policy,
+            SynthConfig::default(),
+            MonitorConfig::default(),
+        )
+        .with_telemetry(&t);
+        assert_eq!(adapter.transform_version(), 1);
+        let adaptation = Adaptation {
+            active: vec![TenantId(3)],
+            tightened: vec![],
+        };
+        adapter.apply(&adaptation).unwrap().unwrap();
+        assert_eq!(adapter.transform_version(), 2);
+        assert_eq!(t.counter("runtime_recompiles", &[]).get(), 1);
+        assert_eq!(t.gauge("runtime_transform_version", &[]).get(), 2);
+        assert_eq!(t.histogram("runtime_synth_ns", &[]).count(), 1);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use qvisor_core::{MonitorConfig, SynthConfig, TenantSpec, UnknownTenantAction};
 use qvisor_ranking::RankRange;
 use qvisor_scheduler::Capacity;
 use qvisor_sim::Nanos;
+use qvisor_telemetry::Telemetry;
 
 /// Which scheduler model runs at every output port.
 #[derive(Clone, Copy, Debug)]
@@ -135,6 +136,12 @@ pub struct SimConfig {
     pub adaptation_interval: Option<Nanos>,
     /// QVISOR deployment, if any.
     pub qvisor: Option<QvisorSetup>,
+    /// Telemetry sink. Cloning a [`Telemetry`] handle shares its registry,
+    /// so keep one and export after [`crate::Simulation::run`]. The default
+    /// (disabled) handle records nothing and adds no per-packet work; an
+    /// enabled handle never influences simulation behaviour — reports are
+    /// byte-identical either way.
+    pub telemetry: Telemetry,
 }
 
 impl Default for SimConfig {
@@ -155,6 +162,7 @@ impl Default for SimConfig {
             sample_interval: None,
             adaptation_interval: None,
             qvisor: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 }

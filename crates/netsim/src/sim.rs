@@ -14,12 +14,14 @@ use qvisor_core::{
 };
 use qvisor_ranking::{RankCtx, RankFn};
 use qvisor_scheduler::{
-    AifoQueue, FifoQueue, PacketQueue, PathStep, PifoQueue, PifoTree, SpPifoMapper,
-    StaticRangeMapper, StrictPriorityBank, TreePath, TreeShape,
+    AifoQueue, FifoQueue, InstrumentedQueue, PacketQueue, PathStep, PifoQueue, PifoTree,
+    SpPifoMapper, StaticRangeMapper, StrictPriorityBank, TreePath, TreeShape,
 };
 use qvisor_sim::{
-    transmission_time, EventQueue, FlowId, Nanos, NodeId, Packet, PacketKind, SimRng, TenantId,
+    json::Value, transmission_time, EventQueue, FlowId, Nanos, NodeId, Packet, PacketKind, SimRng,
+    TenantId,
 };
+use qvisor_telemetry::{Counter, Histogram};
 use qvisor_topology::{NodeKind, Routes, Topology};
 use qvisor_transport::{
     CbrDef, CbrSource, DatagramSink, FlowDef, FlowRecord, ReliableReceiver, ReliableSender, SendReq,
@@ -99,6 +101,20 @@ struct Port {
     delay: Nanos,
     queue: Box<dyn PacketQueue>,
     busy: bool,
+    /// Packets serialized onto the link (telemetry; no-op when disabled).
+    tx_pkts: Counter,
+    /// Bytes serialized onto the link.
+    tx_bytes: Counter,
+}
+
+/// Cached per-tenant telemetry handles (one registry lookup per tenant,
+/// not per packet).
+struct TenantMetrics {
+    sent_pkts: Counter,
+    delivered_pkts: Counter,
+    delivered_bytes: Counter,
+    dropped_pkts: Counter,
+    fct_ns: Histogram,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -147,6 +163,7 @@ pub struct Simulation {
     in_flight: u64,
     /// Bytes delivered per tenant since the last sampling tick.
     window_bytes: BTreeMap<TenantId, u64>,
+    tenant_metrics: BTreeMap<TenantId, TenantMetrics>,
 }
 
 impl Simulation {
@@ -157,18 +174,21 @@ impl Simulation {
         let (joint, preproc, monitor, adapter) = match &cfg.qvisor {
             Some(setup) => {
                 let policy = Policy::parse(&setup.policy)?;
+                let started = std::time::Instant::now();
                 let joint = qvisor_core::synthesize(&setup.specs, &policy, setup.synth)?;
+                cfg.telemetry
+                    .histogram("runtime_synth_ns", &[])
+                    .record(started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                cfg.telemetry.gauge("runtime_transform_version", &[]).set(1);
                 let preproc = PreProcessor::new(&joint, setup.unknown);
                 let monitor = setup
                     .monitor
                     .map(|mc| RuntimeMonitor::new(&setup.specs, mc));
                 let adapter = match (cfg.adaptation_interval, setup.monitor) {
-                    (Some(_), Some(mc)) => Some(RuntimeAdapter::new(
-                        setup.specs.clone(),
-                        policy.clone(),
-                        setup.synth,
-                        mc,
-                    )),
+                    (Some(_), Some(mc)) => Some(
+                        RuntimeAdapter::new(setup.specs.clone(), policy.clone(), setup.synth, mc)
+                            .with_telemetry(&cfg.telemetry),
+                    ),
                     (Some(_), None) => {
                         return Err(QvisorError::Deployment(
                             "adaptation_interval requires a runtime monitor".into(),
@@ -198,13 +218,23 @@ impl Simulation {
             let mut node_ports = Vec::new();
             let mut map = BTreeMap::new();
             for link in topo.out_links(node.id) {
+                let label = format!("n{}.p{}", node.id.0, node_ports.len());
+                let base = Self::make_queue_of(kind, &cfg, joint.as_ref())?;
+                let queue: Box<dyn PacketQueue> = if cfg.telemetry.is_enabled() {
+                    Box::new(InstrumentedQueue::new(base, &cfg.telemetry, &label))
+                } else {
+                    base
+                };
+                let link_labels = [("link", label.as_str())];
                 map.insert(link.to.0, node_ports.len());
                 node_ports.push(Port {
                     to: link.to,
                     rate_bps: link.rate_bps,
                     delay: link.delay,
-                    queue: Self::make_queue_of(kind, &cfg, joint.as_ref())?,
+                    queue,
                     busy: false,
+                    tx_pkts: cfg.telemetry.counter("net_link_tx_pkts", &link_labels),
+                    tx_bytes: cfg.telemetry.counter("net_link_tx_bytes", &link_labels),
                 });
             }
             ports.push(node_ports);
@@ -232,6 +262,7 @@ impl Simulation {
             cbr_live: 0,
             in_flight: 0,
             window_bytes: BTreeMap::new(),
+            tenant_metrics: BTreeMap::new(),
         })
     }
 
@@ -394,6 +425,21 @@ impl Simulation {
         self.report.tenants.entry(t).or_default()
     }
 
+    fn metrics(&mut self, t: TenantId) -> &TenantMetrics {
+        let telemetry = &self.cfg.telemetry;
+        self.tenant_metrics.entry(t).or_insert_with(|| {
+            let tenant = format!("T{}", t.0);
+            let labels = [("tenant", tenant.as_str())];
+            TenantMetrics {
+                sent_pkts: telemetry.counter("net_sent_pkts", &labels),
+                delivered_pkts: telemetry.counter("net_delivered_pkts", &labels),
+                delivered_bytes: telemetry.counter("net_delivered_bytes", &labels),
+                dropped_pkts: telemetry.counter("net_dropped_pkts", &labels),
+                fct_ns: telemetry.histogram("net_fct_ns", &labels),
+            }
+        })
+    }
+
     fn compute_rank(&mut self, tenant: TenantId, ctx: &RankCtx) -> u64 {
         match self
             .rank_fns
@@ -443,6 +489,7 @@ impl Simulation {
         );
         p.deadline = def.deadline;
         self.tenant_mut(def.tenant).sent_pkts += 1;
+        self.metrics(def.tenant).sent_pkts.inc();
         self.in_flight += 1;
         let rto = self.rto_for(attempt);
         self.events.schedule(
@@ -492,6 +539,7 @@ impl Simulation {
         p.kind = PacketKind::Datagram;
         p.deadline = Some(deadline);
         self.tenant_mut(def.tenant).sent_pkts += 1;
+        self.metrics(def.tenant).sent_pkts.inc();
         self.in_flight += 1;
         self.forward(def.src, p, now);
 
@@ -559,6 +607,7 @@ impl Simulation {
         *self.report.node_drops.entry(at).or_insert(0) += 1;
         if p.is_payload() {
             self.tenant_mut(p.tenant).dropped_pkts += 1;
+            self.metrics(p.tenant).dropped_pkts.inc();
         }
     }
 
@@ -576,6 +625,8 @@ impl Simulation {
         let (rate, delay, to) = {
             let port_ref = &mut self.ports[node.index()][port];
             port_ref.busy = true;
+            port_ref.tx_pkts.inc();
+            port_ref.tx_bytes.add(p.size as u64);
             (port_ref.rate_bps, port_ref.delay, port_ref.to)
         };
         let tx = transmission_time(p.size as u64, rate);
@@ -615,6 +666,9 @@ impl Simulation {
                     t.delivered_pkts += 1;
                     t.delivered_bytes += payload as u64;
                     *self.window_bytes.entry(p.tenant).or_insert(0) += payload as u64;
+                    let m = self.metrics(p.tenant);
+                    m.delivered_pkts.inc();
+                    m.delivered_bytes.add(payload as u64);
                 }
                 // Always ACK (sender dedupes).
                 let ack = p.ack_for(self.cfg.ack_bytes, now);
@@ -641,6 +695,18 @@ impl Simulation {
                         start: def.start,
                         end: now,
                     });
+                    let fct = now.saturating_sub(def.start);
+                    self.metrics(def.tenant).fct_ns.record(fct.as_nanos());
+                    self.cfg.telemetry.event(
+                        now,
+                        "flow_complete",
+                        &[
+                            ("flow", Value::from(p.flow.0)),
+                            ("tenant", Value::from(def.tenant.0 as u64)),
+                            ("size_bytes", Value::from(def.size)),
+                            ("fct_ns", Value::from(fct)),
+                        ],
+                    );
                     self.reliable_done += 1;
                 }
             }
@@ -665,6 +731,9 @@ impl Simulation {
                 t.deadline_met += met;
                 t.deadline_missed += missed;
                 *self.window_bytes.entry(p.tenant).or_insert(0) += payload as u64;
+                let m = self.metrics(p.tenant);
+                m.delivered_pkts.inc();
+                m.delivered_bytes.add(payload as u64);
             }
         }
     }
@@ -692,6 +761,11 @@ impl Simulation {
                 preproc.reload(&new_joint);
                 self.joint = Some(new_joint);
                 self.report.reconfigurations += 1;
+                self.cfg.telemetry.event(
+                    now,
+                    "reconfiguration",
+                    &[("total", Value::from(self.report.reconfigurations))],
+                );
             }
         }
     }
@@ -951,6 +1025,44 @@ mod tests {
         let small = r.fct.mean_fct_ms(None, SizeBucket::SMALL).unwrap();
         // Ideal ~0.2 ms; generous bound that FIFO would blow through.
         assert!(small < 1.0, "mouse FCT {small} ms too slow under PIFO");
+    }
+
+    #[test]
+    fn telemetry_observes_the_run() {
+        let d = dumbbell();
+        let telemetry = qvisor_telemetry::Telemetry::enabled();
+        let cfg = SimConfig {
+            telemetry: telemetry.clone(),
+            ..base_cfg()
+        };
+        let mut sim = Simulation::new(d.topology.clone(), cfg).unwrap();
+        sim.register_rank_fn(TenantId(1), Box::new(PFabric::default_datacenter()));
+        sim.add_flow(NewFlow::new(
+            TenantId(1),
+            d.senders[0],
+            d.receivers[0],
+            150_000,
+            Nanos::ZERO,
+        ));
+        let r = sim.run();
+        assert_eq!(r.incomplete_flows, 0);
+        // Per-tenant counters agree with the report.
+        let t1 = [("tenant", "T1")];
+        assert_eq!(
+            telemetry.counter("net_sent_pkts", &t1).get(),
+            r.tenant(TenantId(1)).sent_pkts
+        );
+        assert_eq!(telemetry.counter("net_delivered_bytes", &t1).get(), 150_000);
+        assert_eq!(telemetry.histogram("net_fct_ns", &t1).count(), 1);
+        // Port queues and links reported through the same registry, and the
+        // export round-trips through the report parser.
+        let jsonl = telemetry.export_jsonl();
+        assert!(jsonl.contains("sched_dequeued_pkts"));
+        assert!(jsonl.contains("sched_sojourn_ns"));
+        assert!(jsonl.contains("net_link_tx_bytes"));
+        assert!(jsonl.contains("flow_complete"));
+        let export = qvisor_telemetry::report::parse(&jsonl).unwrap();
+        assert!(!export.counters.is_empty());
     }
 
     #[test]

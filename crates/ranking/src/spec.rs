@@ -9,13 +9,16 @@
 use crate::funcs::{ArrivalTime, ByteCountFq, Constant, Edf, Lstf, PFabric, Stfq};
 use crate::multi::MultiObjective;
 use crate::RankFn;
+use qvisor_sim::json::{self, ParseError, Value};
 use qvisor_sim::Nanos;
-use serde::{Deserialize, Serialize};
 
 /// A rank function as data. See the variants for parameter meanings; all
 /// produce ranks where lower = more urgent.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "algorithm", rename_all = "snake_case")]
+///
+/// The JSON form is internally tagged on `"algorithm"` with snake_case
+/// variant names, e.g. `{"algorithm": "p_fabric", "unit_bytes": 1000,
+/// "max_rank": 100000}`.
+#[derive(Clone, Debug, PartialEq)]
 pub enum RankFnSpec {
     /// pFabric/SRPT: remaining flow size.
     PFabric {
@@ -73,7 +76,136 @@ pub enum RankFnSpec {
     },
 }
 
+fn semantic(msg: impl Into<String>) -> ParseError {
+    ParseError {
+        at: 0,
+        msg: msg.into(),
+    }
+}
+
 impl RankFnSpec {
+    /// Render as a JSON value tagged on `"algorithm"`.
+    pub fn to_value(&self) -> Value {
+        match self {
+            RankFnSpec::PFabric {
+                unit_bytes,
+                max_rank,
+            } => Value::object()
+                .set("algorithm", "p_fabric")
+                .set("unit_bytes", *unit_bytes)
+                .set("max_rank", *max_rank),
+            RankFnSpec::Edf { unit_ns, max_rank } => Value::object()
+                .set("algorithm", "edf")
+                .set("unit_ns", *unit_ns)
+                .set("max_rank", *max_rank),
+            RankFnSpec::Lstf {
+                unit_ns,
+                max_rank,
+                line_rate_bps,
+            } => Value::object()
+                .set("algorithm", "lstf")
+                .set("unit_ns", *unit_ns)
+                .set("max_rank", *max_rank)
+                .set("line_rate_bps", *line_rate_bps),
+            RankFnSpec::Stfq { max_rank } => Value::object()
+                .set("algorithm", "stfq")
+                .set("max_rank", *max_rank),
+            RankFnSpec::ByteCountFq {
+                unit_bytes,
+                max_rank,
+            } => Value::object()
+                .set("algorithm", "byte_count_fq")
+                .set("unit_bytes", *unit_bytes)
+                .set("max_rank", *max_rank),
+            RankFnSpec::ArrivalTime { unit_ns, max_rank } => Value::object()
+                .set("algorithm", "arrival_time")
+                .set("unit_ns", *unit_ns)
+                .set("max_rank", *max_rank),
+            RankFnSpec::Constant { rank } => Value::object()
+                .set("algorithm", "constant")
+                .set("rank", *rank),
+            RankFnSpec::MultiObjective {
+                components,
+                resolution,
+            } => {
+                let comps: Vec<Value> = components
+                    .iter()
+                    .map(|(spec, w)| Value::from(vec![spec.to_value(), Value::from(*w)]))
+                    .collect();
+                Value::object()
+                    .set("algorithm", "multi_objective")
+                    .set("components", Value::from(comps))
+                    .set("resolution", *resolution)
+            }
+        }
+    }
+
+    /// Parse from a JSON value tagged on `"algorithm"`.
+    pub fn from_value(v: &Value) -> Result<RankFnSpec, ParseError> {
+        let algorithm = json::field_str(v, "algorithm")?;
+        Ok(match algorithm {
+            "p_fabric" => RankFnSpec::PFabric {
+                unit_bytes: json::field_u64(v, "unit_bytes")?,
+                max_rank: json::field_u64(v, "max_rank")?,
+            },
+            "edf" => RankFnSpec::Edf {
+                unit_ns: json::field_u64(v, "unit_ns")?,
+                max_rank: json::field_u64(v, "max_rank")?,
+            },
+            "lstf" => RankFnSpec::Lstf {
+                unit_ns: json::field_u64(v, "unit_ns")?,
+                max_rank: json::field_u64(v, "max_rank")?,
+                line_rate_bps: json::field_u64(v, "line_rate_bps")?,
+            },
+            "stfq" => RankFnSpec::Stfq {
+                max_rank: json::field_u64(v, "max_rank")?,
+            },
+            "byte_count_fq" => RankFnSpec::ByteCountFq {
+                unit_bytes: json::field_u64(v, "unit_bytes")?,
+                max_rank: json::field_u64(v, "max_rank")?,
+            },
+            "arrival_time" => RankFnSpec::ArrivalTime {
+                unit_ns: json::field_u64(v, "unit_ns")?,
+                max_rank: json::field_u64(v, "max_rank")?,
+            },
+            "constant" => RankFnSpec::Constant {
+                rank: json::field_u64(v, "rank")?,
+            },
+            "multi_objective" => {
+                let comps = json::field(v, "components")?
+                    .as_array()
+                    .ok_or_else(|| semantic("field 'components' must be an array"))?;
+                let mut components = Vec::with_capacity(comps.len());
+                for comp in comps {
+                    let pair = comp
+                        .as_array()
+                        .filter(|p| p.len() == 2)
+                        .ok_or_else(|| semantic("each component must be a [spec, weight] pair"))?;
+                    let weight = pair[1]
+                        .as_u64()
+                        .and_then(|w| u32::try_from(w).ok())
+                        .ok_or_else(|| semantic("component weight must fit a u32"))?;
+                    components.push((RankFnSpec::from_value(&pair[0])?, weight));
+                }
+                RankFnSpec::MultiObjective {
+                    components,
+                    resolution: json::field_u64(v, "resolution")?,
+                }
+            }
+            other => return Err(semantic(format!("unknown algorithm '{other}'"))),
+        })
+    }
+
+    /// Serialize to compact JSON.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_compact()
+    }
+
+    /// Parse from a JSON string.
+    pub fn from_json(text: &str) -> Result<RankFnSpec, ParseError> {
+        RankFnSpec::from_value(&Value::parse(text)?)
+    }
+
     /// Instantiate the described rank function.
     pub fn build(&self) -> Box<dyn RankFn> {
         match self {
@@ -172,8 +304,8 @@ mod tests {
             ],
             resolution: 1_000,
         };
-        let json = serde_json::to_string(&spec).unwrap();
-        let back: RankFnSpec = serde_json::from_str(&json).unwrap();
+        let json = spec.to_json();
+        let back = RankFnSpec::from_json(&json).unwrap();
         assert_eq!(spec, back);
         let mut f = back.build();
         assert_eq!(f.name(), "multi-objective");
@@ -184,7 +316,7 @@ mod tests {
     #[test]
     fn json_shape_is_human_writable() {
         let json = r#"{"algorithm": "p_fabric", "unit_bytes": 1000, "max_rank": 100000}"#;
-        let spec: RankFnSpec = serde_json::from_str(json).unwrap();
+        let spec = RankFnSpec::from_json(json).unwrap();
         assert_eq!(
             spec,
             RankFnSpec::PFabric {
@@ -192,5 +324,16 @@ mod tests {
                 max_rank: 100_000
             }
         );
+    }
+
+    #[test]
+    fn rejects_unknown_algorithm_and_bad_shapes() {
+        assert!(RankFnSpec::from_json(r#"{"algorithm": "fancy"}"#).is_err());
+        assert!(RankFnSpec::from_json(r#"{"unit_bytes": 1}"#).is_err());
+        assert!(RankFnSpec::from_json("[1, 2]").is_err());
+        assert!(RankFnSpec::from_json(
+            r#"{"algorithm": "multi_objective", "components": [3], "resolution": 10}"#
+        )
+        .is_err());
     }
 }

@@ -107,6 +107,10 @@ impl PacketQueue for AifoQueue {
     fn head_rank(&self) -> Option<Rank> {
         self.queue.front().map(|p| p.txf_rank)
     }
+
+    fn kind(&self) -> &'static str {
+        "aifo"
+    }
 }
 
 #[cfg(test)]

@@ -1,10 +1,24 @@
 //! Measurement wrapper: counts drops, throughput, and *rank inversions* —
 //! the standard fidelity metric for PIFO approximations (a dequeue is an
 //! inversion when some queued packet has a strictly lower rank).
+//!
+//! Since the introduction of [`crate::instrument::InstrumentedQueue`] this
+//! type is a thin convenience wrapper over it: it owns a private
+//! [`Telemetry`] registry so callers get self-contained [`QueueStats`]
+//! without wiring a registry themselves. There is exactly one metrics path —
+//! the telemetry subsystem; `AuditedQueue` merely reads it back.
+//!
+//! Note: when the `qvisor-telemetry` crate is built with its `enabled`
+//! feature off, all counters compile to no-ops and [`QueueStats`] stays
+//! zero. The workspace default keeps the feature on.
 
+use crate::instrument::InstrumentedQueue;
 use crate::queue::{Enqueue, PacketQueue};
 use qvisor_sim::{Nanos, Packet, Rank};
-use std::collections::BTreeMap;
+use qvisor_telemetry::Telemetry;
+
+/// Label used for the private registry behind an [`AuditedQueue`].
+const QUEUE_LABEL: &str = "audit";
 
 /// Counters exported by [`AuditedQueue`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -41,88 +55,52 @@ impl QueueStats {
     }
 }
 
-/// Wraps any [`PacketQueue`] and audits its behaviour.
-///
-/// Keeps a rank multiset mirroring the queue contents, so inversion
-/// detection is O(log n) per operation and independent of the inner model.
+/// Wraps any [`PacketQueue`] and audits its behaviour through a private
+/// telemetry registry.
 pub struct AuditedQueue<Q: PacketQueue> {
-    inner: Q,
-    /// Multiset of resident ranks: rank -> count.
-    ranks: BTreeMap<Rank, u64>,
-    stats: QueueStats,
+    inner: InstrumentedQueue<Q>,
+    telemetry: Telemetry,
 }
 
 impl<Q: PacketQueue> AuditedQueue<Q> {
     /// Wrap `inner`.
     pub fn new(inner: Q) -> AuditedQueue<Q> {
+        let telemetry = Telemetry::enabled();
         AuditedQueue {
-            inner,
-            ranks: BTreeMap::new(),
-            stats: QueueStats::default(),
+            inner: InstrumentedQueue::new(inner, &telemetry, QUEUE_LABEL),
+            telemetry,
         }
     }
 
     /// Counters so far.
     pub fn stats(&self) -> QueueStats {
-        self.stats
+        let get = |name: &str| {
+            self.telemetry
+                .counter(name, &[("queue", QUEUE_LABEL), ("kind", self.kind())])
+                .get()
+        };
+        QueueStats {
+            offered: get("sched_offered_pkts"),
+            admitted: get("sched_admitted_pkts"),
+            dropped: get("sched_dropped_pkts"),
+            dequeued: get("sched_dequeued_pkts"),
+            inversions: get("sched_rank_inversions"),
+        }
     }
 
     /// The wrapped queue.
     pub fn inner(&self) -> &Q {
-        &self.inner
-    }
-
-    fn note_resident(&mut self, rank: Rank) {
-        *self.ranks.entry(rank).or_insert(0) += 1;
-    }
-
-    fn forget_resident(&mut self, rank: Rank) {
-        match self.ranks.get_mut(&rank) {
-            Some(1) => {
-                self.ranks.remove(&rank);
-            }
-            Some(n) => *n -= 1,
-            None => debug_assert!(false, "rank {rank} not resident"),
-        }
+        self.inner.inner()
     }
 }
 
 impl<Q: PacketQueue> PacketQueue for AuditedQueue<Q> {
     fn enqueue(&mut self, p: Packet, now: Nanos) -> Enqueue {
-        self.stats.offered += 1;
-        let rank = p.txf_rank;
-        let outcome = self.inner.enqueue(p, now);
-        match &outcome {
-            Enqueue::Accepted => {
-                self.stats.admitted += 1;
-                self.note_resident(rank);
-            }
-            Enqueue::AcceptedDropped(dropped) => {
-                self.stats.admitted += 1;
-                self.note_resident(rank);
-                self.stats.dropped += dropped.len() as u64;
-                // Evicted packets were residents; drop them from the mirror.
-                for d in dropped {
-                    self.forget_resident(d.txf_rank);
-                }
-            }
-            Enqueue::Rejected(_) => {
-                self.stats.dropped += 1;
-            }
-        }
-        outcome
+        self.inner.enqueue(p, now)
     }
 
     fn dequeue(&mut self, now: Nanos) -> Option<Packet> {
-        let p = self.inner.dequeue(now)?;
-        self.forget_resident(p.txf_rank);
-        self.stats.dequeued += 1;
-        if let Some((&best, _)) = self.ranks.first_key_value() {
-            if best < p.txf_rank {
-                self.stats.inversions += 1;
-            }
-        }
-        Some(p)
+        self.inner.dequeue(now)
     }
 
     fn len(&self) -> usize {
@@ -135,6 +113,10 @@ impl<Q: PacketQueue> PacketQueue for AuditedQueue<Q> {
 
     fn head_rank(&self) -> Option<Rank> {
         self.inner.head_rank()
+    }
+
+    fn kind(&self) -> &'static str {
+        self.inner.kind()
     }
 }
 

@@ -130,6 +130,10 @@ impl PacketQueue for CalendarQueue {
             .and_then(|b| b.front())
             .map(|p| p.txf_rank)
     }
+
+    fn kind(&self) -> &'static str {
+        "calendar"
+    }
 }
 
 #[cfg(test)]

@@ -144,6 +144,10 @@ impl PacketQueue for DrrQueue {
             .find_map(|c| c.queue.front())
             .map(|p| p.txf_rank)
     }
+
+    fn kind(&self) -> &'static str {
+        "drr"
+    }
 }
 
 #[cfg(test)]

@@ -51,6 +51,10 @@ impl PacketQueue for FifoQueue {
     fn head_rank(&self) -> Option<Rank> {
         self.queue.front().map(|p| p.txf_rank)
     }
+
+    fn kind(&self) -> &'static str {
+        "fifo"
+    }
 }
 
 #[cfg(test)]

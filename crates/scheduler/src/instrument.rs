@@ -1,0 +1,260 @@
+//! Telemetry wrapper: reports every queue's behaviour through the unified
+//! [`qvisor_telemetry`] subsystem.
+//!
+//! This is the single metrics path for scheduler models. It counts offered,
+//! admitted, dropped, and dequeued packets, tracks occupancy gauges,
+//! detects *rank inversions* per dequeue (the standard fidelity metric for
+//! PIFO approximations — a dequeue is an inversion when some queued packet
+//! has a strictly lower rank), and records per-packet queueing delay.
+//!
+//! When the supplied [`Telemetry`] handle is disabled the wrapper keeps no
+//! mirror state and each operation adds only a branch.
+
+use crate::queue::{Enqueue, PacketQueue};
+use qvisor_sim::{Nanos, Packet, Rank};
+use qvisor_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use std::collections::BTreeMap;
+
+/// Wraps any [`PacketQueue`] and reports its behaviour as telemetry.
+///
+/// Metrics are labelled with the queue's name (`queue`) and discipline
+/// (`kind`, from [`PacketQueue::kind`]):
+///
+/// | metric | type | meaning |
+/// |---|---|---|
+/// | `sched_offered_pkts` | counter | packets offered to the queue |
+/// | `sched_admitted_pkts` | counter | packets admitted |
+/// | `sched_dropped_pkts` | counter | rejected arrivals + evicted residents |
+/// | `sched_dequeued_pkts` | counter | packets dequeued |
+/// | `sched_rank_inversions` | counter | dequeues that were rank inversions |
+/// | `sched_depth_pkts` | gauge | current occupancy in packets |
+/// | `sched_depth_bytes` | gauge | current occupancy in bytes |
+/// | `sched_sojourn_ns` | histogram | per-packet queueing delay |
+pub struct InstrumentedQueue<Q: PacketQueue> {
+    inner: Q,
+    enabled: bool,
+    /// Multiset of resident ranks: rank -> count. Mirrors the queue
+    /// contents so inversion detection is O(log n) per operation and
+    /// independent of the inner model. Empty when disabled.
+    ranks: BTreeMap<Rank, u64>,
+    offered: Counter,
+    admitted: Counter,
+    dropped: Counter,
+    dequeued: Counter,
+    inversions: Counter,
+    depth_pkts: Gauge,
+    depth_bytes: Gauge,
+    sojourn_ns: Histogram,
+}
+
+impl<Q: PacketQueue> InstrumentedQueue<Q> {
+    /// Wrap `inner`, registering metrics labelled `queue=queue_label` on
+    /// `telemetry`.
+    pub fn new(inner: Q, telemetry: &Telemetry, queue_label: &str) -> InstrumentedQueue<Q> {
+        let labels = [("queue", queue_label), ("kind", inner.kind())];
+        InstrumentedQueue {
+            enabled: telemetry.is_enabled(),
+            ranks: BTreeMap::new(),
+            offered: telemetry.counter("sched_offered_pkts", &labels),
+            admitted: telemetry.counter("sched_admitted_pkts", &labels),
+            dropped: telemetry.counter("sched_dropped_pkts", &labels),
+            dequeued: telemetry.counter("sched_dequeued_pkts", &labels),
+            inversions: telemetry.counter("sched_rank_inversions", &labels),
+            depth_pkts: telemetry.gauge("sched_depth_pkts", &labels),
+            depth_bytes: telemetry.gauge("sched_depth_bytes", &labels),
+            sojourn_ns: telemetry.histogram("sched_sojourn_ns", &labels),
+            inner,
+        }
+    }
+
+    /// The wrapped queue.
+    pub fn inner(&self) -> &Q {
+        &self.inner
+    }
+
+    /// Dequeues counted so far (0 when the telemetry handle is disabled).
+    pub fn dequeued_count(&self) -> u64 {
+        self.dequeued.get()
+    }
+
+    /// Rank inversions counted so far.
+    pub fn inversion_count(&self) -> u64 {
+        self.inversions.get()
+    }
+
+    fn note_resident(&mut self, rank: Rank) {
+        *self.ranks.entry(rank).or_insert(0) += 1;
+    }
+
+    fn forget_resident(&mut self, rank: Rank) {
+        match self.ranks.get_mut(&rank) {
+            Some(1) => {
+                self.ranks.remove(&rank);
+            }
+            Some(n) => *n -= 1,
+            None => debug_assert!(false, "rank {rank} not resident"),
+        }
+    }
+
+    fn update_depth(&self) {
+        self.depth_pkts.set(self.inner.len() as i64);
+        self.depth_bytes.set(self.inner.bytes() as i64);
+    }
+}
+
+impl<Q: PacketQueue> PacketQueue for InstrumentedQueue<Q> {
+    fn enqueue(&mut self, mut p: Packet, now: Nanos) -> Enqueue {
+        if !self.enabled {
+            return self.inner.enqueue(p, now);
+        }
+        self.offered.inc();
+        p.enqueued_at = now;
+        let rank = p.txf_rank;
+        let outcome = self.inner.enqueue(p, now);
+        match &outcome {
+            Enqueue::Accepted => {
+                self.admitted.inc();
+                self.note_resident(rank);
+            }
+            Enqueue::AcceptedDropped(dropped) => {
+                self.admitted.inc();
+                self.note_resident(rank);
+                self.dropped.add(dropped.len() as u64);
+                // Evicted packets were residents; drop them from the mirror.
+                for d in dropped {
+                    self.forget_resident(d.txf_rank);
+                }
+            }
+            Enqueue::Rejected(_) => {
+                self.dropped.inc();
+            }
+        }
+        self.update_depth();
+        outcome
+    }
+
+    fn dequeue(&mut self, now: Nanos) -> Option<Packet> {
+        if !self.enabled {
+            return self.inner.dequeue(now);
+        }
+        let p = self.inner.dequeue(now)?;
+        self.forget_resident(p.txf_rank);
+        self.dequeued.inc();
+        if let Some((&best, _)) = self.ranks.first_key_value() {
+            if best < p.txf_rank {
+                self.inversions.inc();
+            }
+        }
+        self.sojourn_ns
+            .record(now.saturating_sub(p.enqueued_at).as_nanos());
+        self.update_depth();
+        Some(p)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn bytes(&self) -> u64 {
+        self.inner.bytes()
+    }
+
+    fn head_rank(&self) -> Option<Rank> {
+        self.inner.head_rank()
+    }
+
+    fn kind(&self) -> &'static str {
+        self.inner.kind()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fifo::FifoQueue;
+    use crate::pifo::PifoQueue;
+    use crate::queue::Capacity;
+    use qvisor_sim::{FlowId, NodeId, TenantId};
+
+    fn pkt(seq: u64, rank: Rank) -> Packet {
+        let mut p = Packet::data(
+            FlowId(1),
+            TenantId(0),
+            seq,
+            100,
+            NodeId(0),
+            NodeId(1),
+            rank,
+            Nanos::ZERO,
+        );
+        p.txf_rank = rank;
+        p
+    }
+
+    fn counter(t: &Telemetry, name: &str, q: &str, kind: &str) -> u64 {
+        t.counter(name, &[("queue", q), ("kind", kind)]).get()
+    }
+
+    #[test]
+    fn counts_flow_through_telemetry() {
+        let t = Telemetry::enabled();
+        let mut q = InstrumentedQueue::new(FifoQueue::new(Capacity::UNBOUNDED), &t, "q0");
+        q.enqueue(pkt(0, 9), Nanos::ZERO);
+        q.enqueue(pkt(1, 1), Nanos::ZERO);
+        q.dequeue(Nanos(500)); // rank 9 leaves while rank 1 waits: inversion
+        assert_eq!(counter(&t, "sched_offered_pkts", "q0", "fifo"), 2);
+        assert_eq!(counter(&t, "sched_admitted_pkts", "q0", "fifo"), 2);
+        assert_eq!(counter(&t, "sched_dequeued_pkts", "q0", "fifo"), 1);
+        assert_eq!(counter(&t, "sched_rank_inversions", "q0", "fifo"), 1);
+        assert_eq!(
+            t.gauge("sched_depth_pkts", &[("queue", "q0"), ("kind", "fifo")])
+                .get(),
+            1
+        );
+        // Sojourn: one sample of 500 ns.
+        let h = t.histogram("sched_sojourn_ns", &[("queue", "q0"), ("kind", "fifo")]);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(1.0), Some(500));
+    }
+
+    #[test]
+    fn pifo_has_zero_inversions() {
+        let t = Telemetry::enabled();
+        let mut q = InstrumentedQueue::new(PifoQueue::new(Capacity::UNBOUNDED), &t, "q0");
+        for (i, r) in [5u64, 1, 9, 3, 7].into_iter().enumerate() {
+            q.enqueue(pkt(i as u64, r), Nanos::ZERO);
+        }
+        while q.dequeue(Nanos::ZERO).is_some() {}
+        assert_eq!(q.inversion_count(), 0);
+        assert_eq!(q.dequeued_count(), 5);
+    }
+
+    #[test]
+    fn drop_accounting_covers_rejects_and_evictions() {
+        let t = Telemetry::enabled();
+        let mut q = InstrumentedQueue::new(PifoQueue::new(Capacity::bytes(200)), &t, "q0");
+        q.enqueue(pkt(0, 5), Nanos::ZERO);
+        q.enqueue(pkt(1, 6), Nanos::ZERO);
+        q.enqueue(pkt(2, 1), Nanos::ZERO); // evicts rank 6
+        q.enqueue(pkt(3, 9), Nanos::ZERO); // rejected
+        assert_eq!(counter(&t, "sched_offered_pkts", "q0", "pifo"), 4);
+        assert_eq!(counter(&t, "sched_admitted_pkts", "q0", "pifo"), 3);
+        assert_eq!(counter(&t, "sched_dropped_pkts", "q0", "pifo"), 2);
+        // Mirror stays consistent: drain without panic.
+        while q.dequeue(Nanos::ZERO).is_some() {}
+        assert_eq!(counter(&t, "sched_dequeued_pkts", "q0", "pifo"), 2);
+    }
+
+    #[test]
+    fn disabled_handle_is_transparent() {
+        let t = Telemetry::disabled();
+        let mut q = InstrumentedQueue::new(FifoQueue::new(Capacity::UNBOUNDED), &t, "q0");
+        q.enqueue(pkt(0, 9), Nanos::ZERO);
+        assert_eq!(q.len(), 1);
+        assert!(q.ranks.is_empty(), "no mirror state when disabled");
+        let p = q.dequeue(Nanos(5)).unwrap();
+        // Disabled instrumentation must not stamp packets.
+        assert_eq!(p.enqueued_at, Nanos::ZERO);
+        assert_eq!(q.dequeued_count(), 0);
+    }
+}

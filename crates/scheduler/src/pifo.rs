@@ -107,6 +107,10 @@ impl PacketQueue for PifoQueue {
     fn head_rank(&self) -> Option<Rank> {
         self.entries.keys().next().map(|&(r, _)| r)
     }
+
+    fn kind(&self) -> &'static str {
+        "pifo"
+    }
 }
 
 #[cfg(test)]

@@ -201,6 +201,10 @@ impl<C: TreeClassifier> PacketQueue for PifoTree<C> {
             Node::Leaf { pifo, .. } => pifo.keys().next().map(|&(r, _)| r),
         }
     }
+
+    fn kind(&self) -> &'static str {
+        "pifo_tree"
+    }
 }
 
 #[cfg(test)]

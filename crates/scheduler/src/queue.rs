@@ -56,6 +56,11 @@ pub trait PacketQueue {
 
     /// Rank of the packet [`Self::dequeue`] would return, if any.
     fn head_rank(&self) -> Option<Rank>;
+
+    /// Short stable identifier of the scheduling discipline, used as the
+    /// `kind` label on telemetry metrics (e.g. `"pifo"`, `"sp_pifo"`).
+    /// Wrappers report the wrapped queue's kind.
+    fn kind(&self) -> &'static str;
 }
 
 impl PacketQueue for Box<dyn PacketQueue> {
@@ -73,6 +78,9 @@ impl PacketQueue for Box<dyn PacketQueue> {
     }
     fn head_rank(&self) -> Option<Rank> {
         (**self).head_rank()
+    }
+    fn kind(&self) -> &'static str {
+        (**self).kind()
     }
 }
 

@@ -130,6 +130,10 @@ impl<Q: PacketQueue> PacketQueue for ShapedQueue<Q> {
     fn head_rank(&self) -> Option<Rank> {
         self.inner.head_rank()
     }
+
+    fn kind(&self) -> &'static str {
+        self.inner.kind()
+    }
 }
 
 #[cfg(test)]

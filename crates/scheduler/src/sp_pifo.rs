@@ -58,6 +58,10 @@ impl QueueMapper for SpPifoMapper {
         self.bounds.len()
     }
 
+    fn kind(&self) -> &'static str {
+        "sp_pifo"
+    }
+
     fn map(&mut self, rank: Rank) -> usize {
         // Canonical SP-PIFO (NSDI '20, Algorithm 1): scan from the
         // lowest-priority queue; the first queue whose bound is <= rank

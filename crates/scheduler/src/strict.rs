@@ -23,6 +23,11 @@ pub trait QueueMapper {
 
     /// Feedback hook invoked when a packet leaves queue `queue`.
     fn on_dequeue(&mut self, _queue: usize, _rank: Rank) {}
+
+    /// Telemetry `kind` label for a bank driven by this mapper.
+    fn kind(&self) -> &'static str {
+        "strict"
+    }
 }
 
 /// Static mapper: splits `[min, max]` into `queues` equal-width rank ranges.
@@ -182,6 +187,10 @@ impl<M: QueueMapper> PacketQueue for StrictPriorityBank<M> {
             .find(|q| !q.is_empty())
             .and_then(|q| q.front())
             .map(|p| p.txf_rank)
+    }
+
+    fn kind(&self) -> &'static str {
+        self.mapper.kind()
     }
 }
 

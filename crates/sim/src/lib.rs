@@ -12,6 +12,7 @@
 
 pub mod events;
 pub mod id;
+pub mod json;
 pub mod packet;
 pub mod rng;
 pub mod stats;

@@ -49,6 +49,10 @@ pub struct Packet {
     pub sent_at: Nanos,
     /// Absolute deadline for deadline-constrained traffic.
     pub deadline: Option<Nanos>,
+    /// Simulation time this packet last entered a queue. Stamped by
+    /// instrumentation wrappers to measure queueing delay; `Nanos::ZERO`
+    /// until then. Never consulted by scheduling logic.
+    pub enqueued_at: Nanos,
 }
 
 impl Packet {
@@ -76,6 +80,7 @@ impl Packet {
             kind: PacketKind::Data,
             sent_at,
             deadline: None,
+            enqueued_at: Nanos::ZERO,
         }
     }
 
@@ -97,6 +102,7 @@ impl Packet {
             },
             sent_at: now,
             deadline: None,
+            enqueued_at: Nanos::ZERO,
         }
     }
 

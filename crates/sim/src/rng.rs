@@ -1,11 +1,8 @@
 //! Deterministic random numbers.
 //!
 //! The simulator carries its own xoshiro256** implementation so that results
-//! are bit-reproducible across `rand` versions and platforms. [`SimRng`]
-//! implements [`rand::RngCore`], so all of `rand` / `rand_distr` works on
-//! top of it.
-
-use rand::RngCore;
+//! are bit-reproducible across platforms with no external dependencies;
+//! every distribution a workload needs is derived from [`SimRng`] directly.
 
 /// SplitMix64, used to expand a 64-bit seed into xoshiro state.
 fn splitmix64(state: &mut u64) -> u64 {
@@ -101,16 +98,9 @@ impl SimRng {
     }
 }
 
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        (self.next() >> 32) as u32
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.next()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+impl SimRng {
+    /// Fill `dest` with random bytes (little-endian words of [`Self::next`]).
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
             chunk.copy_from_slice(&self.next().to_le_bytes());
@@ -120,11 +110,6 @@ impl RngCore for SimRng {
             let bytes = self.next().to_le_bytes();
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

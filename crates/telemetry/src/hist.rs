@@ -1,0 +1,301 @@
+//! Log-linear (HDR-style) histogram over `u64` values.
+//!
+//! Values below 2^SUB_BITS get exact unit buckets; above that, each
+//! power-of-two range is split into 2^SUB_BITS linear sub-buckets, so the
+//! relative quantile error is bounded by `2^-SUB_BITS` (~3.1%) and the
+//! absolute error by one bucket width. Compared with the coarse
+//! `qvisor_sim::Log2Histogram` the monitor uses on the data path, this
+//! trades a fixed ~15 KB table for per-bucket resolution good enough to
+//! report latency percentiles.
+
+/// Sub-bucket resolution: each power-of-two range has `2^SUB_BITS` buckets.
+pub const SUB_BITS: u32 = 5;
+const SUBS: usize = 1 << SUB_BITS;
+/// Total bucket count for the full `u64` range: unit buckets below
+/// `2^SUB_BITS`, then `SUBS` sub-buckets for each exponent up to 63.
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUBS;
+
+/// A log-bucketed histogram with bounded relative error.
+#[derive(Clone)]
+pub struct LogHistogram {
+    counts: Box<[u64; BUCKETS]>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.total)
+            .field("min", &self.min())
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+/// One occupied bucket: the closed value range `[lo, hi]` and its count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Bucket {
+    /// Smallest value mapping to this bucket.
+    pub lo: u64,
+    /// Largest value mapping to this bucket.
+    pub hi: u64,
+    /// Recorded values in the range.
+    pub count: u64,
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUBS as u64 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros(); // >= SUB_BITS
+    let sub = ((v >> (exp - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+    ((exp - SUB_BITS + 1) as usize) * SUBS + sub
+}
+
+/// The closed `[lo, hi]` range of values mapping to bucket `index`.
+fn bucket_range(index: usize) -> (u64, u64) {
+    if index < SUBS {
+        return (index as u64, index as u64);
+    }
+    let block = (index / SUBS) as u32;
+    let sub = (index % SUBS) as u64;
+    let exp = block + SUB_BITS - 1;
+    let width = 1u64 << (exp - SUB_BITS);
+    let lo = (1u64 << exp) + sub * width;
+    (lo, lo + (width - 1))
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            counts: vec![0u64; BUCKETS].into_boxed_slice().try_into().unwrap(),
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact smallest recorded value (`None` if empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.min)
+    }
+
+    /// Exact largest recorded value (`None` if empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.total > 0).then_some(self.max)
+    }
+
+    /// Exact arithmetic mean (`None` if empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.sum as f64 / self.total as f64)
+    }
+
+    /// Nearest-rank `p`-quantile estimate (`p` in `[0, 1]`; `None` if
+    /// empty). Returns the upper bound of the bucket holding the target
+    /// rank, clamped to the exact observed maximum — so the estimate is
+    /// never below the true quantile and overshoots by at most one bucket
+    /// width.
+    pub fn quantile(&self, p: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = ((p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Some(bucket_range(i).1.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Width of the bucket that `v` falls in (the quantile error bound at
+    /// that magnitude).
+    pub fn bucket_width(v: u64) -> u64 {
+        let (lo, hi) = bucket_range(bucket_index(v));
+        hi - lo + 1
+    }
+
+    /// Occupied buckets in ascending value order.
+    pub fn buckets(&self) -> Vec<Bucket> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = bucket_range(i);
+                Bucket { lo, hi, count: c }
+            })
+            .collect()
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Reset to empty.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        for b in h.buckets() {
+            assert_eq!(b.lo, b.hi, "unit bucket expected below 2^SUB_BITS");
+            assert_eq!(b.count, 1);
+        }
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(1.0), Some(31));
+    }
+
+    #[test]
+    fn bucket_ranges_partition_the_u64_line() {
+        // Every value maps into a bucket whose range contains it, and
+        // consecutive buckets tile without gaps or overlap.
+        let mut prev_hi: Option<u64> = None;
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_range(i);
+            assert!(lo <= hi);
+            if let Some(p) = prev_hi {
+                assert_eq!(lo, p + 1, "gap/overlap at bucket {i}");
+            }
+            prev_hi = Some(hi);
+            if hi == u64::MAX {
+                break;
+            }
+        }
+        for v in [0u64, 1, 31, 32, 33, 1000, 1 << 20, u64::MAX / 3, u64::MAX] {
+            let (lo, hi) = bucket_range(bucket_index(v));
+            assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn mean_min_max_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in [10u64, 20, 30, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), Some(10));
+        assert_eq!(h.max(), Some(1000));
+        assert!((h.mean().unwrap() - 265.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded_by_bucket_width() {
+        // Deterministic pseudo-random sample with a heavy tail; compare
+        // against the exact sorted quantiles.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let values: Vec<u64> = (0..50_000).map(|_| next() % 10_000_000).collect();
+        let mut h = LogHistogram::new();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &v in &values {
+            h.record(v);
+        }
+        for p in [0.01, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((p * sorted.len() as f64).ceil() as usize).max(1) - 1;
+            let exact = sorted[rank];
+            let est = h.quantile(p).unwrap();
+            let width = LogHistogram::bucket_width(exact);
+            assert!(
+                est >= exact && est - exact <= width,
+                "p={p}: est {est} vs exact {exact}, width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_never_exceeds_observed_max() {
+        let mut h = LogHistogram::new();
+        h.record(1_000_003);
+        assert_eq!(h.quantile(1.0), Some(1_000_003));
+        assert_eq!(h.quantile(0.5), Some(1_000_003));
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut whole = LogHistogram::new();
+        for v in 0..1000u64 {
+            let x = v * v % 70_001;
+            whole.record(x);
+            if v % 2 == 0 {
+                a.record(x)
+            } else {
+                b.record(x)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.quantile(0.5), whole.quantile(0.5));
+        assert_eq!(a.buckets(), whole.buckets());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut h = LogHistogram::new();
+        h.record(7);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+    }
+}

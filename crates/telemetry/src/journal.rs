@@ -1,0 +1,142 @@
+//! Bounded event journal keyed by simulated time.
+//!
+//! The journal is a ring buffer of structured events (policy recompiles,
+//! adapter decisions, drops of interest). When full, the oldest events are
+//! evicted and counted, so a long simulation can keep a journal of the most
+//! recent activity at fixed memory cost without ever aborting or blocking.
+
+use qvisor_sim::json::Value;
+use qvisor_sim::Nanos;
+use std::collections::VecDeque;
+
+/// One structured journal entry.
+#[derive(Clone, Debug)]
+pub struct JournalEvent {
+    /// Simulated time the event was recorded at.
+    pub t: Nanos,
+    /// Short machine-readable event kind, e.g. `"recompile"`.
+    pub kind: String,
+    /// Free-form structured payload, in insertion order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl JournalEvent {
+    /// Render as a JSON object (`{"type":"event","t_ns":...,...}`).
+    pub fn to_json(&self) -> Value {
+        let mut fields = Value::object();
+        for (k, v) in &self.fields {
+            fields = fields.set(k, v.clone());
+        }
+        Value::object()
+            .set("type", "event")
+            .set("t_ns", self.t)
+            .set("kind", self.kind.as_str())
+            .set("fields", fields)
+    }
+}
+
+/// Fixed-capacity ring buffer of [`JournalEvent`]s.
+#[derive(Clone, Debug)]
+pub struct Journal {
+    events: VecDeque<JournalEvent>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl Default for Journal {
+    fn default() -> Journal {
+        Journal::new(crate::DEFAULT_JOURNAL_CAPACITY)
+    }
+}
+
+impl Journal {
+    /// A journal holding at most `capacity` events (capacity 0 records
+    /// nothing but still counts evictions).
+    pub fn new(capacity: usize) -> Journal {
+        Journal {
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            evicted: 0,
+        }
+    }
+
+    /// Append an event, evicting the oldest if full.
+    pub fn push(&mut self, event: JournalEvent) {
+        if self.capacity == 0 {
+            self.evicted += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.evicted += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &JournalEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted (or refused, at capacity 0) since creation.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, kind: &str) -> JournalEvent {
+        JournalEvent {
+            t: Nanos(t),
+            kind: kind.to_string(),
+            fields: vec![("x".to_string(), Value::from(t))],
+        }
+    }
+
+    #[test]
+    fn keeps_most_recent_when_full() {
+        let mut j = Journal::new(3);
+        for t in 0..5 {
+            j.push(ev(t, "tick"));
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.evicted(), 2);
+        let ts: Vec<Nanos> = j.events().map(|e| e.t).collect();
+        assert_eq!(ts, vec![Nanos(2), Nanos(3), Nanos(4)]);
+    }
+
+    #[test]
+    fn zero_capacity_counts_but_keeps_nothing() {
+        let mut j = Journal::new(0);
+        j.push(ev(1, "tick"));
+        assert!(j.is_empty());
+        assert_eq!(j.evicted(), 1);
+    }
+
+    #[test]
+    fn event_serialises_with_fields() {
+        let line = ev(42, "recompile").to_json().to_compact();
+        assert_eq!(
+            line,
+            r#"{"type":"event","t_ns":42,"kind":"recompile","fields":{"x":42}}"#
+        );
+    }
+}

@@ -1,0 +1,49 @@
+#![deny(missing_docs)]
+
+//! # qvisor-telemetry — unified observability for the QVISOR reproduction
+//!
+//! One metrics path for the whole workspace: scheduler backends, the
+//! packet-level network simulator, and the hypervisor runtime all report
+//! through a [`Telemetry`] handle instead of growing ad-hoc counter structs.
+//!
+//! Three ideas keep it cheap and safe to leave plumbed in everywhere:
+//!
+//! 1. **Zero-cost when compiled out.** With the `enabled` cargo feature off
+//!    (it is on by default), every handle is a zero-sized type and every
+//!    recording method is an empty `#[inline]` body, so the optimiser erases
+//!    the instrumentation entirely.
+//! 2. **Cheap when runtime-disabled.** A default-constructed [`Telemetry`]
+//!    is disabled: handles hold `None` and each record is one branch.
+//! 3. **Never perturbs the simulation.** Telemetry only *observes* — it
+//!    takes no randomness, orders no events, and is keyed by simulated time,
+//!    so enabling it cannot change a simulation's outcome. The determinism
+//!    suite enforces this.
+//!
+//! Collected state lives in a registry shared by `Rc` (simulations are
+//! single-threaded by design): monotonic counters, last-value gauges,
+//! log-bucketed [`LogHistogram`]s, and a bounded [`Journal`] of structured
+//! events. [`Telemetry::export_jsonl`] serialises everything as JSON lines;
+//! [`report`] renders exported files back into human-readable tables.
+
+pub mod hist;
+pub mod journal;
+pub mod report;
+
+pub use hist::{Bucket, LogHistogram, SUB_BITS};
+pub use journal::{Journal, JournalEvent};
+
+#[cfg(feature = "enabled")]
+mod live;
+#[cfg(feature = "enabled")]
+pub use live::{Counter, Gauge, Histogram, Telemetry};
+
+#[cfg(not(feature = "enabled"))]
+mod noop;
+#[cfg(not(feature = "enabled"))]
+pub use noop::{Counter, Gauge, Histogram, Telemetry};
+
+/// Version tag written into the `meta` line of every JSONL export.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Default bound on retained journal events.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 4096;

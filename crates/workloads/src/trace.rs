@@ -6,11 +6,11 @@
 //! simulator).
 
 use crate::gen::{GeneratedCbr, GeneratedFlow};
+use qvisor_sim::json::{self, ParseError, Value};
 use qvisor_sim::{Nanos, NodeId, TenantId};
-use serde::{Deserialize, Serialize};
 
 /// Serializable form of one reliable flow.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FlowTraceEntry {
     /// Tenant id.
     pub tenant: u16,
@@ -27,7 +27,7 @@ pub struct FlowTraceEntry {
 }
 
 /// Serializable form of one CBR stream.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CbrTraceEntry {
     /// Tenant id.
     pub tenant: u16,
@@ -48,7 +48,7 @@ pub struct CbrTraceEntry {
 }
 
 /// A complete workload trace.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct WorkloadTrace {
     /// Reliable flows.
     pub flows: Vec<FlowTraceEntry>,
@@ -120,12 +120,98 @@ impl WorkloadTrace {
 
     /// Serialize to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("trace types are always serializable")
+        let flows: Vec<Value> = self
+            .flows
+            .iter()
+            .map(|f| {
+                Value::object()
+                    .set("tenant", u64::from(f.tenant))
+                    .set("src", f.src)
+                    .set("dst", f.dst)
+                    .set("size", f.size)
+                    .set("start_ns", f.start_ns)
+                    .set("deadline_ns", f.deadline_ns)
+            })
+            .collect();
+        let cbr: Vec<Value> = self
+            .cbr
+            .iter()
+            .map(|c| {
+                Value::object()
+                    .set("tenant", u64::from(c.tenant))
+                    .set("src", c.src)
+                    .set("dst", c.dst)
+                    .set("rate_bps", c.rate_bps)
+                    .set("pkt_size", c.pkt_size)
+                    .set("start_ns", c.start_ns)
+                    .set("stop_ns", c.stop_ns)
+                    .set("deadline_offset_ns", c.deadline_offset_ns)
+            })
+            .collect();
+        Value::object()
+            .set("flows", Value::from(flows))
+            .set("cbr", Value::from(cbr))
+            .to_pretty()
     }
 
     /// Parse from JSON.
-    pub fn from_json(json: &str) -> Result<WorkloadTrace, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(text: &str) -> Result<WorkloadTrace, ParseError> {
+        fn array<'v>(root: &'v Value, key: &str) -> Result<&'v [Value], ParseError> {
+            json::field(root, key)?.as_array().ok_or(ParseError {
+                at: 0,
+                msg: format!("field '{key}' must be an array"),
+            })
+        }
+        fn field_u32(v: &Value, key: &str) -> Result<u32, ParseError> {
+            json::field_u64(v, key)?.try_into().map_err(|_| ParseError {
+                at: 0,
+                msg: format!("field '{key}' does not fit a u32"),
+            })
+        }
+        fn field_u16(v: &Value, key: &str) -> Result<u16, ParseError> {
+            json::field_u64(v, key)?.try_into().map_err(|_| ParseError {
+                at: 0,
+                msg: format!("field '{key}' does not fit a u16"),
+            })
+        }
+        let root = Value::parse(text)?;
+        let flows = array(&root, "flows")?
+            .iter()
+            .map(|f| {
+                let deadline_ns = match f.get("deadline_ns") {
+                    None => None,
+                    Some(d) if d.is_null() => None,
+                    Some(d) => Some(d.as_u64().ok_or(ParseError {
+                        at: 0,
+                        msg: "field 'deadline_ns' must be a non-negative integer".to_string(),
+                    })?),
+                };
+                Ok(FlowTraceEntry {
+                    tenant: field_u16(f, "tenant")?,
+                    src: field_u32(f, "src")?,
+                    dst: field_u32(f, "dst")?,
+                    size: json::field_u64(f, "size")?,
+                    start_ns: json::field_u64(f, "start_ns")?,
+                    deadline_ns,
+                })
+            })
+            .collect::<Result<Vec<_>, ParseError>>()?;
+        let cbr = array(&root, "cbr")?
+            .iter()
+            .map(|c| {
+                Ok(CbrTraceEntry {
+                    tenant: field_u16(c, "tenant")?,
+                    src: field_u32(c, "src")?,
+                    dst: field_u32(c, "dst")?,
+                    rate_bps: json::field_u64(c, "rate_bps")?,
+                    pkt_size: field_u32(c, "pkt_size")?,
+                    start_ns: json::field_u64(c, "start_ns")?,
+                    stop_ns: json::field_u64(c, "stop_ns")?,
+                    deadline_offset_ns: json::field_u64(c, "deadline_offset_ns")?,
+                })
+            })
+            .collect::<Result<Vec<_>, ParseError>>()?;
+        Ok(WorkloadTrace { flows, cbr })
     }
 }
 

@@ -17,6 +17,8 @@ pub enum CliError {
     Io(std::io::Error),
     /// QVISOR rejected the input.
     Qvisor(QvisorError),
+    /// A telemetry export file could not be parsed.
+    Telemetry(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -25,6 +27,7 @@ impl std::fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "usage error: {msg}\n\n{USAGE}"),
             CliError::Io(e) => write!(f, "cannot read configuration: {e}"),
             CliError::Qvisor(e) => write!(f, "{e}"),
+            CliError::Telemetry(msg) => write!(f, "invalid telemetry export: {msg}"),
         }
     }
 }
@@ -52,6 +55,7 @@ USAGE:
     qvisor analyze <config.json>                 verify worst-case guarantees
     qvisor compile <config.json> --queues N --rank-bits B
                                                  fit onto constrained hardware
+    qvisor telemetry report <export.jsonl>       render a telemetry export
     qvisor example                               print a starter config
 
 The config file is the Fig. 1 Configuration API as JSON:
@@ -83,6 +87,20 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let (queues, rank_bits) = parse_compile_flags(&args[2..])?;
             cmd_compile(&std::fs::read_to_string(path)?, queues, rank_bits)
         }
+        Some("telemetry") => match args.get(1).map(String::as_str) {
+            Some("report") => {
+                let path = args.get(2).ok_or_else(|| {
+                    CliError::Usage("telemetry report needs an export file".into())
+                })?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CliError::Telemetry(format!("cannot read {path}: {e}")))?;
+                cmd_telemetry_report(&text)
+            }
+            Some(other) => Err(CliError::Usage(format!(
+                "unknown telemetry subcommand '{other}'"
+            ))),
+            None => Err(CliError::Usage("telemetry needs a subcommand".into())),
+        },
         Some("example") => Ok(example_config()),
         Some(other) => Err(CliError::Usage(format!("unknown command '{other}'"))),
         None => Err(CliError::Usage("no command given".into())),
@@ -182,6 +200,13 @@ pub fn cmd_compile(config_json: &str, queues: usize, rank_bits: u32) -> Result<S
     Ok(text)
 }
 
+/// `qvisor telemetry report`: render a JSONL telemetry export (as written
+/// by `Telemetry::export_jsonl` or the bench binaries' `--telemetry` flag)
+/// as per-tenant and per-queue summary tables.
+pub fn cmd_telemetry_report(jsonl: &str) -> Result<String, CliError> {
+    qvisor_telemetry::report::render(jsonl).map_err(CliError::Telemetry)
+}
+
 /// `qvisor example`: a starter configuration.
 pub fn example_config() -> String {
     DeploymentConfig::from_json(
@@ -268,6 +293,38 @@ mod tests {
         .unwrap();
         assert!(out.contains("target      : 4 queues, 10-bit ranks"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn telemetry_report_round_trips() {
+        let t = qvisor_telemetry::Telemetry::enabled();
+        t.counter("net_sent_pkts", &[("tenant", "T1")]).add(42);
+        t.counter(
+            "sched_dropped_pkts",
+            &[("queue", "n0.p0"), ("kind", "pifo")],
+        )
+        .add(3);
+        let out = cmd_telemetry_report(&t.export_jsonl()).unwrap();
+        assert!(out.contains("per-tenant"));
+        assert!(out.contains("T1"));
+        assert!(out.contains("per-queue"));
+        assert!(out.contains("n0.p0"));
+        // Dispatch through run() with a temp file.
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let path = std::env::temp_dir().join("qvisor_cli_test_telemetry.jsonl");
+        std::fs::write(&path, t.export_jsonl()).unwrap();
+        let out = run(&args(&["telemetry", "report", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("telemetry report"));
+        std::fs::remove_file(&path).ok();
+        // Usage and parse errors are clean.
+        assert!(matches!(
+            run(&args(&["telemetry"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_telemetry_report("{not json"),
+            Err(CliError::Telemetry(_))
+        ));
     }
 
     #[test]

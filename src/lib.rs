@@ -72,3 +72,8 @@ pub mod netsim {
 pub mod workloads {
     pub use qvisor_workloads::*;
 }
+
+/// Observability: counters, gauges, histograms, and the event journal.
+pub mod telemetry {
+    pub use qvisor_telemetry::*;
+}

@@ -6,11 +6,17 @@ use qvisor::core::{SynthConfig, TenantSpec, UnknownTenantAction};
 use qvisor::netsim::{QvisorSetup, SchedulerKind, SimConfig, Simulation};
 use qvisor::ranking::{PFabric, RankRange};
 use qvisor::sim::{Nanos, SimRng, TenantId};
+use qvisor::telemetry::Telemetry;
 use qvisor::topology::{LeafSpine, LeafSpineConfig};
 use qvisor::transport::SizeBucket;
 use qvisor::workloads::{EmpiricalCdf, PoissonFlowGen};
 
 fn fingerprint(seed: u64) -> (u64, u64, Option<f64>, u64) {
+    let (f, _) = world(seed, Telemetry::disabled());
+    f
+}
+
+fn world(seed: u64, telemetry: Telemetry) -> ((u64, u64, Option<f64>, u64), String) {
     let fabric = LeafSpine::build(&LeafSpineConfig::small());
     let hosts = fabric.all_hosts();
     let specs = vec![
@@ -29,6 +35,7 @@ fn fingerprint(seed: u64) -> (u64, u64, Option<f64>, u64) {
             scope: Default::default(),
             monitor: None,
         }),
+        telemetry,
         ..SimConfig::default()
     };
     let mut sim = Simulation::new(fabric.topology.clone(), cfg).unwrap();
@@ -46,10 +53,13 @@ fn fingerprint(seed: u64) -> (u64, u64, Option<f64>, u64) {
     }
     let r = sim.run();
     (
-        r.events,
-        r.end_time.as_nanos(),
-        r.fct.mean_fct_ms(None, SizeBucket::ALL),
-        r.tenant(TenantId(1)).dropped_pkts + r.random_losses,
+        (
+            r.events,
+            r.end_time.as_nanos(),
+            r.fct.mean_fct_ms(None, SizeBucket::ALL),
+            r.tenant(TenantId(1)).dropped_pkts + r.random_losses,
+        ),
+        format!("{r:?}"),
     )
 }
 
@@ -63,4 +73,28 @@ fn different_seed_different_world() {
     let a = fingerprint(7);
     let b = fingerprint(8);
     assert_ne!(a, b, "distinct seeds should diverge: {a:?}");
+}
+
+/// Observing the run must not change it: with telemetry enabled the full
+/// [`qvisor::netsim::SimReport`] (compared byte-for-byte via `Debug`) is
+/// identical to the telemetry-off run, and the registry actually saw
+/// traffic — proving instrumentation is on yet side-effect-free.
+#[test]
+fn telemetry_does_not_perturb_the_world() {
+    let telemetry = Telemetry::enabled();
+    let (on, on_report) = world(7, telemetry.clone());
+    let (off, off_report) = world(7, Telemetry::disabled());
+    assert_eq!(on, off, "telemetry changed the simulation fingerprint");
+    assert_eq!(
+        on_report, off_report,
+        "telemetry changed the simulation report"
+    );
+    if telemetry.is_enabled() {
+        // Feature "enabled" compiled in: the registry must have observed
+        // the same world the report describes, not an empty one.
+        let sent = telemetry
+            .counter("net_sent_pkts", &[("tenant", "T1")])
+            .get();
+        assert!(sent > 0, "enabled telemetry recorded nothing");
+    }
 }

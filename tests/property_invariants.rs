@@ -1,14 +1,19 @@
-//! Property-based tests (proptest) on the core data structures and the
+//! Randomized property tests on the core data structures and the
 //! invariants the whole system rests on.
+//!
+//! Each property is exercised over many cases drawn from a seeded
+//! [`SimRng`], so failures reproduce exactly; on failure the case index
+//! and inputs are in the panic message.
 
-use proptest::prelude::*;
 use qvisor::core::{synthesize, Policy, RankTransform, SynthConfig, TenantSpec, TransformChain};
 use qvisor::ranking::RankRange;
 use qvisor::scheduler::{
     CalendarQueue, Capacity, Enqueue, FifoQueue, PacketQueue, PathStep, PifoQueue, PifoTree,
     QueueMapper, SpPifoMapper, TreePath, TreeShape,
 };
-use qvisor::sim::{EventQueue, FlowId, Nanos, NodeId, Packet, TenantId};
+use qvisor::sim::{EventQueue, FlowId, Nanos, NodeId, Packet, SimRng, TenantId};
+
+const CASES: u64 = 64;
 
 fn packet(seq: u64, rank: u64, size: u32) -> Packet {
     let mut p = Packet::data(
@@ -25,14 +30,25 @@ fn packet(seq: u64, rank: u64, size: u32) -> Packet {
     p
 }
 
-proptest! {
-    /// A PIFO must always emit packets in non-decreasing rank order,
-    /// whatever the arrival order and capacity pressure.
-    #[test]
-    fn pifo_dequeue_order_is_sorted(
-        ranks in proptest::collection::vec(0u64..1_000, 1..200),
-        cap_pkts in 1u64..64,
-    ) {
+/// `len` uniform draws below `bound`.
+fn rand_vec(rng: &mut SimRng, len: u64, bound: u64) -> Vec<u64> {
+    (0..len).map(|_| rng.below(bound)).collect()
+}
+
+/// Uniform in `[lo, hi)`.
+fn between(rng: &mut SimRng, lo: u64, hi: u64) -> u64 {
+    lo + rng.below(hi - lo)
+}
+
+/// A PIFO must always emit packets in non-decreasing rank order, whatever
+/// the arrival order and capacity pressure.
+#[test]
+fn pifo_dequeue_order_is_sorted() {
+    let mut rng = SimRng::seed_from(0xA1);
+    for case in 0..CASES {
+        let len = between(&mut rng, 1, 200);
+        let ranks = rand_vec(&mut rng, len, 1_000);
+        let cap_pkts = between(&mut rng, 1, 64);
         let mut q = PifoQueue::new(Capacity::packets(cap_pkts, 100));
         for (i, &r) in ranks.iter().enumerate() {
             q.enqueue(packet(i as u64, r, 100), Nanos::ZERO);
@@ -40,36 +56,50 @@ proptest! {
         let out: Vec<u64> = std::iter::from_fn(|| q.dequeue(Nanos::ZERO))
             .map(|p| p.txf_rank)
             .collect();
-        prop_assert!(out.windows(2).all(|w| w[0] <= w[1]), "unsorted: {out:?}");
-        prop_assert!(out.len() <= cap_pkts as usize);
+        assert!(
+            out.windows(2).all(|w| w[0] <= w[1]),
+            "case {case}: unsorted {out:?}"
+        );
+        assert!(out.len() <= cap_pkts as usize, "case {case}");
     }
+}
 
-    /// PIFO conservation: every offered packet is either still queued,
-    /// dequeued, or reported dropped — none vanish, none duplicate.
-    #[test]
-    fn pifo_conserves_packets(
-        ops in proptest::collection::vec((0u64..500, prop::bool::ANY), 1..300),
-    ) {
+/// PIFO conservation: every offered packet is either still queued,
+/// dequeued, or reported dropped — none vanish, none duplicate.
+#[test]
+fn pifo_conserves_packets() {
+    let mut rng = SimRng::seed_from(0xA2);
+    for case in 0..CASES {
+        let n = between(&mut rng, 1, 300);
         let mut q = PifoQueue::new(Capacity::packets(16, 100));
         let mut offered = 0u64;
         let mut dropped = 0u64;
         let mut dequeued = 0u64;
-        for (i, (rank, do_dequeue)) in ops.into_iter().enumerate() {
+        for i in 0..n {
+            let rank = rng.below(500);
             offered += 1;
-            dropped += q.enqueue(packet(i as u64, rank, 100), Nanos::ZERO)
-                .dropped().len() as u64;
-            if do_dequeue && q.dequeue(Nanos::ZERO).is_some() {
+            dropped += q.enqueue(packet(i, rank, 100), Nanos::ZERO).dropped().len() as u64;
+            if rng.below(2) == 1 && q.dequeue(Nanos::ZERO).is_some() {
                 dequeued += 1;
             }
         }
-        prop_assert_eq!(offered, dropped + dequeued + q.len() as u64);
+        assert_eq!(
+            offered,
+            dropped + dequeued + q.len() as u64,
+            "case {case}: packets not conserved"
+        );
     }
+}
 
-    /// FIFO byte accounting never drifts.
-    #[test]
-    fn fifo_byte_accounting(
-        sizes in proptest::collection::vec(1u32..2_000, 1..100),
-    ) {
+/// FIFO byte accounting never drifts.
+#[test]
+fn fifo_byte_accounting() {
+    let mut rng = SimRng::seed_from(0xA3);
+    for case in 0..CASES {
+        let len = between(&mut rng, 1, 100);
+        let sizes: Vec<u32> = (0..len)
+            .map(|_| between(&mut rng, 1, 2_000) as u32)
+            .collect();
         let mut q = FifoQueue::new(Capacity::bytes(10_000));
         let mut expect = 0u64;
         for (i, &s) in sizes.iter().enumerate() {
@@ -81,62 +111,79 @@ proptest! {
                     expect -= p.size as u64;
                 }
             }
-            prop_assert_eq!(q.bytes(), expect);
+            assert_eq!(q.bytes(), expect, "case {case} after packet {i}");
         }
     }
+}
 
-    /// SP-PIFO bounds stay sorted under arbitrary rank streams.
-    #[test]
-    fn sp_pifo_bounds_sorted(
-        ranks in proptest::collection::vec(0u64..100_000, 1..500),
-        queues in 2usize..12,
-    ) {
+/// SP-PIFO bounds stay sorted under arbitrary rank streams.
+#[test]
+fn sp_pifo_bounds_sorted() {
+    let mut rng = SimRng::seed_from(0xA4);
+    for case in 0..CASES {
+        let len = between(&mut rng, 1, 500);
+        let ranks = rand_vec(&mut rng, len, 100_000);
+        let queues = between(&mut rng, 2, 12) as usize;
         let mut m = SpPifoMapper::new(queues);
         for r in ranks {
             let q = m.map(r);
-            prop_assert!(q < queues);
+            assert!(q < queues, "case {case}");
             let b = m.bounds();
-            prop_assert!(b.windows(2).all(|w| w[0] <= w[1]), "bounds {b:?}");
+            assert!(
+                b.windows(2).all(|w| w[0] <= w[1]),
+                "case {case}: bounds {b:?}"
+            );
         }
     }
+}
 
-    /// Every transform is monotone: it can never invert the relative order
-    /// of two ranks of the same tenant (intra-tenant scheduling must
-    /// survive the pre-processor, §3.2).
-    #[test]
-    fn transforms_are_monotone(
-        a in 0u64..1_000_000,
-        b in 0u64..1_000_000,
-        min in 0u64..1_000,
-        width in 1u64..100_000,
-        levels in 1u64..512,
-        every in 1u64..16,
-        offset in 0u64..1_000,
-    ) {
+/// Every transform is monotone: it can never invert the relative order of
+/// two ranks of the same tenant (intra-tenant scheduling must survive the
+/// pre-processor, §3.2).
+#[test]
+fn transforms_are_monotone() {
+    let mut rng = SimRng::seed_from(0xA5);
+    for case in 0..CASES * 4 {
+        let a = rng.below(1_000_000);
+        let b = rng.below(1_000_000);
+        let min = rng.below(1_000);
+        let width = between(&mut rng, 1, 100_000);
+        let levels = between(&mut rng, 1, 512);
+        let every = between(&mut rng, 1, 16);
+        let offset = rng.below(1_000);
         let ops = vec![
             RankTransform::Normalize {
                 input: RankRange::new(min, min + width),
                 levels,
             },
-            RankTransform::Stride { every, width: 1, offset: offset % every },
+            RankTransform::Stride {
+                every,
+                width: 1,
+                offset: offset % every,
+            },
             RankTransform::Shift { offset },
         ];
         let chain = TransformChain::from_ops(ops);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(chain.apply(lo) <= chain.apply(hi));
+        assert!(
+            chain.apply(lo) <= chain.apply(hi),
+            "case {case}: chain inverts {lo} vs {hi}"
+        );
     }
+}
 
-    /// Chain output ranges are exact for monotone chains: applying the
-    /// chain to anything in the declared input range lands within the
-    /// computed output range.
-    #[test]
-    fn chain_output_range_is_sound(
-        min in 0u64..1_000,
-        width in 1u64..10_000,
-        levels in 1u64..64,
-        shift in 0u64..10_000,
-        sample in 0u64..20_000,
-    ) {
+/// Chain output ranges are exact for monotone chains: applying the chain
+/// to anything in the declared input range lands within the computed
+/// output range.
+#[test]
+fn chain_output_range_is_sound() {
+    let mut rng = SimRng::seed_from(0xA6);
+    for case in 0..CASES * 4 {
+        let min = rng.below(1_000);
+        let width = between(&mut rng, 1, 10_000);
+        let levels = between(&mut rng, 1, 64);
+        let shift = rng.below(10_000);
+        let sample = rng.below(20_000);
         let input = RankRange::new(min, min + width);
         let chain = TransformChain::from_ops(vec![
             RankTransform::Normalize { input, levels },
@@ -145,15 +192,18 @@ proptest! {
         let out = chain.output_range(input);
         let x = input.clamp(sample);
         let y = chain.apply(x);
-        prop_assert!(out.contains(y), "{y} outside {out}");
+        assert!(out.contains(y), "case {case}: {y} outside {out}");
     }
+}
 
-    /// The event queue pops in time order with FIFO tie-breaks, for any
-    /// schedule of pushes.
-    #[test]
-    fn event_queue_total_order(
-        times in proptest::collection::vec(0u64..1_000, 1..200),
-    ) {
+/// The event queue pops in time order with FIFO tie-breaks, for any
+/// schedule of pushes.
+#[test]
+fn event_queue_total_order() {
+    let mut rng = SimRng::seed_from(0xA7);
+    for case in 0..CASES {
+        let len = between(&mut rng, 1, 200);
+        let times = rand_vec(&mut rng, len, 1_000);
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(Nanos(t), i);
@@ -161,25 +211,28 @@ proptest! {
         let mut last: Option<(Nanos, usize)> = None;
         while let Some((at, idx)) = q.pop() {
             if let Some((lt, lidx)) = last {
-                prop_assert!(at >= lt);
+                assert!(at >= lt, "case {case}");
                 if at == lt {
-                    prop_assert!(idx > lidx, "FIFO tie-break violated");
+                    assert!(idx > lidx, "case {case}: FIFO tie-break violated");
                 }
             }
-            prop_assert_eq!(Nanos(times[idx]), at);
+            assert_eq!(Nanos(times[idx]), at, "case {case}");
             last = Some((at, idx));
         }
     }
+}
 
-    /// A calendar queue with monotone (virtual-clock) arrivals dequeues in
-    /// exact rank order, however enqueues and dequeues interleave.
-    #[test]
-    fn calendar_exact_for_monotone_ranks(
-        increments in proptest::collection::vec(0u64..100, 1..300),
-        buckets in 2usize..32,
-        width in 1u64..200,
-        drain_every in 1usize..6,
-    ) {
+/// A calendar queue with monotone (virtual-clock) arrivals dequeues in
+/// exact rank order, however enqueues and dequeues interleave.
+#[test]
+fn calendar_exact_for_monotone_ranks() {
+    let mut rng = SimRng::seed_from(0xA8);
+    for case in 0..CASES {
+        let len = between(&mut rng, 1, 300);
+        let increments = rand_vec(&mut rng, len, 100);
+        let buckets = between(&mut rng, 2, 32) as usize;
+        let width = between(&mut rng, 1, 200);
+        let drain_every = between(&mut rng, 1, 6) as usize;
         let mut q = CalendarQueue::new(buckets, width, Capacity::UNBOUNDED);
         let mut rank = 0u64;
         let mut expect = std::collections::VecDeque::new();
@@ -189,37 +242,48 @@ proptest! {
             expect.push_back(rank);
             if i % drain_every == 0 {
                 let got = q.dequeue(Nanos::ZERO).unwrap().txf_rank;
-                prop_assert_eq!(got, expect.pop_front().unwrap());
+                assert_eq!(got, expect.pop_front().unwrap(), "case {case}");
             }
         }
         while let Some(p) = q.dequeue(Nanos::ZERO) {
-            prop_assert_eq!(p.txf_rank, expect.pop_front().unwrap());
+            assert_eq!(p.txf_rank, expect.pop_front().unwrap(), "case {case}");
         }
-        prop_assert!(expect.is_empty());
+        assert!(expect.is_empty(), "case {case}");
     }
+}
 
-    /// PIFO trees conserve packets and never emit more than admitted.
-    #[test]
-    fn pifo_tree_conserves_packets(
-        ops in proptest::collection::vec((0u64..100, 0u64..4, prop::bool::ANY), 1..200),
-    ) {
+/// PIFO trees conserve packets and never emit more than admitted.
+#[test]
+fn pifo_tree_conserves_packets() {
+    let mut rng = SimRng::seed_from(0xA9);
+    for case in 0..CASES {
+        let n = between(&mut rng, 1, 200);
         let shape = TreeShape::Internal(vec![
-            TreeShape::Leaf, TreeShape::Leaf, TreeShape::Leaf, TreeShape::Leaf,
+            TreeShape::Leaf,
+            TreeShape::Leaf,
+            TreeShape::Leaf,
+            TreeShape::Leaf,
         ]);
         let mut vt = [0u64; 4];
         let classifier = move |p: &qvisor::sim::Packet| {
             let class = (p.flow.0 % 4) as usize;
             vt[class] += 1;
             TreePath {
-                steps: vec![PathStep { child: class, rank: vt[class] }],
+                steps: vec![PathStep {
+                    child: class,
+                    rank: vt[class],
+                }],
                 leaf_rank: p.txf_rank,
             }
         };
         let mut tree = PifoTree::new(&shape, classifier, Capacity::packets(32, 100));
         let mut admitted = 0u64;
         let mut dequeued = 0u64;
-        for (i, (rank, class, drain)) in ops.into_iter().enumerate() {
-            let mut p = packet(i as u64, rank, 100);
+        for i in 0..n {
+            let rank = rng.below(100);
+            let class = rng.below(4);
+            let drain = rng.below(2) == 1;
+            let mut p = packet(i, rank, 100);
             p.flow = qvisor::sim::FlowId(class);
             if tree.enqueue(p, Nanos::ZERO).accepted() {
                 admitted += 1;
@@ -231,44 +295,58 @@ proptest! {
         while tree.dequeue(Nanos::ZERO).is_some() {
             dequeued += 1;
         }
-        prop_assert_eq!(admitted, dequeued);
-        prop_assert_eq!(tree.len(), 0);
-        prop_assert_eq!(tree.bytes(), 0);
+        assert_eq!(admitted, dequeued, "case {case}");
+        assert_eq!(tree.len(), 0, "case {case}");
+        assert_eq!(tree.bytes(), 0, "case {case}");
     }
+}
 
-    /// Policy parsing round-trips through Display for arbitrary shapes.
-    #[test]
-    fn policy_display_roundtrip(
-        shape in proptest::collection::vec(
-            (proptest::collection::vec((0u8..3, 1u32..5), 1..4),),
-            1..4,
-        ),
-    ) {
-        // Build a policy string from the random shape: levels of groups of
+/// Policy parsing round-trips through Display for arbitrary shapes.
+#[test]
+fn policy_display_roundtrip() {
+    let mut rng = SimRng::seed_from(0xAA);
+    for case in 0..CASES {
+        // Build a policy string from a random shape: levels of groups of
         // weighted tenants with unique names.
         let mut name = 0usize;
-        let levels: Vec<String> = shape.iter().map(|(groups,)| {
-            let gs: Vec<String> = groups.iter().map(|&(_, w)| {
-                name += 1;
-                if w == 1 { format!("t{name}") } else { format!("t{name}:{w}") }
-            }).collect();
-            gs.join(" + ")
-        }).collect();
+        let n_levels = between(&mut rng, 1, 4);
+        let levels: Vec<String> = (0..n_levels)
+            .map(|_| {
+                let n_groups = between(&mut rng, 1, 4);
+                let gs: Vec<String> = (0..n_groups)
+                    .map(|_| {
+                        name += 1;
+                        let w = between(&mut rng, 1, 5);
+                        if w == 1 {
+                            format!("t{name}")
+                        } else {
+                            format!("t{name}:{w}")
+                        }
+                    })
+                    .collect();
+                gs.join(" + ")
+            })
+            .collect();
         let text = levels.join(" >> ");
         let p = Policy::parse(&text).unwrap();
-        prop_assert_eq!(p.to_string(), text);
+        assert_eq!(p.to_string(), text, "case {case}");
         let p2 = Policy::parse(&p.to_string()).unwrap();
-        prop_assert_eq!(p, p2);
+        assert_eq!(p, p2, "case {case}");
     }
+}
 
-    /// Synthesis invariant: for any number of strictly-stacked tenants with
-    /// random ranges, adjacent bands never overlap and every tenant's
-    /// output stays inside the joint span.
-    #[test]
-    fn strict_synthesis_always_isolates(
-        ranges in proptest::collection::vec((0u64..10_000, 1u64..100_000), 1..6),
-        default_levels in 1u64..64,
-    ) {
+/// Synthesis invariant: for any number of strictly-stacked tenants with
+/// random ranges, adjacent bands never overlap and every tenant's output
+/// stays inside the joint span.
+#[test]
+fn strict_synthesis_always_isolates() {
+    let mut rng = SimRng::seed_from(0xAB);
+    for case in 0..CASES {
+        let n_tenants = between(&mut rng, 1, 6);
+        let ranges: Vec<(u64, u64)> = (0..n_tenants)
+            .map(|_| (rng.below(10_000), between(&mut rng, 1, 100_000)))
+            .collect();
+        let default_levels = between(&mut rng, 1, 64);
         let specs: Vec<TenantSpec> = ranges
             .iter()
             .enumerate()
@@ -287,18 +365,27 @@ proptest! {
             .collect::<Vec<_>>()
             .join(" >> ");
         let policy = Policy::parse(&text).unwrap();
-        let config = SynthConfig { default_levels, ..SynthConfig::default() };
+        let config = SynthConfig {
+            default_levels,
+            ..SynthConfig::default()
+        };
         let joint = synthesize(&specs, &policy, config).unwrap();
         let span = joint.output_span();
         let mut prev_max: Option<u64> = None;
         for spec in &specs {
             let out = joint.chain(spec.id).unwrap().output_range(spec.range);
-            prop_assert!(span.contains(out.min) && span.contains(out.max));
+            assert!(
+                span.contains(out.min) && span.contains(out.max),
+                "case {case}"
+            );
             if let Some(pm) = prev_max {
-                prop_assert!(pm < out.min, "bands overlap: {pm} vs {out}");
+                assert!(pm < out.min, "case {case}: bands overlap: {pm} vs {out}");
             }
             prev_max = Some(out.max);
         }
-        prop_assert!(qvisor::core::analyze(&joint).all_guarantees_hold());
+        assert!(
+            qvisor::core::analyze(&joint).all_guarantees_hold(),
+            "case {case}"
+        );
     }
 }
