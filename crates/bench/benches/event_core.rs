@@ -1,0 +1,109 @@
+//! Event-core microbenchmark: hierarchical timing wheel vs binary heap.
+//!
+//! Two access patterns bound the simulator's hot loop:
+//!
+//! * `drain` — schedule N events, pop them all (startup/teardown shape);
+//! * `churn` — hold N pending events while repeatedly popping one and
+//!   scheduling a replacement (the steady-state shape of a packet-level
+//!   run, where every pop schedules a PortFree/Arrive/Timeout successor).
+//!
+//! Delays follow the netsim's mix: mostly sub-millisecond serialization/
+//! propagation delays with a tail of RTO-scale timers. Both cores are
+//! cross-checked for identical pop checksums before anything is timed, so
+//! the bench doubles as a coarse differential test.
+//!
+//! Usage: `cargo bench -p qvisor-bench --bench event_core [-- --smoke|--full]`
+//! (`--smoke`/`--test` = 10^4 only, for CI bit-rot protection; `--full`
+//! adds the 10^7 point to the default 10^4–10^6 sweep).
+
+use qvisor_bench::harness::{bench_batched, print_header};
+use qvisor_sim::{EventCore, EventQueue, Nanos, SimRng};
+
+/// Next event delay: ~99% short path-latency scale, ~1% RTO-scale.
+fn delay(rng: &mut SimRng) -> u64 {
+    if rng.below(100) == 0 {
+        500_000 + rng.below(8_000_000) // 0.5–8.5 ms timer tail
+    } else {
+        1 + rng.below(1_000_000) // up to 1 ms wire/propagation events
+    }
+}
+
+fn prefill(core: EventCore, pending: usize, seed: u64) -> (EventQueue<u64>, SimRng) {
+    let mut q = EventQueue::with_core(core);
+    let mut rng = SimRng::seed_from(seed);
+    for i in 0..pending as u64 {
+        q.schedule(Nanos(rng.below(1_000_000_000)), i);
+    }
+    (q, rng)
+}
+
+/// Pop+reschedule `ops` times, keeping the pending count constant.
+fn churn((mut q, mut rng): (EventQueue<u64>, SimRng), ops: usize) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..ops as u64 {
+        let (at, id) = q.pop().expect("queue stays non-empty");
+        acc = acc.wrapping_add(at.as_nanos()).wrapping_add(id);
+        q.schedule_in(Nanos(delay(&mut rng)), i);
+    }
+    acc
+}
+
+/// Pop everything.
+fn drain((mut q, _): (EventQueue<u64>, SimRng)) -> u64 {
+    let mut acc = 0u64;
+    while let Some((at, id)) = q.pop() {
+        acc = acc.wrapping_add(at.as_nanos()).wrapping_add(id);
+    }
+    acc
+}
+
+fn label(op: &str, core: EventCore, pending: usize) -> String {
+    let core = match core {
+        EventCore::Wheel => "wheel",
+        EventCore::Heap => "heap",
+    };
+    format!("{op}_{core}_{pending}_pending")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke" || a == "--test");
+    let full = args.iter().any(|a| a == "--full");
+    let sizes: &[usize] = if smoke {
+        &[10_000]
+    } else if full {
+        &[10_000, 100_000, 1_000_000, 10_000_000]
+    } else {
+        &[10_000, 100_000, 1_000_000]
+    };
+    let churn_ops = if smoke { 10_000 } else { 100_000 };
+
+    // Differential sanity before timing: identical traces, identical pops.
+    for &n in sizes {
+        let seed = n as u64;
+        assert_eq!(
+            drain(prefill(EventCore::Wheel, n, seed)),
+            drain(prefill(EventCore::Heap, n, seed)),
+            "cores disagree on drain({n})"
+        );
+        assert_eq!(
+            churn(prefill(EventCore::Wheel, n, seed), churn_ops.min(n)),
+            churn(prefill(EventCore::Heap, n, seed), churn_ops.min(n)),
+            "cores disagree on churn({n})"
+        );
+    }
+
+    print_header("event_core: timing wheel vs binary heap (ns/iter = whole pattern)");
+    for &n in sizes {
+        for core in [EventCore::Wheel, EventCore::Heap] {
+            bench_batched(&label("drain", core, n), || prefill(core, n, 42), drain);
+        }
+        for core in [EventCore::Wheel, EventCore::Heap] {
+            bench_batched(
+                &format!("{}_x{churn_ops}", label("churn", core, n)),
+                || prefill(core, n, 42),
+                |q| churn(q, churn_ops),
+            );
+        }
+    }
+}

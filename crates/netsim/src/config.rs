@@ -3,7 +3,7 @@
 use qvisor_core::{MonitorConfig, SynthConfig, TenantSpec, UnknownTenantAction};
 use qvisor_ranking::RankRange;
 use qvisor_scheduler::Capacity;
-use qvisor_sim::Nanos;
+use qvisor_sim::{EventCore, Nanos};
 use qvisor_telemetry::Telemetry;
 
 /// Which scheduler model runs at every output port.
@@ -136,6 +136,11 @@ pub struct SimConfig {
     pub adaptation_interval: Option<Nanos>,
     /// QVISOR deployment, if any.
     pub qvisor: Option<QvisorSetup>,
+    /// Data structure backing the simulator's event queue. The default
+    /// (timing wheel) and the binary-heap oracle are observationally
+    /// identical — the differential suite proves byte-identical reports —
+    /// so this knob exists for oracle runs and perf comparisons only.
+    pub event_core: EventCore,
     /// Telemetry sink. Cloning a [`Telemetry`] handle shares its registry,
     /// so keep one and export after [`crate::Simulation::run`]. The default
     /// (disabled) handle records nothing and adds no per-packet work; an
@@ -162,6 +167,7 @@ impl Default for SimConfig {
             sample_interval: None,
             adaptation_interval: None,
             qvisor: None,
+            event_core: EventCore::default(),
             telemetry: Telemetry::disabled(),
         }
     }

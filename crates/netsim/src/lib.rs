@@ -14,5 +14,6 @@ pub mod report;
 pub mod sim;
 
 pub use config::{PreprocScope, QvisorSetup, SchedulerKind, SimConfig};
+pub use qvisor_sim::EventCore;
 pub use report::{SimReport, TenantTraffic};
 pub use sim::{NewCbr, NewFlow, Simulation};

@@ -18,8 +18,8 @@ use qvisor_scheduler::{
     SpPifoMapper, StaticRangeMapper, StrictPriorityBank, TreePath, TreeShape,
 };
 use qvisor_sim::{
-    json::Value, transmission_time, EventQueue, FlowId, Nanos, NodeId, Packet, PacketKind, SimRng,
-    TenantId,
+    json::Value, transmission_time, EventQueue, FlowId, Nanos, NodeId, Packet, PacketArena,
+    PacketKind, PacketSlot, SimRng, TenantId,
 };
 use qvisor_telemetry::{Counter, Histogram};
 use qvisor_topology::{NodeKind, Routes, Topology};
@@ -149,7 +149,13 @@ pub struct Simulation {
     preproc: Option<PreProcessor>,
     monitor: Option<RuntimeMonitor>,
     adapter: Option<RuntimeAdapter>,
-    events: EventQueue<(Event, Option<Box<Packet>>)>,
+    /// The event core. Payloads are `Copy`: packets in flight are parked
+    /// in `arena` and referenced by slot, so scheduling an event moves a
+    /// few words instead of boxing a packet.
+    events: EventQueue<(Event, Option<PacketSlot>)>,
+    /// In-flight packet storage (freelist-recycled; no per-packet allocation
+    /// on the forwarding path).
+    arena: PacketArena,
     ports: Vec<Vec<Port>>,
     /// `port_of[node][neighbor raw id]` = port index.
     port_of: Vec<BTreeMap<u32, usize>>,
@@ -242,6 +248,7 @@ impl Simulation {
         }
 
         let rng = SimRng::seed_from(cfg.seed).derive(0x5157_4953);
+        let events = EventQueue::with_core(cfg.event_core);
         Ok(Simulation {
             topo,
             routes,
@@ -250,7 +257,8 @@ impl Simulation {
             preproc,
             monitor,
             adapter,
-            events: EventQueue::new(),
+            events,
+            arena: PacketArena::with_capacity(64),
             ports,
             port_of,
             flows: Vec::new(),
@@ -632,10 +640,9 @@ impl Simulation {
         let tx = transmission_time(p.size as u64, rate);
         self.events
             .schedule(now + tx, (Event::PortFree { node, port }, None));
-        self.events.schedule(
-            now + tx + delay,
-            (Event::Arrive { node: to }, Some(Box::new(p))),
-        );
+        let slot = self.arena.insert(p);
+        self.events
+            .schedule(now + tx + delay, (Event::Arrive { node: to }, Some(slot)));
     }
 
     fn on_arrive(&mut self, node: NodeId, p: Packet, now: Nanos) {
@@ -809,7 +816,7 @@ impl Simulation {
                     self.try_transmit(node, port, now);
                 }
                 Event::Arrive { node } => {
-                    let p = *packet.expect("Arrive carries a packet");
+                    let p = self.arena.take(packet.expect("Arrive carries a packet"));
                     self.on_arrive(node, p, now);
                 }
                 Event::Timeout { flow, seq, attempt } => {

@@ -2,11 +2,48 @@
 //!
 //! Events scheduled for the same instant pop in the order they were pushed
 //! (FIFO tie-break via a monotone sequence number), so simulations are
-//! reproducible regardless of heap internals.
+//! reproducible regardless of the backing structure's internals.
+//!
+//! Two interchangeable cores implement that contract:
+//!
+//! * [`EventCore::Wheel`] — a hierarchical timing wheel
+//!   (`crate::wheel`): O(1) amortised schedule/pop, the default. This is
+//!   the hot path of every packet-level experiment.
+//! * [`EventCore::Heap`] — the original `BinaryHeap` on `(at, seq)`:
+//!   O(log n), kept alive as the *differential oracle*. The test suite
+//!   drives both cores with identical traces and asserts identical
+//!   behaviour (see `tests/event_core_differential.rs` and TESTING.md).
+//!
+//! Compiling `qvisor-sim` with the `heap-core` feature flips the default
+//! core to the heap, so the whole workspace test suite can be re-run
+//! against the oracle without touching call sites.
 
 use crate::time::Nanos;
+use crate::wheel::TimingWheel;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Which data structure backs an [`EventQueue`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventCore {
+    /// Hierarchical timing wheel with an overflow heap — O(1) amortised,
+    /// the production core.
+    Wheel,
+    /// Comparison-based binary heap — the reference implementation used
+    /// as the differential-testing oracle.
+    Heap,
+}
+
+impl Default for EventCore {
+    #[cfg(not(feature = "heap-core"))]
+    fn default() -> EventCore {
+        EventCore::Wheel
+    }
+    #[cfg(feature = "heap-core")]
+    fn default() -> EventCore {
+        EventCore::Heap
+    }
+}
 
 struct Entry<E> {
     at: Nanos,
@@ -38,13 +75,18 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+enum Core<E> {
+    Wheel(TimingWheel<E>),
+    Heap(BinaryHeap<Entry<E>>),
+}
+
 /// A time-ordered event queue driving a discrete-event simulation.
 ///
 /// The queue tracks the current simulation clock: [`EventQueue::pop`]
 /// advances it to the popped event's timestamp, and scheduling an event in
 /// the past is a logic error that panics.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    core: Core<E>,
     seq: u64,
     now: Nanos,
 }
@@ -56,12 +98,31 @@ impl<E> Default for EventQueue<E> {
 }
 
 impl<E> EventQueue<E> {
-    /// An empty queue with the clock at time zero.
+    /// An empty queue with the clock at time zero, on the default core
+    /// (the timing wheel, unless built with the `heap-core` feature).
     pub fn new() -> Self {
+        Self::with_core(EventCore::default())
+    }
+
+    /// An empty queue on an explicitly chosen core. Both cores implement
+    /// the exact same `(time, seq)` total order; tests exploit this to
+    /// diff them against each other.
+    pub fn with_core(core: EventCore) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            core: match core {
+                EventCore::Wheel => Core::Wheel(TimingWheel::new()),
+                EventCore::Heap => Core::Heap(BinaryHeap::new()),
+            },
             seq: 0,
             now: Nanos::ZERO,
+        }
+    }
+
+    /// Which core backs this queue.
+    pub fn core(&self) -> EventCore {
+        match self.core {
+            Core::Wheel(_) => EventCore::Wheel,
+            Core::Heap(_) => EventCore::Heap,
         }
     }
 
@@ -80,40 +141,62 @@ impl<E> EventQueue<E> {
             "event scheduled in the past: at={at:?} now={:?}",
             self.now
         );
-        self.heap.push(Entry {
-            at,
-            seq: self.seq,
-            event,
-        });
+        match &mut self.core {
+            Core::Wheel(w) => w.push(at.0, self.seq, event),
+            Core::Heap(h) => h.push(Entry {
+                at,
+                seq: self.seq,
+                event,
+            }),
+        }
         self.seq += 1;
     }
 
     /// Schedule `event` at `delay` after the current clock.
+    ///
+    /// The target time saturates at [`Nanos::MAX`] instead of wrapping, so
+    /// "infinite" delays park the event at the end of time rather than
+    /// panicking (or worse, firing in the past).
     pub fn schedule_in(&mut self, delay: Nanos, event: E) {
-        self.schedule(self.now + delay, event);
+        self.schedule(self.now.saturating_add(delay), event);
     }
 
     /// Pop the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Nanos, E)> {
-        let entry = self.heap.pop()?;
-        debug_assert!(entry.at >= self.now);
-        self.now = entry.at;
-        Some((entry.at, entry.event))
+        let (at, event) = match &mut self.core {
+            Core::Wheel(w) => {
+                let (at, _, event) = w.pop()?;
+                (Nanos(at), event)
+            }
+            Core::Heap(h) => {
+                let entry = h.pop()?;
+                (entry.at, entry.event)
+            }
+        };
+        debug_assert!(at >= self.now);
+        self.now = at;
+        Some((at, event))
     }
 
     /// Timestamp of the next event without popping it.
     pub fn peek_time(&self) -> Option<Nanos> {
-        self.heap.peek().map(|e| e.at)
+        match &self.core {
+            Core::Wheel(w) => w.peek_time().map(Nanos),
+            Core::Heap(h) => h.peek().map(|e| e.at),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.core {
+            Core::Wheel(w) => w.len(),
+            Core::Heap(h) => h.len(),
+        }
     }
 
     /// True when no events remain.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -121,42 +204,78 @@ impl<E> EventQueue<E> {
 mod tests {
     use super::*;
 
+    /// Every contract test runs on both cores.
+    fn on_both(check: impl Fn(EventQueue<&'static str>)) {
+        check(EventQueue::with_core(EventCore::Wheel));
+        check(EventQueue::with_core(EventCore::Heap));
+    }
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(Nanos(30), "c");
-        q.schedule(Nanos(10), "a");
-        q.schedule(Nanos(20), "b");
-        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, vec!["a", "b", "c"]);
+        on_both(|mut q| {
+            q.schedule(Nanos(30), "c");
+            q.schedule(Nanos(10), "a");
+            q.schedule(Nanos(20), "b");
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, vec!["a", "b", "c"]);
+        });
     }
 
     #[test]
     fn ties_break_fifo() {
-        let mut q = EventQueue::new();
-        for label in ["first", "second", "third"] {
-            q.schedule(Nanos(5), label);
-        }
-        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
-        assert_eq!(order, vec!["first", "second", "third"]);
+        on_both(|mut q| {
+            for label in ["first", "second", "third"] {
+                q.schedule(Nanos(5), label);
+            }
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, vec!["first", "second", "third"]);
+        });
     }
 
     #[test]
     fn clock_advances_on_pop() {
-        let mut q = EventQueue::new();
-        q.schedule(Nanos(100), ());
-        assert_eq!(q.now(), Nanos::ZERO);
-        q.pop();
-        assert_eq!(q.now(), Nanos(100));
+        on_both(|mut q| {
+            q.schedule(Nanos(100), "e");
+            assert_eq!(q.now(), Nanos::ZERO);
+            q.pop();
+            assert_eq!(q.now(), Nanos(100));
+        });
     }
 
     #[test]
     fn schedule_in_is_relative() {
-        let mut q = EventQueue::new();
-        q.schedule(Nanos(50), 1);
-        q.pop();
-        q.schedule_in(Nanos(25), 2);
-        assert_eq!(q.peek_time(), Some(Nanos(75)));
+        on_both(|mut q| {
+            q.schedule(Nanos(50), "a");
+            q.pop();
+            q.schedule_in(Nanos(25), "b");
+            assert_eq!(q.peek_time(), Some(Nanos(75)));
+        });
+    }
+
+    #[test]
+    fn schedule_in_saturates_instead_of_wrapping() {
+        // Regression: `now + delay` used to wrap around u64 and panic as
+        // "scheduled in the past". A near-MAX delay must saturate to
+        // Nanos::MAX and stay last in the total order.
+        on_both(|mut q| {
+            q.schedule(Nanos(100), "first");
+            q.pop();
+            q.schedule_in(Nanos::MAX, "horizon");
+            q.schedule_in(Nanos(1), "soon");
+            assert_eq!(q.peek_time(), Some(Nanos(101)));
+            assert_eq!(q.pop(), Some((Nanos(101), "soon")));
+            assert_eq!(q.pop(), Some((Nanos::MAX, "horizon")));
+        });
+    }
+
+    #[test]
+    fn events_at_nanos_max_keep_fifo_order() {
+        on_both(|mut q| {
+            q.schedule_in(Nanos::MAX, "a");
+            q.schedule(Nanos::MAX, "b");
+            assert_eq!(q.pop(), Some((Nanos::MAX, "a")));
+            assert_eq!(q.pop(), Some((Nanos::MAX, "b")));
+        });
     }
 
     #[test]
@@ -170,22 +289,35 @@ mod tests {
 
     #[test]
     fn len_and_empty() {
-        let mut q: EventQueue<u8> = EventQueue::new();
-        assert!(q.is_empty());
-        q.schedule(Nanos(1), 0);
-        assert_eq!(q.len(), 1);
-        q.pop();
-        assert!(q.is_empty());
+        on_both(|mut q| {
+            assert!(q.is_empty());
+            q.schedule(Nanos(1), "e");
+            assert_eq!(q.len(), 1);
+            q.pop();
+            assert!(q.is_empty());
+        });
     }
 
     #[test]
     fn same_time_interleaved_push_pop_stays_fifo() {
-        let mut q = EventQueue::new();
-        q.schedule(Nanos(10), 1);
-        q.schedule(Nanos(10), 2);
-        assert_eq!(q.pop().unwrap().1, 1);
-        q.schedule(Nanos(10), 3);
-        assert_eq!(q.pop().unwrap().1, 2);
-        assert_eq!(q.pop().unwrap().1, 3);
+        on_both(|mut q| {
+            q.schedule(Nanos(10), "1");
+            q.schedule(Nanos(10), "2");
+            assert_eq!(q.pop().unwrap().1, "1");
+            q.schedule(Nanos(10), "3");
+            assert_eq!(q.pop().unwrap().1, "2");
+            assert_eq!(q.pop().unwrap().1, "3");
+        });
+    }
+
+    #[test]
+    fn default_core_honours_feature_flag() {
+        let q: EventQueue<u8> = EventQueue::new();
+        let expect = if cfg!(feature = "heap-core") {
+            EventCore::Heap
+        } else {
+            EventCore::Wheel
+        };
+        assert_eq!(q.core(), expect);
     }
 }

@@ -17,10 +17,11 @@ pub mod packet;
 pub mod rng;
 pub mod stats;
 pub mod time;
+mod wheel;
 
-pub use events::EventQueue;
+pub use events::{EventCore, EventQueue};
 pub use id::{FlowId, NodeId, Rank, TenantId};
-pub use packet::{Packet, PacketKind};
+pub use packet::{Packet, PacketArena, PacketKind, PacketSlot};
 pub use rng::{stable_hash, SimRng};
 pub use stats::{jain_fairness, Ewma, Log2Histogram, OnlineStats, PercentileCollector};
 pub use time::{gbps, mbps, transmission_time, Nanos};

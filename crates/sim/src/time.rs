@@ -71,6 +71,15 @@ impl Nanos {
         Nanos(self.0.saturating_sub(rhs.0))
     }
 
+    /// Saturating addition: `self + rhs`, clamped at [`Nanos::MAX`].
+    ///
+    /// Used for horizon arithmetic (`now + delay`) where the delay may be
+    /// an "infinite" sentinel near [`Nanos::MAX`]: the sum must never wrap
+    /// back into the past.
+    pub const fn saturating_add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.saturating_add(rhs.0))
+    }
+
     /// Checked addition, `None` on overflow.
     pub const fn checked_add(self, rhs: Nanos) -> Option<Nanos> {
         match self.0.checked_add(rhs.0) {
@@ -257,5 +266,12 @@ mod tests {
     fn checked_add_overflow() {
         assert_eq!(Nanos::MAX.checked_add(Nanos(1)), None);
         assert_eq!(Nanos(1).checked_add(Nanos(2)), Some(Nanos(3)));
+    }
+
+    #[test]
+    fn saturating_add_clamps_at_max() {
+        assert_eq!(Nanos::MAX.saturating_add(Nanos(1)), Nanos::MAX);
+        assert_eq!(Nanos(5).saturating_add(Nanos::MAX), Nanos::MAX);
+        assert_eq!(Nanos(1).saturating_add(Nanos(2)), Nanos(3));
     }
 }

@@ -1,0 +1,379 @@
+//! Hierarchical timing wheel — the O(1) event core behind
+//! [`EventQueue`](crate::EventQueue).
+//!
+//! A bucketed priority structure in the style of Varghese & Lauck's
+//! hierarchical timing wheels (and Eiffel's bucketed queues): six levels of
+//! 256 slots each, where level `L` buckets timestamps by bits
+//! `[8·L, 8·(L+1))`. Near events sit in ns-resolution level-0 slots;
+//! far events sit in coarser wheels and *cascade* down one level at a time
+//! as the clock approaches them; events beyond the 2^48 ns wheel horizon
+//! wait in a fallback binary heap.
+//!
+//! # Invariants (see DESIGN.md "Event core")
+//!
+//! 1. **Total order.** Entries pop in strictly non-decreasing `(at, seq)`
+//!    order — byte-identical to the binary-heap oracle. Within a slot,
+//!    same-timestamp entries are kept in seq (append) order; cascades and
+//!    overflow migration preserve that order because both iterate their
+//!    source in `(at, seq)` order.
+//! 2. **Window exclusivity.** At every level `L ≥ 1`, slots at or before
+//!    the cursor `(pos >> 8L) & 255` are empty: inserts always target a
+//!    strictly-future slot of the level that owns the highest differing
+//!    bit of `at ^ pos`, and a slot is fully drained the moment the clock
+//!    enters its window.
+//! 3. **Overflow is strictly later.** Every heap entry differs from `pos`
+//!    in a bit ≥ 48, so it is later than anything the wheels can hold; the
+//!    heap is migrated back into the wheels whenever a pop moves `pos`
+//!    across a 2^48 boundary.
+//!
+//! `pos` is the wheel's own cursor: it trails the popped-event clock
+//! between pops and advances to window starts during cascades, so it never
+//! passes the earliest pending entry.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// log2 of the slot count per level.
+const SLOT_BITS: u32 = 8;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Mask extracting a slot index from a timestamp.
+const MASK: u64 = (SLOTS as u64) - 1;
+/// Wheel levels; together they cover `2^(8·LEVELS)` ns ≈ 3.26 sim-days.
+const LEVELS: u32 = 6;
+/// Words in a level's occupancy bitmap.
+const WORDS: usize = SLOTS / 64;
+
+/// `(at, seq, event)` — the same key the heap oracle sorts on.
+type Entry<E> = (u64, u64, E);
+
+/// One wheel level: 256 slots plus an occupancy bitmap so the next
+/// non-empty slot is found in at most four word scans.
+struct Level<E> {
+    slots: Vec<VecDeque<Entry<E>>>,
+    occupied: [u64; WORDS],
+}
+
+impl<E> Level<E> {
+    fn new() -> Level<E> {
+        Level {
+            slots: (0..SLOTS).map(|_| VecDeque::new()).collect(),
+            occupied: [0; WORDS],
+        }
+    }
+
+    fn set(&mut self, i: usize) {
+        self.occupied[i / 64] |= 1 << (i % 64);
+    }
+
+    fn clear(&mut self, i: usize) {
+        self.occupied[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Lowest occupied slot index `>= from`, if any.
+    fn first_occupied_from(&self, from: usize) -> Option<usize> {
+        if from >= SLOTS {
+            return None;
+        }
+        let mut word = from / 64;
+        let mut bits = self.occupied[word] & (!0u64 << (from % 64));
+        loop {
+            if bits != 0 {
+                return Some(word * 64 + bits.trailing_zeros() as usize);
+            }
+            word += 1;
+            if word == WORDS {
+                return None;
+            }
+            bits = self.occupied[word];
+        }
+    }
+}
+
+/// Overflow-heap entry, ordered earliest-`(at, seq)`-first.
+struct Far<E> {
+    at: u64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Far<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Far<E> {}
+impl<E> PartialOrd for Far<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Far<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The level owning the highest bit in which `at` and `pos` differ
+/// (`LEVELS` or more means the overflow heap).
+fn level_for(at: u64, pos: u64) -> u32 {
+    let xor = at ^ pos;
+    if xor == 0 {
+        0
+    } else {
+        (63 - xor.leading_zeros()) / SLOT_BITS
+    }
+}
+
+/// A hierarchical timing wheel over `(at, seq, event)` entries.
+///
+/// Pure container: the owning [`EventQueue`](crate::EventQueue) assigns
+/// sequence numbers and enforces the no-scheduling-in-the-past contract.
+pub(crate) struct TimingWheel<E> {
+    levels: Vec<Level<E>>,
+    overflow: BinaryHeap<Far<E>>,
+    /// Cached earliest pending timestamp, kept exact by push/pop.
+    next: Option<u64>,
+    len: usize,
+    /// Wheel cursor: trails the last popped timestamp, advances to window
+    /// starts during cascades. Never passes the earliest pending entry.
+    pos: u64,
+}
+
+impl<E> TimingWheel<E> {
+    pub(crate) fn new() -> TimingWheel<E> {
+        TimingWheel {
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            overflow: BinaryHeap::new(),
+            next: None,
+            len: 0,
+            pos: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Earliest pending timestamp without popping (exact, O(1)).
+    pub(crate) fn peek_time(&self) -> Option<u64> {
+        self.next
+    }
+
+    /// Insert an entry. `at` must be `>= ` the last popped timestamp
+    /// (enforced by the owning queue; debug-asserted here).
+    pub(crate) fn push(&mut self, at: u64, seq: u64, event: E) {
+        debug_assert!(at >= self.pos, "wheel push before cursor");
+        if level_for(at, self.pos) >= LEVELS {
+            self.overflow.push(Far { at, seq, event });
+        } else {
+            self.push_to_wheel(at, seq, event);
+        }
+        self.len += 1;
+        self.next = Some(match self.next {
+            Some(n) if n <= at => n,
+            _ => at,
+        });
+    }
+
+    /// Place an in-horizon entry in its slot (level by highest differing
+    /// bit from the cursor).
+    fn push_to_wheel(&mut self, at: u64, seq: u64, event: E) {
+        let lvl = level_for(at, self.pos);
+        debug_assert!(lvl < LEVELS, "entry beyond wheel horizon");
+        let slot = ((at >> (SLOT_BITS * lvl)) & MASK) as usize;
+        self.levels[lvl as usize].slots[slot].push_back((at, seq, event));
+        self.levels[lvl as usize].set(slot);
+    }
+
+    /// Remove and return the earliest entry.
+    pub(crate) fn pop(&mut self) -> Option<Entry<E>> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        let entry = self.pop_earliest();
+        self.next = self.scan_next();
+        Some(entry)
+    }
+
+    fn pop_earliest(&mut self) -> Entry<E> {
+        loop {
+            // Near wheel: the current level-0 window holds whole
+            // timestamps, one per slot, so the first occupied slot at or
+            // after the cursor is the global minimum.
+            let cur0 = (self.pos & MASK) as usize;
+            if let Some(i) = self.levels[0].first_occupied_from(cur0) {
+                let entry = self.levels[0].slots[i]
+                    .pop_front()
+                    .expect("occupancy bit was set");
+                if self.levels[0].slots[i].is_empty() {
+                    self.levels[0].clear(i);
+                }
+                self.pos = entry.0;
+                return entry;
+            }
+            // Cascade: enter the earliest future window of the finest
+            // coarser level and redistribute its slot one level down.
+            let mut cascaded = false;
+            for lvl in 1..LEVELS as usize {
+                let shift = SLOT_BITS * lvl as u32;
+                let cur = ((self.pos >> shift) & MASK) as usize;
+                let Some(s) = self.levels[lvl].first_occupied_from(cur + 1) else {
+                    continue;
+                };
+                let upper = shift + SLOT_BITS;
+                self.pos = ((self.pos >> upper) << upper) | ((s as u64) << shift);
+                let entries = std::mem::take(&mut self.levels[lvl].slots[s]);
+                self.levels[lvl].clear(s);
+                for (at, seq, event) in entries {
+                    self.push_to_wheel(at, seq, event);
+                }
+                cascaded = true;
+                break;
+            }
+            if cascaded {
+                continue;
+            }
+            // Wheels empty: the overflow heap holds the minimum. Advance
+            // the cursor to it and migrate entries that fell inside the
+            // new 2^48 horizon back into the wheels, in (at, seq) order.
+            let far = self.overflow.pop().expect("len counted a pending entry");
+            self.pos = far.at;
+            while let Some(top) = self.overflow.peek() {
+                if level_for(top.at, self.pos) >= LEVELS {
+                    break;
+                }
+                let f = self.overflow.pop().expect("just peeked");
+                self.push_to_wheel(f.at, f.seq, f.event);
+            }
+            return (far.at, far.seq, far.event);
+        }
+    }
+
+    /// Recompute the earliest pending timestamp (bitmap scans; only a
+    /// coarse-slot scan when every finer level is empty).
+    fn scan_next(&self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let cur0 = (self.pos & MASK) as usize;
+        if let Some(i) = self.levels[0].first_occupied_from(cur0) {
+            return Some((self.pos & !MASK) | i as u64);
+        }
+        for lvl in 1..LEVELS as usize {
+            let shift = SLOT_BITS * lvl as u32;
+            let cur = ((self.pos >> shift) & MASK) as usize;
+            if let Some(s) = self.levels[lvl].first_occupied_from(cur + 1) {
+                // Coarse slots mix timestamps; the earliest window's
+                // minimum is the global minimum.
+                return self.levels[lvl].slots[s].iter().map(|e| e.0).min();
+            }
+        }
+        self.overflow.peek().map(|f| f.at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimRng;
+
+    fn drain(w: &mut TimingWheel<u64>) -> Vec<(u64, u64)> {
+        std::iter::from_fn(|| w.pop())
+            .map(|(at, seq, _)| (at, seq))
+            .collect()
+    }
+
+    #[test]
+    fn level_for_matches_bit_layout() {
+        assert_eq!(level_for(0, 0), 0);
+        assert_eq!(level_for(255, 0), 0);
+        assert_eq!(level_for(256, 0), 1);
+        assert_eq!(level_for(1 << 16, 0), 2);
+        assert_eq!(level_for(1 << 47, 0), 5);
+        assert_eq!(level_for(1 << 48, 0), 6); // overflow heap
+        assert_eq!(level_for(u64::MAX, 0), 7);
+    }
+
+    #[test]
+    fn same_timestamp_pops_in_seq_order_across_cascades() {
+        // Entries at the same far timestamp inserted out of slot order
+        // must survive two cascades and still pop FIFO by seq.
+        let mut w = TimingWheel::new();
+        let t = (3 << 16) | (7 << 8) | 5; // level-2 territory from pos 0
+        for seq in 0..5 {
+            w.push(t, seq, seq);
+        }
+        w.push(t + 1, 5, 5);
+        assert_eq!(
+            drain(&mut w),
+            vec![(t, 0), (t, 1), (t, 2), (t, 3), (t, 4), (t + 1, 5)]
+        );
+    }
+
+    #[test]
+    fn overflow_heap_round_trips() {
+        let mut w = TimingWheel::new();
+        let far = 1u64 << 50;
+        w.push(far + 10, 0, 0);
+        w.push(far, 1, 1);
+        w.push(5, 2, 2); // near event pops first
+        assert_eq!(w.peek_time(), Some(5));
+        assert_eq!(w.pop(), Some((5, 2, 2)));
+        // Popping across the 2^48 boundary migrates the remaining far
+        // entry into the wheels and keeps order.
+        assert_eq!(w.pop(), Some((far, 1, 1)));
+        assert_eq!(w.pop(), Some((far + 10, 0, 0)));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_cached_peek_exact() {
+        let mut w = TimingWheel::new();
+        w.push(300, 0, 0);
+        assert_eq!(w.peek_time(), Some(300));
+        w.push(260, 1, 1);
+        assert_eq!(w.peek_time(), Some(260));
+        assert_eq!(w.pop(), Some((260, 1, 1)));
+        assert_eq!(w.peek_time(), Some(300));
+        w.push(300, 2, 2);
+        assert_eq!(w.pop(), Some((300, 0, 0)));
+        assert_eq!(w.pop(), Some((300, 2, 2)));
+        assert_eq!(w.peek_time(), None);
+    }
+
+    #[test]
+    fn randomized_against_reference_sort() {
+        // 64 random traces over wildly different spreads, including ones
+        // that exercise every level and the overflow heap.
+        let mut rng = SimRng::seed_from(0x57EE1);
+        for case in 0..64u64 {
+            let spread = [200u64, 70_000, 1 << 20, 1 << 35, 1 << 52][(case % 5) as usize];
+            let n = 1 + rng.below(400);
+            let mut w = TimingWheel::new();
+            let mut reference: Vec<(u64, u64)> = Vec::new();
+            let mut clock = 0u64;
+            for seq in 0..n {
+                // Bias toward collisions so FIFO tie-breaks are exercised.
+                let at = clock + rng.below(spread) / (1 + rng.below(4));
+                w.push(at, seq, seq);
+                reference.push((at, seq));
+                if rng.below(3) == 0 {
+                    if let Some((at, s, _)) = w.pop() {
+                        clock = at;
+                        let min = *reference.iter().min().unwrap();
+                        assert_eq!((at, s), min, "case {case}");
+                        reference.retain(|&e| e != min);
+                    }
+                }
+            }
+            reference.sort();
+            assert_eq!(drain(&mut w), reference, "case {case}");
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Differential lockdown of the event core.
+//!
+//! The timing wheel ([`EventCore::Wheel`]) is a perf rewrite of a
+//! determinism-critical structure, so it is only shippable if it is
+//! *observationally identical* to the binary-heap oracle
+//! ([`EventCore::Heap`]). Two layers prove that:
+//!
+//! 1. Randomized traces (seeded [`SimRng`], so failures reproduce) drive
+//!    both cores through identical schedule/pop sequences — including
+//!    same-timestamp bursts, every wheel level, the 2^48 overflow
+//!    boundary, and `schedule_in` saturation near `Nanos::MAX` — and
+//!    compare every observable (`pop`, `peek_time`, `len`, `now`) at
+//!    every step.
+//! 2. End-to-end netsim worlds run under both cores and must produce
+//!    byte-identical reports and telemetry exports.
+
+use qvisor::core::{SynthConfig, TenantSpec, UnknownTenantAction};
+use qvisor::netsim::{QvisorSetup, SchedulerKind, SimConfig, Simulation};
+use qvisor::ranking::{PFabric, RankRange};
+use qvisor::sim::{EventCore, EventQueue, Nanos, SimRng, TenantId};
+use qvisor::telemetry::Telemetry;
+use qvisor::topology::{LeafSpine, LeafSpineConfig};
+use qvisor::workloads::{EmpiricalCdf, PoissonFlowGen};
+
+const CASES: u64 = 48;
+
+/// Time spreads exercising dense level-0 traffic, every cascade level, and
+/// the overflow heap (spreads beyond 2^48).
+const SPREADS: [u64; 6] = [64, 50_000, 1 << 20, 1 << 34, 1 << 49, u64::MAX / 2];
+
+/// One random trace applied to both cores in lockstep; every observable is
+/// compared after every operation.
+fn run_trace(case: u64, rng: &mut SimRng) {
+    let spread = SPREADS[(case % SPREADS.len() as u64) as usize];
+    let mut wheel: EventQueue<u64> = EventQueue::with_core(EventCore::Wheel);
+    let mut heap: EventQueue<u64> = EventQueue::with_core(EventCore::Heap);
+    let ops = 1 + rng.below(500);
+    let mut id = 0u64;
+    for op in 0..ops {
+        match rng.below(10) {
+            // Schedule one event at a random offset.
+            0..=4 => {
+                let delay = Nanos(rng.below(spread));
+                wheel.schedule_in(delay, id);
+                heap.schedule_in(delay, id);
+                id += 1;
+            }
+            // Same-timestamp burst: FIFO tie-breaking must agree.
+            5 => {
+                let delay = Nanos(rng.below(spread));
+                for _ in 0..=rng.below(8) {
+                    wheel.schedule_in(delay, id);
+                    heap.schedule_in(delay, id);
+                    id += 1;
+                }
+            }
+            // Near-MAX schedule_in: both cores must saturate identically.
+            6 => {
+                let delay = Nanos(u64::MAX - rng.below(1_000));
+                wheel.schedule_in(delay, id);
+                heap.schedule_in(delay, id);
+                id += 1;
+            }
+            // Pop.
+            _ => {
+                assert_eq!(wheel.pop(), heap.pop(), "case {case} op {op}: pop diverged");
+            }
+        }
+        assert_eq!(wheel.len(), heap.len(), "case {case} op {op}: len diverged");
+        assert_eq!(
+            wheel.peek_time(),
+            heap.peek_time(),
+            "case {case} op {op}: peek diverged"
+        );
+        assert_eq!(
+            wheel.now(),
+            heap.now(),
+            "case {case} op {op}: clock diverged"
+        );
+    }
+    // Drain to empty: the full total order must match.
+    loop {
+        let (w, h) = (wheel.pop(), heap.pop());
+        assert_eq!(w, h, "case {case} drain: pop diverged");
+        if w.is_none() {
+            break;
+        }
+    }
+}
+
+#[test]
+fn random_traces_pop_identically_on_both_cores() {
+    let mut rng = SimRng::seed_from(0xD1FF);
+    for case in 0..CASES {
+        run_trace(case, &mut rng);
+    }
+}
+
+/// Adversarial hand-built trace: monotone bursts that ride the clock right
+/// at wheel window boundaries, where cascade bookkeeping is touchiest.
+#[test]
+fn window_boundary_bursts_pop_identically() {
+    let mut wheel: EventQueue<u64> = EventQueue::with_core(EventCore::Wheel);
+    let mut heap: EventQueue<u64> = EventQueue::with_core(EventCore::Heap);
+    let mut id = 0;
+    // Land events exactly on and around every level boundary 2^(8k)±1,
+    // then interleave pops so the cursor crosses the boundaries mid-trace.
+    for k in [8u32, 16, 24, 32, 40, 48, 56] {
+        for fuzz in [-1i64, 0, 1, 255] {
+            let at = Nanos(((1u64 << k) as i64 + fuzz) as u64);
+            for _ in 0..3 {
+                wheel.schedule(at, id);
+                heap.schedule(at, id);
+                id += 1;
+            }
+        }
+        assert_eq!(wheel.pop(), heap.pop(), "boundary 2^{k}");
+        assert_eq!(wheel.peek_time(), heap.peek_time(), "boundary 2^{k}");
+    }
+    loop {
+        let (w, h) = (wheel.pop(), heap.pop());
+        assert_eq!(w, h);
+        if w.is_none() {
+            break;
+        }
+    }
+}
+
+/// A determinism.rs-style world, parameterized by event core.
+fn world(core: EventCore, qvisor: bool, telemetry: Telemetry) -> (String, String) {
+    let fabric = LeafSpine::build(&LeafSpineConfig::small());
+    let hosts = fabric.all_hosts();
+    let cfg = SimConfig {
+        seed: 11,
+        random_loss: 0.01,
+        horizon: Nanos::from_millis(40),
+        scheduler: SchedulerKind::Pifo,
+        sample_interval: Some(Nanos::from_millis(5)),
+        qvisor: qvisor.then(|| QvisorSetup {
+            specs: vec![
+                TenantSpec::new(TenantId(1), "T1", "pFabric", RankRange::new(0, 10_000))
+                    .with_levels(128),
+            ],
+            policy: "T1".into(),
+            synth: SynthConfig::default(),
+            unknown: UnknownTenantAction::BestEffort,
+            scope: Default::default(),
+            monitor: None,
+        }),
+        event_core: core,
+        telemetry: telemetry.clone(),
+        ..SimConfig::default()
+    };
+    let mut sim = Simulation::new(fabric.topology.clone(), cfg).unwrap();
+    sim.register_rank_fn(TenantId(1), Box::new(PFabric::default_datacenter()));
+    let sizes = EmpiricalCdf::web_search().scaled(1, 20);
+    let flows = PoissonFlowGen {
+        tenant: TenantId(1),
+        hosts: &hosts,
+        sizes: &sizes,
+        rate_flows_per_sec: 20_000.0,
+    }
+    .generate(120, &mut SimRng::seed_from(0xBEEF));
+    for f in &flows {
+        sim.add_generated(f);
+    }
+    let r = sim.run();
+    (format!("{r:?}"), telemetry.export_jsonl())
+}
+
+/// The flagship end-to-end guarantee: swapping the event core changes
+/// nothing observable about a full QVISOR simulation — the report debug
+/// representation is byte-identical.
+#[test]
+fn netsim_reports_are_byte_identical_under_both_cores() {
+    let (wheel_report, _) = world(EventCore::Wheel, true, Telemetry::disabled());
+    let (heap_report, _) = world(EventCore::Heap, true, Telemetry::disabled());
+    assert_eq!(
+        wheel_report, heap_report,
+        "event core changed the simulation"
+    );
+}
+
+/// Telemetry exports (counters, histograms, and the sim-time event
+/// journal) are also byte-identical across cores. Run without a QVISOR
+/// deployment so no wall-clock synthesis timing enters the export.
+#[test]
+fn telemetry_exports_are_byte_identical_under_both_cores() {
+    let (wheel_report, wheel_jsonl) = world(EventCore::Wheel, false, Telemetry::enabled());
+    let (heap_report, heap_jsonl) = world(EventCore::Heap, false, Telemetry::enabled());
+    assert_eq!(wheel_report, heap_report);
+    assert!(
+        wheel_jsonl.contains("net_sent_pkts"),
+        "telemetry saw no traffic"
+    );
+    assert_eq!(
+        wheel_jsonl, heap_jsonl,
+        "event core changed the telemetry export"
+    );
+}

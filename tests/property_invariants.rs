@@ -8,10 +8,13 @@
 use qvisor::core::{synthesize, Policy, RankTransform, SynthConfig, TenantSpec, TransformChain};
 use qvisor::ranking::RankRange;
 use qvisor::scheduler::{
-    CalendarQueue, Capacity, Enqueue, FifoQueue, PacketQueue, PathStep, PifoQueue, PifoTree,
-    QueueMapper, SpPifoMapper, TreePath, TreeShape,
+    AifoQueue, CalendarQueue, Capacity, Enqueue, FifoQueue, InstrumentedQueue, PacketQueue,
+    PathStep, PifoQueue, PifoTree, QueueMapper, SpPifoMapper, StrictPriorityBank, TreePath,
+    TreeShape,
 };
 use qvisor::sim::{EventQueue, FlowId, Nanos, NodeId, Packet, SimRng, TenantId};
+use qvisor::telemetry::Telemetry;
+use std::collections::BTreeMap;
 
 const CASES: u64 = 64;
 
@@ -298,6 +301,167 @@ fn pifo_tree_conserves_packets() {
         assert_eq!(admitted, dequeued, "case {case}");
         assert_eq!(tree.len(), 0, "case {case}");
         assert_eq!(tree.bytes(), 0, "case {case}");
+    }
+}
+
+/// A PIFO is *exactly* a stable sorted vector: for any interleaving of
+/// enqueues and dequeues (unbounded capacity, so admission never differs),
+/// the dequeue stream equals the model's `(rank, arrival)` minimum — not
+/// just nondecreasing, but the identical packet every time.
+#[test]
+fn pifo_matches_stable_sorted_vec_model() {
+    let mut rng = SimRng::seed_from(0xB1);
+    for case in 0..CASES {
+        let n = between(&mut rng, 1, 300);
+        let mut q = PifoQueue::new(Capacity::UNBOUNDED);
+        // Model: Vec of (rank, arrival-seq), popped by minimum.
+        let mut model: Vec<(u64, u64)> = Vec::new();
+        for i in 0..n {
+            let rank = rng.below(50); // small domain => many rank ties
+            q.enqueue(packet(i, rank, 100), Nanos::ZERO);
+            model.push((rank, i));
+            if rng.below(3) == 0 {
+                if let Some(p) = q.dequeue(Nanos::ZERO) {
+                    let min = *model.iter().min().unwrap();
+                    assert_eq!((p.txf_rank, p.seq), min, "case {case}");
+                    model.retain(|&e| e != min);
+                }
+            }
+        }
+        // Final drain: with no further arrivals the stream must be exactly
+        // the model's sorted order, hence nondecreasing in rank.
+        let mut drain: Vec<u64> = Vec::new();
+        while let Some(p) = q.dequeue(Nanos::ZERO) {
+            let min = *model.iter().min().unwrap();
+            assert_eq!((p.txf_rank, p.seq), min, "case {case}");
+            model.retain(|&e| e != min);
+            drain.push(p.txf_rank);
+        }
+        assert!(model.is_empty(), "case {case}: model retained packets");
+        assert!(
+            drain.windows(2).all(|w| w[0] <= w[1]),
+            "case {case}: unsorted drain {drain:?}"
+        );
+    }
+}
+
+/// Independent rank-inversion oracle: mirrors queue residency in a
+/// multiset and recounts inversions exactly the way the exact-PIFO
+/// definition states — a dequeue is an inversion iff some still-queued
+/// packet has a strictly lower rank.
+#[derive(Default)]
+struct InversionOracle {
+    resident: BTreeMap<u64, u64>,
+    inversions: u64,
+    dequeues: u64,
+}
+
+impl InversionOracle {
+    fn add(&mut self, rank: u64) {
+        *self.resident.entry(rank).or_insert(0) += 1;
+    }
+
+    fn remove(&mut self, rank: u64) {
+        match self.resident.get_mut(&rank) {
+            Some(1) => {
+                self.resident.remove(&rank);
+            }
+            Some(n) => *n -= 1,
+            None => panic!("oracle desync: rank {rank} not resident"),
+        }
+    }
+
+    fn on_enqueue(&mut self, rank: u64, outcome: Enqueue) {
+        match outcome {
+            Enqueue::Accepted => self.add(rank),
+            Enqueue::AcceptedDropped(victims) => {
+                self.add(rank);
+                for v in victims {
+                    self.remove(v.txf_rank);
+                }
+            }
+            Enqueue::Rejected(_) => {}
+        }
+    }
+
+    fn on_dequeue(&mut self, rank: u64) {
+        self.remove(rank);
+        self.dequeues += 1;
+        if self
+            .resident
+            .first_key_value()
+            .is_some_and(|(&r, _)| r < rank)
+        {
+            self.inversions += 1;
+        }
+    }
+}
+
+/// Drive `queue` (wrapped in an [`InstrumentedQueue`]) and the oracle with
+/// the same trace; return (instrumented inversions, oracle inversions,
+/// dequeues).
+fn inversion_trace<Q: PacketQueue>(queue: Q, rng: &mut SimRng, n: u64) -> (u64, u64, u64) {
+    let telemetry = Telemetry::enabled();
+    let mut q = InstrumentedQueue::new(queue, &telemetry, "prop");
+    let mut oracle = InversionOracle::default();
+    for i in 0..n {
+        let rank = rng.below(10_000);
+        let outcome = q.enqueue(packet(i, rank, 100), Nanos::ZERO);
+        oracle.on_enqueue(rank, outcome);
+        if rng.below(2) == 0 {
+            if let Some(p) = q.dequeue(Nanos(i)) {
+                oracle.on_dequeue(p.txf_rank);
+            }
+        }
+    }
+    while let Some(p) = q.dequeue(Nanos(n)) {
+        oracle.on_dequeue(p.txf_rank);
+    }
+    (q.inversion_count(), oracle.inversions, oracle.dequeues)
+}
+
+/// SP-PIFO's reported inversion count must equal the independent
+/// exact-PIFO-mirror oracle on the same trace (and can never exceed the
+/// trivial bound of one per dequeue); the exact PIFO itself reports zero.
+#[test]
+fn sp_pifo_inversions_match_exact_mirror_bound() {
+    let mut rng = SimRng::seed_from(0xB2);
+    for case in 0..CASES {
+        let n = between(&mut rng, 1, 400);
+        let queues = between(&mut rng, 2, 12) as usize;
+        let cap = Capacity::packets(between(&mut rng, 8, 64), 100);
+        let (reported, oracle, dequeues) = inversion_trace(
+            StrictPriorityBank::new(SpPifoMapper::new(queues), cap),
+            &mut rng,
+            n,
+        );
+        assert_eq!(reported, oracle, "case {case}: mirror disagrees");
+        assert!(reported <= dequeues, "case {case}: bound exceeded");
+
+        let (pifo_reported, pifo_oracle, _) = inversion_trace(PifoQueue::new(cap), &mut rng, n);
+        assert_eq!(pifo_reported, 0, "case {case}: exact PIFO inverted");
+        assert_eq!(pifo_oracle, 0, "case {case}: oracle saw PIFO invert");
+        assert!(
+            pifo_reported <= reported || reported == 0,
+            "case {case}: approximation beat the exact mirror's floor"
+        );
+    }
+}
+
+/// AIFO admits-or-drops but never reorders; its inversion count must also
+/// match the exact mirror oracle on every trace.
+#[test]
+fn aifo_inversions_match_exact_mirror_bound() {
+    let mut rng = SimRng::seed_from(0xB3);
+    for case in 0..CASES {
+        let n = between(&mut rng, 1, 400);
+        let cap = Capacity::packets(between(&mut rng, 8, 64), 100);
+        let window = between(&mut rng, 4, 128) as usize;
+        let burst = rng.below(90) as f64 / 100.0;
+        let (reported, oracle, dequeues) =
+            inversion_trace(AifoQueue::new(cap, window, burst), &mut rng, n);
+        assert_eq!(reported, oracle, "case {case}: mirror disagrees");
+        assert!(reported <= dequeues, "case {case}: bound exceeded");
     }
 }
 
