@@ -14,16 +14,30 @@
 //!   --json PATH        also dump machine-readable results
 //!   --telemetry PREFIX write a telemetry snapshot PREFIX-<scheme>-<load>.jsonl
 //!                      per point (render with `qvisor telemetry report`)
+//!   --trace PREFIX     write a packet-lifecycle trace
+//!                      PREFIX-<scheme>-<load>.trace.jsonl per point
+//!                      (render with `qvisor trace report`, convert for
+//!                      Perfetto with `qvisor trace export`)
+//!   --trace-sample N   trace one flow in N (default 1 = every flow)
 
-use qvisor_bench::{run_point_telemetry, snapshot, Fig4Config, Scheme};
-use qvisor_telemetry::Telemetry;
+use qvisor_bench::{run_point_instrumented, snapshot, Fig4Config, Scheme};
+use qvisor_telemetry::{Telemetry, TraceConfig, Tracer};
 use std::io::Write;
 
-fn parse_args() -> (Fig4Config, Vec<f64>, Option<String>, Option<String>) {
+struct Outputs {
+    json: Option<String>,
+    telemetry: Option<String>,
+    trace: Option<String>,
+    trace_sample: u64,
+}
+
+fn parse_args() -> (Fig4Config, Vec<f64>, Outputs) {
     let mut cfg = Fig4Config::paper_scaled();
     let mut loads: Vec<f64> = (2..=8).map(|l| l as f64 / 10.0).collect();
     let mut json = None;
     let mut telemetry = None;
+    let mut trace = None;
+    let mut trace_sample = 1u64;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -53,6 +67,10 @@ fn parse_args() -> (Fig4Config, Vec<f64>, Option<String>, Option<String>) {
             }
             "--json" => json = Some(value(&mut i)),
             "--telemetry" => telemetry = Some(value(&mut i)),
+            "--trace" => trace = Some(value(&mut i)),
+            "--trace-sample" => {
+                trace_sample = value(&mut i).parse().expect("--trace-sample N");
+            }
             "--workload" => {
                 cfg.workload = match value(&mut i).as_str() {
                     "datamining" => qvisor_bench::Workload::DataMining,
@@ -70,11 +88,21 @@ fn parse_args() -> (Fig4Config, Vec<f64>, Option<String>, Option<String>) {
         }
         i += 1;
     }
-    (cfg, loads, json, telemetry)
+    (
+        cfg,
+        loads,
+        Outputs {
+            json,
+            telemetry,
+            trace,
+            trace_sample,
+        },
+    )
 }
 
 fn main() {
-    let (cfg, loads, json_path, telemetry_prefix) = parse_args();
+    let (cfg, loads, outputs) = parse_args();
+    let (json_path, telemetry_prefix) = (outputs.json, outputs.telemetry);
     eprintln!(
         "fig4: {} hosts, {} flows/point, sizes /{}, {} CBR x {} Mbps, loads {loads:?}",
         cfg.fabric.leaves * cfg.fabric.hosts_per_leaf,
@@ -94,12 +122,26 @@ fn main() {
                 Some(_) => Telemetry::enabled(),
                 None => Telemetry::disabled(),
             };
-            let p = run_point_telemetry(scheme, load, &cfg, &telemetry);
+            let tracer = match outputs.trace {
+                Some(_) => Tracer::enabled(TraceConfig {
+                    sample_one_in: outputs.trace_sample,
+                    seed: cfg.seed,
+                    ..TraceConfig::default()
+                }),
+                None => Tracer::disabled(),
+            };
+            let p = run_point_instrumented(scheme, load, &cfg, &telemetry, &tracer);
+            let tag = format!("{}-load{load}", scheme.label());
             if let Some(prefix) = &telemetry_prefix {
-                let tag = format!("{}-load{load}", scheme.label());
                 eprintln!(
                     "    wrote {}",
                     snapshot::write_snapshot(&telemetry, prefix, &tag)
+                );
+            }
+            if let Some(prefix) = &outputs.trace {
+                eprintln!(
+                    "    wrote {}",
+                    snapshot::write_trace_snapshot(&tracer, prefix, &tag)
                 );
             }
             eprintln!(

@@ -201,6 +201,26 @@ pub fn run_point_telemetry(
     cfg: &Fig4Config,
     telemetry: &qvisor_telemetry::Telemetry,
 ) -> Fig4Point {
+    run_point_instrumented(
+        scheme,
+        load,
+        cfg,
+        telemetry,
+        &qvisor_telemetry::Tracer::disabled(),
+    )
+}
+
+/// Run one (scheme, load) point with both a telemetry registry and a
+/// packet-lifecycle tracer attached. Pass fresh handles per point — queue
+/// and tenant labels repeat across points, and each point's trace should
+/// be a self-contained snapshot.
+pub fn run_point_instrumented(
+    scheme: Scheme,
+    load: f64,
+    cfg: &Fig4Config,
+    telemetry: &qvisor_telemetry::Telemetry,
+    tracer: &qvisor_telemetry::Tracer,
+) -> Fig4Point {
     let fabric = LeafSpine::build(&cfg.fabric);
     let hosts = fabric.all_hosts();
     let sizes = cfg.workload.cdf().scaled(1, cfg.size_scale_den);
@@ -237,6 +257,7 @@ pub fn run_point_telemetry(
             _ => SchedulerKind::Pifo,
         },
         telemetry: telemetry.clone(),
+        tracer: tracer.clone(),
         ..SimConfig::default()
     };
 

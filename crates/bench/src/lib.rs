@@ -12,5 +12,6 @@ pub mod harness;
 pub mod snapshot;
 
 pub use fig4::{
-    run_point, run_point_telemetry, Fig4Config, Fig4Point, Scheme, Workload, EDF, PFABRIC,
+    run_point, run_point_instrumented, run_point_telemetry, Fig4Config, Fig4Point, Scheme,
+    Workload, EDF, PFABRIC,
 };

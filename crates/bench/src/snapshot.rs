@@ -4,7 +4,7 @@
 //! writes `PREFIX-<tag>.jsonl` (one self-contained registry export per
 //! point) that `qvisor telemetry report <file>` renders.
 
-use qvisor_telemetry::Telemetry;
+use qvisor_telemetry::{Telemetry, Tracer};
 
 /// Reduce a human label (`"QVISOR: pFabric >> EDF"`) to a file-name-safe
 /// tag (`"qvisor_pfabric_over_edf"`). Policy operators are spelled out so
@@ -37,6 +37,19 @@ pub fn write_snapshot(telemetry: &Telemetry, prefix: &str, tag: &str) -> String 
     let path = format!("{prefix}-{}.jsonl", slug(tag));
     std::fs::write(&path, telemetry.export_jsonl())
         .unwrap_or_else(|e| panic!("cannot write telemetry snapshot {path}: {e}"));
+    path
+}
+
+/// Write one packet-lifecycle trace snapshot to `PREFIX-<tag>.trace.jsonl`;
+/// returns the path. Render with `qvisor trace report` or convert for
+/// Perfetto with `qvisor trace export`.
+///
+/// # Panics
+/// Panics when the file cannot be written, like [`write_snapshot`].
+pub fn write_trace_snapshot(tracer: &Tracer, prefix: &str, tag: &str) -> String {
+    let path = format!("{prefix}-{}.trace.jsonl", slug(tag));
+    std::fs::write(&path, tracer.snapshot().to_jsonl())
+        .unwrap_or_else(|e| panic!("cannot write trace snapshot {path}: {e}"));
     path
 }
 

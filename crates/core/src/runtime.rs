@@ -18,7 +18,7 @@ use crate::spec::{SynthConfig, TenantSpec};
 use crate::synth::{synthesize, JointPolicy};
 use qvisor_ranking::RankRange;
 use qvisor_sim::{Log2Histogram, Nanos, Packet, TenantId};
-use qvisor_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use qvisor_telemetry::{Counter, Gauge, Histogram, Profiler, Telemetry};
 
 /// What to do with a packet whose rank violates the declared range.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -187,6 +187,7 @@ pub struct RuntimeAdapter {
     synth_ns: Histogram,
     recompiles: Counter,
     version_gauge: Gauge,
+    resynth_prof: Profiler,
 }
 
 impl RuntimeAdapter {
@@ -208,6 +209,7 @@ impl RuntimeAdapter {
             synth_ns: Histogram::default(),
             recompiles: Counter::default(),
             version_gauge: Gauge::default(),
+            resynth_prof: Profiler::default(),
         }
     }
 
@@ -219,6 +221,7 @@ impl RuntimeAdapter {
         self.recompiles = telemetry.counter("runtime_recompiles", &[]);
         self.version_gauge = telemetry.gauge("runtime_transform_version", &[]);
         self.version_gauge.set(self.version as i64);
+        self.resynth_prof = telemetry.profiler("resynthesize");
         self
     }
 
@@ -285,8 +288,9 @@ impl RuntimeAdapter {
         self.specs = specs;
         let started = std::time::Instant::now();
         let result = synthesize(&active_specs, &policy, self.synth_config);
-        self.synth_ns
-            .record(started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        let elapsed = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.synth_ns.record(elapsed);
+        self.resynth_prof.record_ns(elapsed);
         self.recompiles.inc();
         if result.is_ok() {
             self.version += 1;

@@ -4,7 +4,7 @@ use qvisor_core::{MonitorConfig, SynthConfig, TenantSpec, UnknownTenantAction};
 use qvisor_ranking::RankRange;
 use qvisor_scheduler::Capacity;
 use qvisor_sim::{EventCore, Nanos};
-use qvisor_telemetry::Telemetry;
+use qvisor_telemetry::{Telemetry, Tracer};
 
 /// Which scheduler model runs at every output port.
 #[derive(Clone, Copy, Debug)]
@@ -147,6 +147,12 @@ pub struct SimConfig {
     /// enabled handle never influences simulation behaviour — reports are
     /// byte-identical either way.
     pub telemetry: Telemetry,
+    /// Per-packet lifecycle flight recorder. Like `telemetry`, the default
+    /// (disabled) handle records nothing; an enabled one captures flow
+    /// start / rank / transform / queue / link / delivery spans for sampled
+    /// flows without ever influencing simulation behaviour. Keep a clone
+    /// and snapshot after [`crate::Simulation::run`].
+    pub tracer: Tracer,
 }
 
 impl Default for SimConfig {
@@ -169,6 +175,7 @@ impl Default for SimConfig {
             qvisor: None,
             event_core: EventCore::default(),
             telemetry: Telemetry::disabled(),
+            tracer: Tracer::disabled(),
         }
     }
 }

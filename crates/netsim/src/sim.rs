@@ -21,7 +21,7 @@ use qvisor_sim::{
     json::Value, transmission_time, EventQueue, FlowId, Nanos, NodeId, Packet, PacketArena,
     PacketKind, PacketSlot, SimRng, TenantId,
 };
-use qvisor_telemetry::{Counter, Histogram};
+use qvisor_telemetry::{Counter, Histogram, Profiler, TraceKind, TraceRecord};
 use qvisor_topology::{NodeKind, Routes, Topology};
 use qvisor_transport::{
     CbrDef, CbrSource, DatagramSink, FlowDef, FlowRecord, ReliableReceiver, ReliableSender, SendReq,
@@ -105,6 +105,8 @@ struct Port {
     tx_pkts: Counter,
     /// Bytes serialized onto the link.
     tx_bytes: Counter,
+    /// Interned trace label of this port's queue/link track.
+    trace_label: u32,
 }
 
 /// Cached per-tenant telemetry handles (one registry lookup per tenant,
@@ -170,6 +172,8 @@ pub struct Simulation {
     /// Bytes delivered per tenant since the last sampling tick.
     window_bytes: BTreeMap<TenantId, u64>,
     tenant_metrics: BTreeMap<TenantId, TenantMetrics>,
+    /// Wall-clock cost of handling one event (self-profiler site).
+    dispatch_prof: Profiler,
 }
 
 impl Simulation {
@@ -182,9 +186,11 @@ impl Simulation {
                 let policy = Policy::parse(&setup.policy)?;
                 let started = std::time::Instant::now();
                 let joint = qvisor_core::synthesize(&setup.specs, &policy, setup.synth)?;
+                let synth_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                 cfg.telemetry
                     .histogram("runtime_synth_ns", &[])
-                    .record(started.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                    .record(synth_ns);
+                cfg.telemetry.profiler("synthesize").record_ns(synth_ns);
                 cfg.telemetry.gauge("runtime_transform_version", &[]).set(1);
                 let preproc = PreProcessor::new(&joint, setup.unknown);
                 let monitor = setup
@@ -226,11 +232,17 @@ impl Simulation {
             for link in topo.out_links(node.id) {
                 let label = format!("n{}.p{}", node.id.0, node_ports.len());
                 let base = Self::make_queue_of(kind, &cfg, joint.as_ref())?;
-                let queue: Box<dyn PacketQueue> = if cfg.telemetry.is_enabled() {
-                    Box::new(InstrumentedQueue::new(base, &cfg.telemetry, &label))
-                } else {
-                    base
-                };
+                let queue: Box<dyn PacketQueue> =
+                    if cfg.telemetry.is_enabled() || cfg.tracer.is_enabled() {
+                        Box::new(InstrumentedQueue::with_tracer(
+                            base,
+                            &cfg.telemetry,
+                            &cfg.tracer,
+                            &label,
+                        ))
+                    } else {
+                        base
+                    };
                 let link_labels = [("link", label.as_str())];
                 map.insert(link.to.0, node_ports.len());
                 node_ports.push(Port {
@@ -241,6 +253,7 @@ impl Simulation {
                     busy: false,
                     tx_pkts: cfg.telemetry.counter("net_link_tx_pkts", &link_labels),
                     tx_bytes: cfg.telemetry.counter("net_link_tx_bytes", &link_labels),
+                    trace_label: cfg.tracer.intern(&label),
                 });
             }
             ports.push(node_ports);
@@ -249,6 +262,7 @@ impl Simulation {
 
         let rng = SimRng::seed_from(cfg.seed).derive(0x5157_4953);
         let events = EventQueue::with_core(cfg.event_core);
+        let dispatch_prof = cfg.telemetry.profiler("event_dispatch");
         Ok(Simulation {
             topo,
             routes,
@@ -271,6 +285,7 @@ impl Simulation {
             in_flight: 0,
             window_bytes: BTreeMap::new(),
             tenant_metrics: BTreeMap::new(),
+            dispatch_prof,
         })
     }
 
@@ -459,6 +474,18 @@ impl Simulation {
         }
     }
 
+    /// Record a lifecycle span for `p` on the flight recorder, if its flow
+    /// is sampled. Pure observation: never touches simulation state.
+    fn trace_pkt(&self, p: &Packet, now: Nanos, kind: TraceKind) {
+        let tracer = &self.cfg.tracer;
+        if tracer.sampled(p.flow.0) {
+            tracer.record(
+                TraceRecord::new(now, p.flow.0, p.seq, p.tenant.0, kind)
+                    .as_ack(matches!(p.kind, PacketKind::Ack { .. })),
+            );
+        }
+    }
+
     /// Retransmission timeout for `attempt` (exponential backoff, capped
     /// at 16x the base RTO) — bounds spurious retransmissions of packets
     /// starved behind their own flow's lower-ranked successors.
@@ -496,6 +523,7 @@ impl Simulation {
             now,
         );
         p.deadline = def.deadline;
+        self.trace_pkt(&p, now, TraceKind::RankComputed { rank });
         self.tenant_mut(def.tenant).sent_pkts += 1;
         self.metrics(def.tenant).sent_pkts.inc();
         self.in_flight += 1;
@@ -546,6 +574,16 @@ impl Simulation {
         );
         p.kind = PacketKind::Datagram;
         p.deadline = Some(deadline);
+        if seq == 0 {
+            self.trace_pkt(
+                &p,
+                now,
+                TraceKind::FlowStart {
+                    size: def.pkt_size as u64,
+                },
+            );
+        }
+        self.trace_pkt(&p, now, TraceKind::RankComputed { rank });
         self.tenant_mut(def.tenant).sent_pkts += 1;
         self.metrics(def.tenant).sent_pkts.inc();
         self.in_flight += 1;
@@ -570,6 +608,7 @@ impl Simulation {
                 if let Observation::Violation(action) = m.observe(&mut p, now) {
                     self.report.monitor_violations += 1;
                     if action == ViolationAction::Drop {
+                        self.trace_pkt(&p, now, TraceKind::Drop { rank: p.txf_rank });
                         self.drop_packet(&p, at);
                         return;
                     }
@@ -592,12 +631,22 @@ impl Simulation {
             crate::config::PreprocScope::FirstHopOnly => at == p.src,
         };
         if apply_here {
+            let raw_rank = p.rank;
             if let Some(pre) = self.preproc.as_mut() {
                 if pre.process(&mut p) == Verdict::Drop {
                     self.report.preproc_dropped += 1;
+                    self.trace_pkt(&p, now, TraceKind::Drop { rank: p.txf_rank });
                     self.drop_packet(&p, at);
                     return;
                 }
+                self.trace_pkt(
+                    &p,
+                    now,
+                    TraceKind::Transform {
+                        pre: raw_rank,
+                        post: p.txf_rank,
+                    },
+                );
             }
         }
         let next = self.routes.ecmp_next_hop(at, p.dst, p.flow);
@@ -630,14 +679,36 @@ impl Simulation {
                 None => return,
             }
         };
-        let (rate, delay, to) = {
+        let (rate, delay, to, trace_label) = {
             let port_ref = &mut self.ports[node.index()][port];
             port_ref.busy = true;
             port_ref.tx_pkts.inc();
             port_ref.tx_bytes.add(p.size as u64);
-            (port_ref.rate_bps, port_ref.delay, port_ref.to)
+            (
+                port_ref.rate_bps,
+                port_ref.delay,
+                port_ref.to,
+                port_ref.trace_label,
+            )
         };
         let tx = transmission_time(p.size as u64, rate);
+        if self.cfg.tracer.sampled(p.flow.0) {
+            self.cfg.tracer.record(
+                TraceRecord::new(
+                    now,
+                    p.flow.0,
+                    p.seq,
+                    p.tenant.0,
+                    TraceKind::TxStart {
+                        bytes: p.size as u64,
+                        tx_ns: tx.as_nanos(),
+                        prop_ns: delay.as_nanos(),
+                    },
+                )
+                .at_label(trace_label)
+                .as_ack(matches!(p.kind, PacketKind::Ack { .. })),
+            );
+        }
         self.events
             .schedule(now + tx, (Event::PortFree { node, port }, None));
         let slot = self.arena.insert(p);
@@ -648,6 +719,7 @@ impl Simulation {
     fn on_arrive(&mut self, node: NodeId, p: Packet, now: Nanos) {
         if self.cfg.random_loss > 0.0 && self.rng.uniform() < self.cfg.random_loss {
             self.report.random_losses += 1;
+            self.trace_pkt(&p, now, TraceKind::Drop { rank: p.txf_rank });
             self.drop_packet(&p, node);
             return;
         }
@@ -661,6 +733,16 @@ impl Simulation {
     fn deliver(&mut self, p: Packet, now: Nanos) {
         debug_assert!(self.in_flight > 0);
         self.in_flight -= 1;
+        let latency_ns = now.saturating_sub(p.sent_at).as_nanos();
+        self.trace_pkt(
+            &p,
+            now,
+            if matches!(p.kind, PacketKind::Ack { .. }) {
+                TraceKind::Ack { latency_ns }
+            } else {
+                TraceKind::Deliver { latency_ns }
+            },
+        );
         match p.kind {
             PacketKind::Data => {
                 let payload = p.size - self.cfg.header_bytes;
@@ -800,8 +882,21 @@ impl Simulation {
             let (now, (ev, packet)) = self.events.pop().expect("peeked");
             self.report.events += 1;
             self.report.end_time = now;
+            let _dispatch = self.dispatch_prof.time();
             match ev {
                 Event::FlowStart(flow) => {
+                    if self.cfg.tracer.sampled(flow.0) {
+                        if let FlowState::Reliable { sender, .. } = &self.flows[flow.index()] {
+                            let def = *sender.def();
+                            self.cfg.tracer.record(TraceRecord::new(
+                                now,
+                                flow.0,
+                                0,
+                                def.tenant.0,
+                                TraceKind::FlowStart { size: def.size },
+                            ));
+                        }
+                    }
                     let sends = match &mut self.flows[flow.index()] {
                         FlowState::Reliable { sender, .. } => sender.on_start(now),
                         FlowState::Cbr { .. } => unreachable!("FlowStart on CBR"),

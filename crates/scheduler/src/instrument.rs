@@ -7,13 +7,30 @@
 //! PIFO approximations — a dequeue is an inversion when some queued packet
 //! has a strictly lower rank), and records per-packet queueing delay.
 //!
-//! When the supplied [`Telemetry`] handle is disabled the wrapper keeps no
-//! mirror state and each operation adds only a branch.
+//! It is also the scheduler's hook into the [`qvisor_telemetry::trace`]
+//! flight recorder: when handed an enabled [`Tracer`], every enqueue,
+//! dequeue, drop, and inversion of a sampled flow becomes a lifecycle span
+//! on this queue's track — and inversions name the exact packet that was
+//! overtaken, not just a count.
+//!
+//! When both the [`Telemetry`] handle and the [`Tracer`] are disabled the
+//! wrapper keeps no mirror state and each operation adds only a branch.
 
 use crate::queue::{Enqueue, PacketQueue};
-use qvisor_sim::{Nanos, Packet, Rank};
-use qvisor_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use qvisor_sim::{Nanos, Packet, PacketKind, Rank};
+use qvisor_telemetry::{
+    Counter, Gauge, Histogram, Profiler, Telemetry, TraceKind, TraceRecord, Tracer,
+};
 use std::collections::BTreeMap;
+
+/// Identity of a resident packet: `(flow, seq, is_ack)`. ACKs share
+/// `(flow, seq)` with the data packet they acknowledge, so the flag keeps
+/// the two distinct in the mirror.
+type Resident = (u64, u64, bool);
+
+fn identity(p: &Packet) -> Resident {
+    (p.flow.0, p.seq, matches!(p.kind, PacketKind::Ack { .. }))
+}
 
 /// Wraps any [`PacketQueue`] and reports its behaviour as telemetry.
 ///
@@ -30,13 +47,19 @@ use std::collections::BTreeMap;
 /// | `sched_depth_pkts` | gauge | current occupancy in packets |
 /// | `sched_depth_bytes` | gauge | current occupancy in bytes |
 /// | `sched_sojourn_ns` | histogram | per-packet queueing delay |
+///
+/// Wall-clock cost of the wrapped operations aggregates under the
+/// `sched_enqueue` / `sched_dequeue` profile sites.
 pub struct InstrumentedQueue<Q: PacketQueue> {
     inner: Q,
     enabled: bool,
-    /// Multiset of resident ranks: rank -> count. Mirrors the queue
-    /// contents so inversion detection is O(log n) per operation and
-    /// independent of the inner model. Empty when disabled.
-    ranks: BTreeMap<Rank, u64>,
+    /// Mirror of resident packets: rank -> identities in arrival order.
+    /// Keeps inversion detection O(log n) per operation and independent of
+    /// the inner model, and lets an inversion name the overtaken packet.
+    /// Empty when disabled.
+    ranks: BTreeMap<Rank, Vec<Resident>>,
+    tracer: Tracer,
+    trace_label: u32,
     offered: Counter,
     admitted: Counter,
     dropped: Counter,
@@ -45,16 +68,32 @@ pub struct InstrumentedQueue<Q: PacketQueue> {
     depth_pkts: Gauge,
     depth_bytes: Gauge,
     sojourn_ns: Histogram,
+    enq_prof: Profiler,
+    deq_prof: Profiler,
 }
 
 impl<Q: PacketQueue> InstrumentedQueue<Q> {
     /// Wrap `inner`, registering metrics labelled `queue=queue_label` on
-    /// `telemetry`.
+    /// `telemetry`, with packet tracing disabled.
     pub fn new(inner: Q, telemetry: &Telemetry, queue_label: &str) -> InstrumentedQueue<Q> {
+        InstrumentedQueue::with_tracer(inner, telemetry, &Tracer::disabled(), queue_label)
+    }
+
+    /// Wrap `inner`, reporting metrics on `telemetry` and lifecycle spans
+    /// of sampled flows on `tracer` (the queue's track is named
+    /// `queue_label`). Either handle may be disabled independently.
+    pub fn with_tracer(
+        inner: Q,
+        telemetry: &Telemetry,
+        tracer: &Tracer,
+        queue_label: &str,
+    ) -> InstrumentedQueue<Q> {
         let labels = [("queue", queue_label), ("kind", inner.kind())];
         InstrumentedQueue {
-            enabled: telemetry.is_enabled(),
+            enabled: telemetry.is_enabled() || tracer.is_enabled(),
             ranks: BTreeMap::new(),
+            tracer: tracer.clone(),
+            trace_label: tracer.intern(queue_label),
             offered: telemetry.counter("sched_offered_pkts", &labels),
             admitted: telemetry.counter("sched_admitted_pkts", &labels),
             dropped: telemetry.counter("sched_dropped_pkts", &labels),
@@ -63,6 +102,8 @@ impl<Q: PacketQueue> InstrumentedQueue<Q> {
             depth_pkts: telemetry.gauge("sched_depth_pkts", &labels),
             depth_bytes: telemetry.gauge("sched_depth_bytes", &labels),
             sojourn_ns: telemetry.histogram("sched_sojourn_ns", &labels),
+            enq_prof: telemetry.profiler("sched_enqueue"),
+            deq_prof: telemetry.profiler("sched_dequeue"),
             inner,
         }
     }
@@ -82,16 +123,22 @@ impl<Q: PacketQueue> InstrumentedQueue<Q> {
         self.inversions.get()
     }
 
-    fn note_resident(&mut self, rank: Rank) {
-        *self.ranks.entry(rank).or_insert(0) += 1;
+    fn note_resident(&mut self, rank: Rank, id: Resident) {
+        self.ranks.entry(rank).or_default().push(id);
     }
 
-    fn forget_resident(&mut self, rank: Rank) {
+    fn forget_resident(&mut self, rank: Rank, id: Resident) {
         match self.ranks.get_mut(&rank) {
-            Some(1) => {
-                self.ranks.remove(&rank);
+            Some(ids) => {
+                if let Some(pos) = ids.iter().position(|&r| r == id) {
+                    ids.remove(pos);
+                } else {
+                    debug_assert!(false, "packet {id:?} not resident at rank {rank}");
+                }
+                if ids.is_empty() {
+                    self.ranks.remove(&rank);
+                }
             }
-            Some(n) => *n -= 1,
             None => debug_assert!(false, "rank {rank} not resident"),
         }
     }
@@ -100,6 +147,16 @@ impl<Q: PacketQueue> InstrumentedQueue<Q> {
         self.depth_pkts.set(self.inner.len() as i64);
         self.depth_bytes.set(self.inner.bytes() as i64);
     }
+
+    fn trace(&self, p: &Packet, now: Nanos, kind: TraceKind) {
+        if self.tracer.sampled(p.flow.0) {
+            self.tracer.record(
+                TraceRecord::new(now, p.flow.0, p.seq, p.tenant.0, kind)
+                    .at_label(self.trace_label)
+                    .as_ack(matches!(p.kind, PacketKind::Ack { .. })),
+            );
+        }
+    }
 }
 
 impl<Q: PacketQueue> PacketQueue for InstrumentedQueue<Q> {
@@ -107,26 +164,31 @@ impl<Q: PacketQueue> PacketQueue for InstrumentedQueue<Q> {
         if !self.enabled {
             return self.inner.enqueue(p, now);
         }
+        let _scope = self.enq_prof.time();
         self.offered.inc();
         p.enqueued_at = now;
         let rank = p.txf_rank;
+        let id = identity(&p);
+        self.trace(&p, now, TraceKind::Enqueue { rank });
         let outcome = self.inner.enqueue(p, now);
         match &outcome {
             Enqueue::Accepted => {
                 self.admitted.inc();
-                self.note_resident(rank);
+                self.note_resident(rank, id);
             }
             Enqueue::AcceptedDropped(dropped) => {
                 self.admitted.inc();
-                self.note_resident(rank);
+                self.note_resident(rank, id);
                 self.dropped.add(dropped.len() as u64);
                 // Evicted packets were residents; drop them from the mirror.
                 for d in dropped {
-                    self.forget_resident(d.txf_rank);
+                    self.forget_resident(d.txf_rank, identity(d));
+                    self.trace(d, now, TraceKind::Drop { rank: d.txf_rank });
                 }
             }
-            Enqueue::Rejected(_) => {
+            Enqueue::Rejected(rejected) => {
                 self.dropped.inc();
+                self.trace(rejected, now, TraceKind::Drop { rank });
             }
         }
         self.update_depth();
@@ -137,16 +199,38 @@ impl<Q: PacketQueue> PacketQueue for InstrumentedQueue<Q> {
         if !self.enabled {
             return self.inner.dequeue(now);
         }
+        let _scope = self.deq_prof.time();
         let p = self.inner.dequeue(now)?;
-        self.forget_resident(p.txf_rank);
+        self.forget_resident(p.txf_rank, identity(&p));
         self.dequeued.inc();
-        if let Some((&best, _)) = self.ranks.first_key_value() {
+        let wait = now.saturating_sub(p.enqueued_at).as_nanos();
+        self.trace(
+            &p,
+            now,
+            TraceKind::Dequeue {
+                rank: p.txf_rank,
+                wait_ns: wait,
+            },
+        );
+        if let Some((&best, ids)) = self.ranks.first_key_value() {
             if best < p.txf_rank {
                 self.inversions.inc();
+                // The overtaken packet: oldest resident at the best rank.
+                if let Some(&(loser_flow, loser_seq, _)) = ids.first() {
+                    self.trace(
+                        &p,
+                        now,
+                        TraceKind::Inversion {
+                            rank: p.txf_rank,
+                            loser_flow,
+                            loser_seq,
+                            loser_rank: best,
+                        },
+                    );
+                }
             }
         }
-        self.sojourn_ns
-            .record(now.saturating_sub(p.enqueued_at).as_nanos());
+        self.sojourn_ns.record(wait);
         self.update_depth();
         Some(p)
     }
@@ -177,8 +261,12 @@ mod tests {
     use qvisor_sim::{FlowId, NodeId, TenantId};
 
     fn pkt(seq: u64, rank: Rank) -> Packet {
+        flow_pkt(1, seq, rank)
+    }
+
+    fn flow_pkt(flow: u64, seq: u64, rank: Rank) -> Packet {
         let mut p = Packet::data(
-            FlowId(1),
+            FlowId(flow),
             TenantId(0),
             seq,
             100,
@@ -256,5 +344,109 @@ mod tests {
         // Disabled instrumentation must not stamp packets.
         assert_eq!(p.enqueued_at, Nanos::ZERO);
         assert_eq!(q.dequeued_count(), 0);
+    }
+
+    mod traced {
+        use super::*;
+        use qvisor_telemetry::{TraceConfig, TraceData};
+
+        fn spans_of(data: &TraceData, kind_tag: &str) -> usize {
+            data.records
+                .iter()
+                .filter(|r| r.kind.tag() == kind_tag)
+                .count()
+        }
+
+        #[test]
+        fn lifecycle_spans_reach_the_tracer() {
+            let t = Telemetry::disabled();
+            let tr = Tracer::enabled(TraceConfig::default());
+            let mut q =
+                InstrumentedQueue::with_tracer(FifoQueue::new(Capacity::UNBOUNDED), &t, &tr, "q0");
+            q.enqueue(pkt(0, 9), Nanos::ZERO);
+            q.enqueue(pkt(1, 1), Nanos(10));
+            q.dequeue(Nanos(500));
+            let data = tr.snapshot();
+            assert_eq!(spans_of(&data, "enqueue"), 2);
+            assert_eq!(spans_of(&data, "dequeue"), 1);
+            assert_eq!(spans_of(&data, "inversion"), 1);
+            // Dequeue carries the measured residency.
+            let dq = data
+                .records
+                .iter()
+                .find(|r| r.kind.tag() == "dequeue")
+                .unwrap();
+            assert_eq!(
+                dq.kind,
+                TraceKind::Dequeue {
+                    rank: 9,
+                    wait_ns: 500
+                }
+            );
+            assert_eq!(data.label_of(dq), Some("q0"));
+        }
+
+        #[test]
+        fn inversion_names_the_overtaken_packet() {
+            let t = Telemetry::enabled();
+            let tr = Tracer::enabled(TraceConfig::default());
+            let mut q =
+                InstrumentedQueue::with_tracer(FifoQueue::new(Capacity::UNBOUNDED), &t, &tr, "q0");
+            q.enqueue(flow_pkt(3, 0, 9), Nanos::ZERO);
+            q.enqueue(flow_pkt(5, 7, 1), Nanos::ZERO);
+            q.dequeue(Nanos(100)); // flow 3 overtakes flow 5
+            let data = tr.snapshot();
+            let inv = data
+                .records
+                .iter()
+                .find(|r| r.kind.tag() == "inversion")
+                .expect("inversion span");
+            assert_eq!(inv.flow, 3);
+            assert_eq!(
+                inv.kind,
+                TraceKind::Inversion {
+                    rank: 9,
+                    loser_flow: 5,
+                    loser_seq: 7,
+                    loser_rank: 1,
+                }
+            );
+        }
+
+        #[test]
+        fn queue_drops_become_drop_spans() {
+            let t = Telemetry::enabled();
+            let tr = Tracer::enabled(TraceConfig::default());
+            let mut q =
+                InstrumentedQueue::with_tracer(PifoQueue::new(Capacity::bytes(200)), &t, &tr, "q0");
+            q.enqueue(flow_pkt(1, 0, 5), Nanos::ZERO);
+            q.enqueue(flow_pkt(2, 0, 6), Nanos::ZERO);
+            q.enqueue(flow_pkt(3, 0, 1), Nanos::ZERO); // evicts flow 2
+            q.enqueue(flow_pkt(4, 0, 9), Nanos::ZERO); // rejected
+            let data = tr.snapshot();
+            let drops: Vec<u64> = data
+                .records
+                .iter()
+                .filter(|r| r.kind.tag() == "drop")
+                .map(|r| r.flow)
+                .collect();
+            assert_eq!(drops, vec![2, 4]);
+        }
+
+        #[test]
+        fn unsampled_flows_leave_no_spans() {
+            let t = Telemetry::disabled();
+            // A sparse sampler: find a flow it skips.
+            let tr = Tracer::enabled(TraceConfig {
+                sample_one_in: 1_000_000,
+                ..TraceConfig::default()
+            });
+            let skipped = (0..u64::MAX).find(|&f| !tr.sampled(f)).unwrap();
+            let mut q =
+                InstrumentedQueue::with_tracer(FifoQueue::new(Capacity::UNBOUNDED), &t, &tr, "q0");
+            q.enqueue(flow_pkt(skipped, 0, 5), Nanos::ZERO);
+            q.dequeue(Nanos(10));
+            assert!(tr.is_empty());
+        }
     }
 }

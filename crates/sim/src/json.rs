@@ -473,14 +473,20 @@ impl<'a> Parser<'a> {
                 }
                 Some(c) if c < 0x20 => return Err(self.err("control character in string")),
                 Some(_) => {
-                    // Copy one UTF-8 scalar.
+                    // Copy the whole run up to the next quote, escape, or
+                    // control byte, validating only the run as UTF-8 —
+                    // validating from here to end-of-input per character
+                    // made parsing quadratic on large documents.
                     let start = self.pos;
-                    let rest = &self.bytes[start..];
-                    let text = std::str::from_utf8(rest)
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' || b < 0x20 {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.err("invalid UTF-8 in string"))?;
-                    let c = text.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }
@@ -594,6 +600,18 @@ mod tests {
         let arr = v.get("a").and_then(Value::as_array).unwrap();
         assert_eq!(arr.len(), 3);
         assert!(arr[2].get("b").unwrap().is_null());
+    }
+
+    #[test]
+    fn string_runs_copy_correctly() {
+        // Unescaped runs are copied in bulk; escapes, multi-byte UTF-8,
+        // and adjacent content must all survive the fast path.
+        let v = Value::parse("\"plain µ run \\t tab ü end\"").unwrap();
+        assert_eq!(v.as_str(), Some("plain µ run \t tab ü end"));
+        let v = Value::parse("[\"a\",\"béta\",\"c\\\\d\"]").unwrap();
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr[1].as_str(), Some("béta"));
+        assert_eq!(arr[2].as_str(), Some("c\\d"));
     }
 
     #[test]

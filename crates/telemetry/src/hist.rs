@@ -260,6 +260,47 @@ mod tests {
     }
 
     #[test]
+    fn prop_quantile_lands_in_true_quantiles_bucket() {
+        // Property: for any input stream, the quantile estimate falls
+        // within the bounds of the bucket that contains the true
+        // (nearest-rank) quantile. Exercised over many randomized streams
+        // spanning dense small values, wide uniforms, exponential tails,
+        // and power-of-two spikes.
+        use qvisor_sim::rng::SimRng;
+        let root = SimRng::seed_from(0x5eed_0123);
+        for case in 0..48u64 {
+            let mut rng = root.derive(case);
+            let n = 1 + rng.below(3_000) as usize;
+            let values: Vec<u64> = (0..n)
+                .map(|_| match case % 4 {
+                    0 => rng.below(100),
+                    1 => rng.below(1_000_000_000_000),
+                    2 => rng.exponential(50_000.0) as u64,
+                    _ => 1u64 << rng.below(50),
+                })
+                .collect();
+            let mut h = LogHistogram::new();
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            for &v in &values {
+                h.record(v);
+            }
+            for p in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+                let rank = ((p * n as f64).ceil() as usize).max(1) - 1;
+                let exact = sorted[rank];
+                let (lo, hi) = bucket_range(bucket_index(exact));
+                let est = h.quantile(p).unwrap();
+                assert!(
+                    est >= lo && est <= hi,
+                    "case {case} n {n} p={p}: estimate {est} outside \
+                     [{lo}, {hi}], the bucket of true quantile {exact}"
+                );
+                assert!(est >= exact, "estimate must never undershoot");
+            }
+        }
+    }
+
+    #[test]
     fn quantile_never_exceeds_observed_max() {
         let mut h = LogHistogram::new();
         h.record(1_000_003);

@@ -60,17 +60,21 @@ impl Journal {
         }
     }
 
-    /// Append an event, evicting the oldest if full.
-    pub fn push(&mut self, event: JournalEvent) {
+    /// Append an event, evicting the oldest if full. Returns `true` when
+    /// an event was evicted (or refused, at capacity 0) so callers can
+    /// surface the loss — a silently truncated journal looks complete.
+    pub fn push(&mut self, event: JournalEvent) -> bool {
         if self.capacity == 0 {
             self.evicted += 1;
-            return;
+            return true;
         }
-        if self.events.len() == self.capacity {
+        let evicting = self.events.len() == self.capacity;
+        if evicting {
             self.events.pop_front();
             self.evicted += 1;
         }
         self.events.push_back(event);
+        evicting
     }
 
     /// Events currently retained, oldest first.

@@ -24,13 +24,24 @@
 //! log-bucketed [`LogHistogram`]s, and a bounded [`Journal`] of structured
 //! events. [`Telemetry::export_jsonl`] serialises everything as JSON lines;
 //! [`report`] renders exported files back into human-readable tables.
+//!
+//! Two sibling subsystems follow the same feature-gating rules: the
+//! [`trace`] flight recorder captures per-packet lifecycle spans (exported
+//! to Perfetto via [`perfetto`] or rendered as a latency breakdown), and
+//! the [`profile`] self-profiler aggregates wall-clock scoped timers around
+//! the simulator's own hot paths.
 
 pub mod hist;
 pub mod journal;
+pub mod perfetto;
+pub mod profile;
 pub mod report;
+pub mod trace;
 
 pub use hist::{Bucket, LogHistogram, SUB_BITS};
 pub use journal::{Journal, JournalEvent};
+pub use profile::{ProfileSpan, ProfileStat, Profiler};
+pub use trace::{TraceConfig, TraceData, TraceKind, TraceRecord, Tracer};
 
 #[cfg(feature = "enabled")]
 mod live;

@@ -2,6 +2,7 @@
 
 use crate::hist::LogHistogram;
 use crate::journal::{Journal, JournalEvent};
+use crate::profile::{ProfileStat, Profiler};
 use crate::{DEFAULT_JOURNAL_CAPACITY, SCHEMA_VERSION};
 use qvisor_sim::json::Value;
 use qvisor_sim::Nanos;
@@ -34,6 +35,7 @@ struct Registry {
     counters: BTreeMap<MetricKey, Rc<Cell<u64>>>,
     gauges: BTreeMap<MetricKey, Rc<Cell<i64>>>,
     histograms: BTreeMap<MetricKey, Rc<RefCell<LogHistogram>>>,
+    profiles: BTreeMap<String, Rc<RefCell<ProfileStat>>>,
     journal: Journal,
 }
 
@@ -214,10 +216,30 @@ impl Telemetry {
         }))
     }
 
+    /// Register (or re-fetch) the wall-clock profiler for the site `name`.
+    ///
+    /// See [`crate::profile`]: the returned handle aggregates scoped timer
+    /// measurements that surface in the `profile` section of exports.
+    pub fn profiler(&self, name: &str) -> Profiler {
+        Profiler(self.inner.as_ref().map(|reg| {
+            Rc::clone(
+                reg.borrow_mut()
+                    .profiles
+                    .entry(name.to_string())
+                    .or_default(),
+            )
+        }))
+    }
+
     /// Append a structured event to the journal at simulated time `t`.
+    ///
+    /// When the bounded journal evicts an older event to make room, the
+    /// `telemetry_journal_dropped` counter is bumped so a truncated journal
+    /// is visible in reports instead of silently looking complete.
     pub fn event(&self, t: Nanos, kind: &str, fields: &[(&str, Value)]) {
         if let Some(reg) = &self.inner {
-            reg.borrow_mut().journal.push(JournalEvent {
+            let mut reg = reg.borrow_mut();
+            let dropped = reg.journal.push(JournalEvent {
                 t,
                 kind: kind.to_string(),
                 fields: fields
@@ -225,6 +247,13 @@ impl Telemetry {
                     .map(|(k, v)| (k.to_string(), v.clone()))
                     .collect(),
             });
+            if dropped {
+                let cell = reg
+                    .counters
+                    .entry(metric_key("telemetry_journal_dropped", &[]))
+                    .or_default();
+                cell.set(cell.get() + 1);
+            }
         }
     }
 
@@ -232,8 +261,9 @@ impl Telemetry {
     ///
     /// The first line is a `meta` record carrying the schema version and the
     /// journal eviction count; then one line per counter, gauge, and
-    /// histogram (in deterministic name/label order), then retained journal
-    /// events oldest-first. Returns an empty string when disabled.
+    /// histogram (in deterministic name/label order), one `profile` line per
+    /// profiled site, then retained journal events oldest-first. Returns an
+    /// empty string when disabled.
     pub fn export_jsonl(&self) -> String {
         let Some(reg) = &self.inner else {
             return String::new();
@@ -290,6 +320,19 @@ impl Telemetry {
                 .set("p90", h.quantile(0.90))
                 .set("p99", h.quantile(0.99))
                 .set("buckets", Value::from(buckets));
+            out.push_str(&line.to_compact());
+            out.push('\n');
+        }
+        for (name, stat) in &reg.profiles {
+            let s = stat.borrow();
+            let line = Value::object()
+                .set("type", "profile")
+                .set("name", name.as_str())
+                .set("count", s.count)
+                .set("total_ns", s.total_ns)
+                .set("min_ns", s.min_ns)
+                .set("max_ns", s.max_ns)
+                .set("mean_ns", s.mean_ns());
             out.push_str(&line.to_compact());
             out.push('\n');
         }
@@ -381,6 +424,26 @@ mod tests {
         }
         // Exporting twice yields byte-identical output.
         assert_eq!(out, t.export_jsonl());
+    }
+
+    #[test]
+    fn journal_eviction_bumps_dropped_counter() {
+        let t = Telemetry::with_journal_capacity(2);
+        for i in 0..5u64 {
+            t.event(Nanos(i), "tick", &[]);
+        }
+        assert_eq!(t.counter("telemetry_journal_dropped", &[]).get(), 3);
+        let out = t.export_jsonl();
+        assert!(
+            out.contains(
+                r#"{"type":"counter","name":"telemetry_journal_dropped","labels":{},"value":3}"#
+            ),
+            "{out}"
+        );
+        // Within capacity, the counter never materialises.
+        let roomy = Telemetry::enabled();
+        roomy.event(Nanos(1), "tick", &[]);
+        assert!(!roomy.export_jsonl().contains("telemetry_journal_dropped"));
     }
 
     #[test]

@@ -119,6 +119,12 @@ impl Telemetry {
         Histogram
     }
 
+    /// A no-op profiler.
+    #[inline(always)]
+    pub fn profiler(&self, _name: &str) -> crate::profile::Profiler {
+        crate::profile::Profiler
+    }
+
     /// No-op.
     #[inline(always)]
     pub fn event(&self, _t: Nanos, _kind: &str, _fields: &[(&str, Value)]) {}

@@ -1,0 +1,213 @@
+//! Wall-clock self-profiler: scoped timers around the simulator's own hot
+//! paths (event dispatch, scheduler enqueue/dequeue, policy synthesis).
+//!
+//! Unlike every other collector in this crate, the profiler measures *host*
+//! wall-clock time, not simulated time — it answers "where does the
+//! simulator spend its cycles", not "where do packets spend theirs". Its
+//! numbers therefore vary run to run and are deliberately kept out of
+//! anything the determinism suite compares byte-for-byte; they surface in
+//! the `profile` section of `qvisor telemetry report`.
+//!
+//! Usage: fetch a [`Profiler`] once per site via `Telemetry::profiler`, then
+//! wrap each occurrence in a scope guard:
+//!
+//! ```
+//! # let telemetry = qvisor_telemetry::Telemetry::enabled();
+//! let dispatch = telemetry.profiler("event_dispatch");
+//! {
+//!     let _span = dispatch.time();
+//!     // ... hot work ...
+//! } // guard drop records the elapsed wall time
+//! ```
+//!
+//! With the `enabled` feature off, both types are zero-sized and every
+//! method is an empty inlined body — no `Instant::now` calls survive.
+
+/// Aggregated wall-clock statistics for one profiled site.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProfileStat {
+    /// Number of recorded scopes.
+    pub count: u64,
+    /// Total wall-clock nanoseconds across all scopes.
+    pub total_ns: u64,
+    /// Shortest scope, 0 if none recorded.
+    pub min_ns: u64,
+    /// Longest scope.
+    pub max_ns: u64,
+}
+
+impl ProfileStat {
+    /// Fold one scope's elapsed time into the aggregate.
+    pub fn record(&mut self, ns: u64) {
+        self.min_ns = if self.count == 0 {
+            ns
+        } else {
+            self.min_ns.min(ns)
+        };
+        self.max_ns = self.max_ns.max(ns);
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+    }
+
+    /// Mean nanoseconds per scope (0 if none recorded).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+#[cfg(feature = "enabled")]
+pub use live_profiler::{ProfileSpan, Profiler};
+
+#[cfg(feature = "enabled")]
+mod live_profiler {
+    use super::ProfileStat;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use std::time::Instant;
+
+    /// Handle to one profiled site's aggregate. Cloning shares the
+    /// aggregate; the default value is disabled (records nothing).
+    #[derive(Clone, Default)]
+    pub struct Profiler(pub(crate) Option<Rc<RefCell<ProfileStat>>>);
+
+    impl std::fmt::Debug for Profiler {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Profiler(count={})", self.stat().count)
+        }
+    }
+
+    impl Profiler {
+        /// Start a scope; the elapsed wall time is recorded when the
+        /// returned guard drops. Disabled handles never read the clock.
+        #[inline]
+        pub fn time(&self) -> ProfileSpan {
+            ProfileSpan(
+                self.0
+                    .as_ref()
+                    .map(|stat| (Instant::now(), Rc::clone(stat))),
+            )
+        }
+
+        /// Record an externally measured scope duration.
+        #[inline]
+        pub fn record_ns(&self, ns: u64) {
+            if let Some(stat) = &self.0 {
+                stat.borrow_mut().record(ns);
+            }
+        }
+
+        /// Snapshot of the aggregate so far (zeros when disabled).
+        pub fn stat(&self) -> ProfileStat {
+            self.0
+                .as_ref()
+                .map_or_else(ProfileStat::default, |s| *s.borrow())
+        }
+    }
+
+    /// Scope guard returned by [`Profiler::time`]; records on drop.
+    #[must_use = "dropping immediately records a ~0ns scope"]
+    pub struct ProfileSpan(Option<(Instant, Rc<RefCell<ProfileStat>>)>);
+
+    impl Drop for ProfileSpan {
+        fn drop(&mut self) {
+            if let Some((started, stat)) = self.0.take() {
+                let ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                stat.borrow_mut().record(ns);
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+pub use noop_profiler::{ProfileSpan, Profiler};
+
+#[cfg(not(feature = "enabled"))]
+mod noop_profiler {
+    use super::ProfileStat;
+
+    /// No-op profiler handle (telemetry compiled out).
+    #[derive(Clone, Copy, Default, Debug)]
+    pub struct Profiler;
+
+    impl Profiler {
+        /// A guard that does nothing on drop.
+        #[inline(always)]
+        pub fn time(&self) -> ProfileSpan {
+            ProfileSpan
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn record_ns(&self, _ns: u64) {}
+
+        /// Always zeros.
+        #[inline(always)]
+        pub fn stat(&self) -> ProfileStat {
+            ProfileStat::default()
+        }
+    }
+
+    /// No-op scope guard.
+    #[must_use = "dropping immediately records a ~0ns scope"]
+    #[derive(Clone, Copy)]
+    pub struct ProfileSpan;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_aggregates_count_total_min_max() {
+        let mut s = ProfileStat::default();
+        for ns in [30, 10, 20] {
+            s.record(ns);
+        }
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total_ns, 60);
+        assert_eq!(s.min_ns, 10);
+        assert_eq!(s.max_ns, 30);
+        assert_eq!(s.mean_ns(), 20);
+    }
+
+    #[test]
+    fn empty_stat_is_all_zero() {
+        let s = ProfileStat::default();
+        assert_eq!(s.mean_ns(), 0);
+        assert_eq!(s.min_ns, 0);
+    }
+
+    #[cfg(feature = "enabled")]
+    mod live {
+        #[test]
+        fn scope_guard_records_on_drop() {
+            let t = crate::Telemetry::enabled();
+            let p = t.profiler("unit_test_site");
+            {
+                let _span = p.time();
+                std::hint::black_box(42);
+            }
+            p.record_ns(1_000);
+            let stat = p.stat();
+            assert_eq!(stat.count, 2);
+            assert!(stat.total_ns >= 1_000);
+        }
+
+        #[test]
+        fn disabled_profiler_records_nothing() {
+            let t = crate::Telemetry::disabled();
+            let p = t.profiler("site");
+            drop(p.time());
+            p.record_ns(5);
+            assert_eq!(p.stat(), super::super::ProfileStat::default());
+        }
+
+        #[test]
+        fn refetching_shares_the_aggregate() {
+            let t = crate::Telemetry::enabled();
+            t.profiler("site").record_ns(7);
+            t.profiler("site").record_ns(3);
+            assert_eq!(t.profiler("site").stat().count, 2);
+        }
+    }
+}

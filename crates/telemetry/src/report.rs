@@ -40,6 +40,23 @@ pub struct HistLine {
     pub p99: Option<u64>,
 }
 
+/// One exported wall-clock profile line.
+#[derive(Clone, Debug)]
+pub struct ProfileLine {
+    /// Profiled site name.
+    pub name: String,
+    /// Number of recorded scopes.
+    pub count: u64,
+    /// Total wall-clock nanoseconds.
+    pub total_ns: u64,
+    /// Shortest scope.
+    pub min_ns: u64,
+    /// Longest scope.
+    pub max_ns: u64,
+    /// Mean nanoseconds per scope.
+    pub mean_ns: u64,
+}
+
 /// A parsed telemetry export.
 #[derive(Clone, Debug, Default)]
 pub struct Export {
@@ -53,6 +70,8 @@ pub struct Export {
     pub gauges: Vec<MetricLine>,
     /// Histogram lines, in file order.
     pub histograms: Vec<HistLine>,
+    /// Wall-clock profile lines, in file order.
+    pub profiles: Vec<ProfileLine>,
     /// Journal event lines, oldest first.
     pub events: Vec<Value>,
 }
@@ -123,6 +142,17 @@ pub fn parse(jsonl: &str) -> Result<Export, String> {
                 p90: value.get("p90").and_then(Value::as_u64),
                 p99: value.get("p99").and_then(Value::as_u64),
             }),
+            "profile" => {
+                let u = |key: &str| value.get(key).and_then(Value::as_u64).unwrap_or(0);
+                export.profiles.push(ProfileLine {
+                    name: name(),
+                    count: u("count"),
+                    total_ns: u("total_ns"),
+                    min_ns: u("min_ns"),
+                    max_ns: u("max_ns"),
+                    mean_ns: u("mean_ns"),
+                });
+            }
             "event" => export.events.push(value),
             _ => {}
         }
@@ -139,7 +169,7 @@ fn label_suffix(labels: &[(String, String)]) -> String {
 }
 
 /// Left-align the first column, right-align the rest.
-fn render_table(out: &mut String, headers: &[String], rows: &[Vec<String>]) {
+pub(crate) fn render_table(out: &mut String, headers: &[String], rows: &[Vec<String>]) {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -275,12 +305,41 @@ pub fn render_export(export: &Export) -> String {
         render_table(&mut out, &headers, &rows);
     }
 
+    if !export.profiles.is_empty() {
+        out.push_str("\nself-profile (wall clock):\n");
+        let headers: Vec<String> = ["site", "count", "total_ns", "mean_ns", "min_ns", "max_ns"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let rows: Vec<Vec<String>> = export
+            .profiles
+            .iter()
+            .map(|p| {
+                vec![
+                    p.name.clone(),
+                    p.count.to_string(),
+                    p.total_ns.to_string(),
+                    p.mean_ns.to_string(),
+                    p.min_ns.to_string(),
+                    p.max_ns.to_string(),
+                ]
+            })
+            .collect();
+        render_table(&mut out, &headers, &rows);
+    }
+
     if !export.events.is_empty() || export.journal_evicted > 0 {
         out.push_str(&format!(
             "\njournal: {} event(s) retained, {} evicted\n",
             export.events.len(),
             export.journal_evicted
         ));
+        if export.journal_evicted > 0 {
+            out.push_str(
+                "  warning: journal overflowed — oldest events were dropped \
+                 (telemetry_journal_dropped counts the loss)\n",
+            );
+        }
         const TAIL: usize = 10;
         let skip = export.events.len().saturating_sub(TAIL);
         if skip > 0 {
@@ -351,6 +410,33 @@ mod tests {
             .find(|l| l.trim_start().starts_with('1') && l.contains("20"))
             .unwrap_or_else(|| panic!("no tenant-1 row in:\n{text}"));
         assert!(tenant_row.contains("20"));
+    }
+
+    #[test]
+    fn profile_lines_render_as_their_own_section() {
+        let jsonl = concat!(
+            r#"{"type":"meta","schema":1,"journal_evicted":0}"#,
+            "\n",
+            r#"{"type":"profile","name":"event_dispatch","count":4,"total_ns":200,"min_ns":10,"max_ns":90,"mean_ns":50}"#,
+            "\n",
+        );
+        let export = parse(jsonl).unwrap();
+        assert_eq!(export.profiles.len(), 1);
+        assert_eq!(export.profiles[0].mean_ns, 50);
+        let text = render(jsonl).unwrap();
+        assert!(text.contains("self-profile (wall clock):"), "{text}");
+        assert!(text.contains("event_dispatch"), "{text}");
+    }
+
+    #[test]
+    fn truncated_journal_carries_a_warning() {
+        let text = render(SAMPLE).unwrap();
+        assert!(text.contains("warning: journal overflowed"), "{text}");
+        let clean = r#"{"type":"meta","schema":1,"journal_evicted":0}
+{"type":"event","t_ns":7,"kind":"tick","fields":{}}
+"#;
+        let text = render(clean).unwrap();
+        assert!(!text.contains("warning: journal overflowed"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,954 @@
+//! Per-packet lifecycle flight recorder.
+//!
+//! While metrics (counters, histograms) answer *how much*, the tracer
+//! answers *where and when*: it records per-packet lifecycle spans — flow
+//! start, rank computation, QVISOR transform application (pre/post rank),
+//! enqueue/dequeue/drop at every hop's queue, link serialization, and
+//! delivery/ACK — into a compact bounded ring buffer keyed by simulated
+//! time. Deterministic seeded per-flow sampling keeps full traces bounded
+//! on large runs: whether a flow is sampled is a pure function of
+//! `(seed, flow id)`, so the same run always traces the same flows.
+//!
+//! Like the rest of the crate, the live [`Tracer`] is compiled only with
+//! the `enabled` feature; otherwise a zero-sized twin with the same API
+//! takes its place. The serialized [`TraceData`] model, its JSONL format,
+//! and the [`render_report`] renderer are always compiled so any build can
+//! digest traces produced by any other (mirroring [`crate::report`]).
+//!
+//! Exporters: [`crate::perfetto::export_chrome`] converts a [`TraceData`]
+//! into Chrome trace-event JSON that loads in Perfetto / chrome://tracing;
+//! [`render_report`] renders a textual per-hop latency breakdown and an
+//! inversion timeline.
+
+use qvisor_sim::json::Value;
+use qvisor_sim::Nanos;
+
+/// Label id meaning "no queue/link associated with this span".
+pub const NO_LABEL: u32 = u32::MAX;
+
+/// Trace schema version written into the `trace_meta` line.
+pub const TRACE_SCHEMA_VERSION: u64 = 1;
+
+/// Flight-recorder tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Maximum retained records; the oldest are evicted (and counted)
+    /// beyond this, so memory stays bounded on arbitrarily long runs.
+    pub capacity: usize,
+    /// Trace a flow iff `hash(seed, flow) % sample_one_in == 0`; 1 traces
+    /// every flow. Sampling is by flow so a sampled packet's whole
+    /// lifecycle is present, never a random subset of its hops.
+    pub sample_one_in: u64,
+    /// Sampling seed. Changing it picks a different (but still
+    /// deterministic) subset of flows.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            capacity: 1 << 18,
+            sample_one_in: 1,
+            seed: 1,
+        }
+    }
+}
+
+/// What one trace record describes. Ranks are transformed ranks (what the
+/// hardware sorts on) unless stated otherwise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A flow began emitting (reliable flows: at their start event; CBR
+    /// streams: at their first emission).
+    FlowStart {
+        /// Flow size in bytes (CBR streams report their datagram size).
+        size: u64,
+    },
+    /// The tenant's rank function assigned this packet its raw rank.
+    RankComputed {
+        /// Tenant-assigned rank.
+        rank: u64,
+    },
+    /// QVISOR's pre-processor rewrote the rank at this hop.
+    Transform {
+        /// Tenant-assigned rank before the transform.
+        pre: u64,
+        /// Transformed rank the schedulers sort on.
+        post: u64,
+    },
+    /// The packet entered the labelled queue.
+    Enqueue {
+        /// Transformed rank at enqueue.
+        rank: u64,
+    },
+    /// The packet left the labelled queue.
+    Dequeue {
+        /// Transformed rank at dequeue.
+        rank: u64,
+        /// Queueing delay (dequeue time minus enqueue time).
+        wait_ns: u64,
+    },
+    /// The packet was dropped (queue rejection/eviction when labelled;
+    /// monitor/pre-processor/fault-injection drops otherwise).
+    Drop {
+        /// Transformed rank at the drop.
+        rank: u64,
+    },
+    /// This dequeue was a rank inversion: the record's packet left the
+    /// labelled queue while a strictly lower-ranked packet kept waiting.
+    Inversion {
+        /// Rank of the packet that left early (the record's packet).
+        rank: u64,
+        /// Flow of the lower-ranked packet that kept waiting.
+        loser_flow: u64,
+        /// Sequence number of the waiting packet.
+        loser_seq: u64,
+        /// Rank of the waiting packet (strictly below `rank`).
+        loser_rank: u64,
+    },
+    /// The packet started serializing onto the labelled link.
+    TxStart {
+        /// Bytes on the wire.
+        bytes: u64,
+        /// Serialization time at the link rate.
+        tx_ns: u64,
+        /// Propagation delay to the next hop.
+        prop_ns: u64,
+    },
+    /// A payload packet reached its destination.
+    Deliver {
+        /// End-to-end latency since the packet was first sent.
+        latency_ns: u64,
+    },
+    /// An acknowledgement reached the original sender.
+    Ack {
+        /// Latency since the ACK was emitted.
+        latency_ns: u64,
+    },
+}
+
+impl TraceKind {
+    /// Machine-readable kind tag used in the JSONL format.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceKind::FlowStart { .. } => "flow_start",
+            TraceKind::RankComputed { .. } => "rank",
+            TraceKind::Transform { .. } => "transform",
+            TraceKind::Enqueue { .. } => "enqueue",
+            TraceKind::Dequeue { .. } => "dequeue",
+            TraceKind::Drop { .. } => "drop",
+            TraceKind::Inversion { .. } => "inversion",
+            TraceKind::TxStart { .. } => "tx",
+            TraceKind::Deliver { .. } => "deliver",
+            TraceKind::Ack { .. } => "ack",
+        }
+    }
+}
+
+/// One recorded span/event of a sampled packet's lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulated time of the record.
+    pub t: Nanos,
+    /// Owning flow (raw id).
+    pub flow: u64,
+    /// Sequence number within the flow.
+    pub seq: u64,
+    /// Owning tenant (raw id).
+    pub tenant: u16,
+    /// True when this record belongs to an acknowledgement packet (ACKs
+    /// share `flow`/`seq` with the data packet they acknowledge).
+    pub ack: bool,
+    /// Interned queue/link label, or [`NO_LABEL`].
+    pub label: u32,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+impl TraceRecord {
+    /// A record with no queue/link label and the data-packet flag.
+    pub fn new(t: Nanos, flow: u64, seq: u64, tenant: u16, kind: TraceKind) -> TraceRecord {
+        TraceRecord {
+            t,
+            flow,
+            seq,
+            tenant,
+            ack: false,
+            label: NO_LABEL,
+            kind,
+        }
+    }
+
+    /// Same record tied to an interned queue/link label.
+    pub fn at_label(mut self, label: u32) -> TraceRecord {
+        self.label = label;
+        self
+    }
+
+    /// Same record marked as belonging to an ACK packet.
+    pub fn as_ack(mut self, ack: bool) -> TraceRecord {
+        self.ack = ack;
+        self
+    }
+}
+
+/// A snapshot of everything the flight recorder holds: the retained
+/// records (oldest first), the label table they index into, and the
+/// recorder configuration. This is the unit of serialization — bench
+/// binaries write it as JSONL, the CLI parses it back.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraceData {
+    /// Retained records, oldest first.
+    pub records: Vec<TraceRecord>,
+    /// Interned queue/link labels; `TraceRecord::label` indexes here.
+    pub labels: Vec<String>,
+    /// Records evicted from the ring buffer before this snapshot.
+    pub dropped: u64,
+    /// Ring-buffer capacity the recorder ran with.
+    pub capacity: u64,
+    /// Sampling modulus the recorder ran with.
+    pub sample_one_in: u64,
+    /// Sampling seed the recorder ran with.
+    pub seed: u64,
+}
+
+impl TraceData {
+    /// Resolve a record's label, or `None` for [`NO_LABEL`] / out of range.
+    pub fn label_of(&self, r: &TraceRecord) -> Option<&str> {
+        self.labels.get(r.label as usize).map(String::as_str)
+    }
+
+    /// Serialize as JSON lines: one `trace_meta` line, then one `span`
+    /// line per record (oldest first, labels inlined as strings). The
+    /// output is byte-deterministic given the records.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(64 + self.records.len() * 96);
+        let meta = Value::object()
+            .set("type", "trace_meta")
+            .set("schema", TRACE_SCHEMA_VERSION)
+            .set("dropped", self.dropped)
+            .set("capacity", self.capacity)
+            .set("sample_one_in", self.sample_one_in)
+            .set("seed", self.seed);
+        out.push_str(&meta.to_compact());
+        out.push('\n');
+        for r in &self.records {
+            let mut line = Value::object()
+                .set("type", "span")
+                .set("t_ns", r.t)
+                .set("flow", r.flow)
+                .set("seq", r.seq)
+                .set("tenant", r.tenant);
+            if r.ack {
+                line = line.set("ack", true);
+            }
+            if let Some(label) = self.label_of(r) {
+                line = line.set("queue", label);
+            }
+            line = line.set("kind", r.kind.tag());
+            line = match r.kind {
+                TraceKind::FlowStart { size } => line.set("size", size),
+                TraceKind::RankComputed { rank } => line.set("rank", rank),
+                TraceKind::Transform { pre, post } => line.set("pre", pre).set("post", post),
+                TraceKind::Enqueue { rank } => line.set("rank", rank),
+                TraceKind::Dequeue { rank, wait_ns } => {
+                    line.set("rank", rank).set("wait_ns", wait_ns)
+                }
+                TraceKind::Drop { rank } => line.set("rank", rank),
+                TraceKind::Inversion {
+                    rank,
+                    loser_flow,
+                    loser_seq,
+                    loser_rank,
+                } => line
+                    .set("rank", rank)
+                    .set("loser_flow", loser_flow)
+                    .set("loser_seq", loser_seq)
+                    .set("loser_rank", loser_rank),
+                TraceKind::TxStart {
+                    bytes,
+                    tx_ns,
+                    prop_ns,
+                } => line
+                    .set("bytes", bytes)
+                    .set("tx_ns", tx_ns)
+                    .set("prop_ns", prop_ns),
+                TraceKind::Deliver { latency_ns } => line.set("latency_ns", latency_ns),
+                TraceKind::Ack { latency_ns } => line.set("latency_ns", latency_ns),
+            };
+            out.push_str(&line.to_compact());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a JSONL trace export. Unknown line types and unknown span
+    /// kinds are ignored (forward compatibility); malformed JSON is an
+    /// error naming the line number. Round-tripping through
+    /// [`TraceData::to_jsonl`] is byte-identical.
+    pub fn parse(jsonl: &str) -> Result<TraceData, String> {
+        if jsonl.lines().all(|l| l.trim().is_empty()) {
+            return Err("empty trace (no JSONL lines)".into());
+        }
+        let mut data = TraceData::default();
+        let mut label_ids: std::collections::BTreeMap<String, u32> =
+            std::collections::BTreeMap::new();
+        for (lineno, line) in jsonl.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let v = Value::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let u = |key: &str| v.get(key).and_then(Value::as_u64).unwrap_or(0);
+            match v.get("type").and_then(Value::as_str) {
+                Some("trace_meta") => {
+                    data.dropped = u("dropped");
+                    data.capacity = u("capacity");
+                    data.sample_one_in = u("sample_one_in");
+                    data.seed = u("seed");
+                }
+                Some("span") => {
+                    let kind = match v.get("kind").and_then(Value::as_str) {
+                        Some("flow_start") => TraceKind::FlowStart { size: u("size") },
+                        Some("rank") => TraceKind::RankComputed { rank: u("rank") },
+                        Some("transform") => TraceKind::Transform {
+                            pre: u("pre"),
+                            post: u("post"),
+                        },
+                        Some("enqueue") => TraceKind::Enqueue { rank: u("rank") },
+                        Some("dequeue") => TraceKind::Dequeue {
+                            rank: u("rank"),
+                            wait_ns: u("wait_ns"),
+                        },
+                        Some("drop") => TraceKind::Drop { rank: u("rank") },
+                        Some("inversion") => TraceKind::Inversion {
+                            rank: u("rank"),
+                            loser_flow: u("loser_flow"),
+                            loser_seq: u("loser_seq"),
+                            loser_rank: u("loser_rank"),
+                        },
+                        Some("tx") => TraceKind::TxStart {
+                            bytes: u("bytes"),
+                            tx_ns: u("tx_ns"),
+                            prop_ns: u("prop_ns"),
+                        },
+                        Some("deliver") => TraceKind::Deliver {
+                            latency_ns: u("latency_ns"),
+                        },
+                        Some("ack") => TraceKind::Ack {
+                            latency_ns: u("latency_ns"),
+                        },
+                        _ => continue,
+                    };
+                    let label = match v.get("queue").and_then(Value::as_str) {
+                        Some(q) => *label_ids.entry(q.to_string()).or_insert_with(|| {
+                            data.labels.push(q.to_string());
+                            (data.labels.len() - 1) as u32
+                        }),
+                        None => NO_LABEL,
+                    };
+                    data.records.push(TraceRecord {
+                        t: Nanos(u("t_ns")),
+                        flow: u("flow"),
+                        seq: u("seq"),
+                        tenant: u("tenant") as u16,
+                        ack: v.get("ack").and_then(Value::as_bool).unwrap_or(false),
+                        label,
+                        kind,
+                    });
+                }
+                _ => {}
+            }
+        }
+        Ok(data)
+    }
+}
+
+#[cfg(feature = "enabled")]
+pub use live_tracer::Tracer;
+
+#[cfg(feature = "enabled")]
+mod live_tracer {
+    use super::{TraceConfig, TraceData, TraceRecord};
+    use qvisor_sim::rng::stable_hash;
+    use std::cell::RefCell;
+    use std::collections::{BTreeMap, VecDeque};
+    use std::rc::Rc;
+
+    #[derive(Default)]
+    struct TraceBuf {
+        records: VecDeque<TraceRecord>,
+        labels: Vec<String>,
+        label_ids: BTreeMap<String, u32>,
+        dropped: u64,
+    }
+
+    /// The flight recorder. Cheaply cloneable; clones share one buffer.
+    /// The default value is *disabled*: sampling answers `false`,
+    /// recording is a no-op, and snapshots are empty.
+    #[derive(Clone, Default)]
+    pub struct Tracer {
+        inner: Option<Rc<RefCell<TraceBuf>>>,
+        capacity: usize,
+        sample_one_in: u64,
+        seed: u64,
+    }
+
+    impl std::fmt::Debug for Tracer {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match &self.inner {
+                Some(b) => write!(f, "Tracer(records={})", b.borrow().records.len()),
+                None => write!(f, "Tracer(disabled)"),
+            }
+        }
+    }
+
+    impl Tracer {
+        /// A recording instance with the given configuration.
+        pub fn enabled(cfg: TraceConfig) -> Tracer {
+            Tracer {
+                inner: Some(Rc::new(RefCell::new(TraceBuf::default()))),
+                capacity: cfg.capacity,
+                sample_one_in: cfg.sample_one_in.max(1),
+                seed: cfg.seed,
+            }
+        }
+
+        /// A non-recording instance (same as `Tracer::default()`).
+        pub fn disabled() -> Tracer {
+            Tracer::default()
+        }
+
+        /// Whether this handle records anything.
+        #[inline]
+        pub fn is_enabled(&self) -> bool {
+            self.inner.is_some()
+        }
+
+        /// Whether `flow` is in the sampled subset: a pure function of the
+        /// configured seed and the flow id, so reruns trace the same flows.
+        /// Always `false` when disabled.
+        #[inline]
+        pub fn sampled(&self, flow: u64) -> bool {
+            match &self.inner {
+                Some(_) => {
+                    self.sample_one_in <= 1
+                        || stable_hash(&[self.seed, flow]).is_multiple_of(self.sample_one_in)
+                }
+                None => false,
+            }
+        }
+
+        /// Intern a queue/link label, returning its stable id (first-seen
+        /// order). Returns [`super::NO_LABEL`] when disabled.
+        pub fn intern(&self, label: &str) -> u32 {
+            let Some(buf) = &self.inner else {
+                return super::NO_LABEL;
+            };
+            let mut buf = buf.borrow_mut();
+            if let Some(&id) = buf.label_ids.get(label) {
+                return id;
+            }
+            let id = buf.labels.len() as u32;
+            buf.labels.push(label.to_string());
+            buf.label_ids.insert(label.to_string(), id);
+            id
+        }
+
+        /// Append one record, evicting (and counting) the oldest at
+        /// capacity. Callers are expected to have checked
+        /// [`Tracer::sampled`]; recording is unconditional here so
+        /// non-flow records (if any) can still be traced.
+        #[inline]
+        pub fn record(&self, record: TraceRecord) {
+            if let Some(buf) = &self.inner {
+                let mut buf = buf.borrow_mut();
+                if self.capacity == 0 {
+                    buf.dropped += 1;
+                    return;
+                }
+                if buf.records.len() == self.capacity {
+                    buf.records.pop_front();
+                    buf.dropped += 1;
+                }
+                buf.records.push_back(record);
+            }
+        }
+
+        /// Records evicted so far (0 when disabled).
+        pub fn dropped(&self) -> u64 {
+            self.inner.as_ref().map_or(0, |b| b.borrow().dropped)
+        }
+
+        /// Records currently retained (0 when disabled).
+        pub fn len(&self) -> usize {
+            self.inner.as_ref().map_or(0, |b| b.borrow().records.len())
+        }
+
+        /// True when nothing is retained.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Snapshot everything recorded so far (empty when disabled).
+        pub fn snapshot(&self) -> TraceData {
+            match &self.inner {
+                Some(buf) => {
+                    let buf = buf.borrow();
+                    TraceData {
+                        records: buf.records.iter().copied().collect(),
+                        labels: buf.labels.clone(),
+                        dropped: buf.dropped,
+                        capacity: self.capacity as u64,
+                        sample_one_in: self.sample_one_in,
+                        seed: self.seed,
+                    }
+                }
+                None => TraceData::default(),
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "enabled"))]
+pub use noop_tracer::Tracer;
+
+#[cfg(not(feature = "enabled"))]
+mod noop_tracer {
+    use super::{TraceConfig, TraceData, TraceRecord};
+
+    /// No-op flight recorder (the `enabled` feature is off).
+    #[derive(Clone, Copy, Default)]
+    pub struct Tracer;
+
+    impl std::fmt::Debug for Tracer {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "Tracer(compiled out)")
+        }
+    }
+
+    impl Tracer {
+        /// Still a no-op handle; the feature decides, not the constructor.
+        pub fn enabled(_cfg: TraceConfig) -> Tracer {
+            Tracer
+        }
+
+        /// A no-op handle.
+        pub fn disabled() -> Tracer {
+            Tracer
+        }
+
+        /// Always false.
+        #[inline(always)]
+        pub fn is_enabled(&self) -> bool {
+            false
+        }
+
+        /// Always false.
+        #[inline(always)]
+        pub fn sampled(&self, _flow: u64) -> bool {
+            false
+        }
+
+        /// Always [`super::NO_LABEL`].
+        #[inline(always)]
+        pub fn intern(&self, _label: &str) -> u32 {
+            super::NO_LABEL
+        }
+
+        /// No-op.
+        #[inline(always)]
+        pub fn record(&self, _record: TraceRecord) {}
+
+        /// Always 0.
+        #[inline(always)]
+        pub fn dropped(&self) -> u64 {
+            0
+        }
+
+        /// Always 0.
+        #[inline(always)]
+        pub fn len(&self) -> usize {
+            0
+        }
+
+        /// Always true.
+        #[inline(always)]
+        pub fn is_empty(&self) -> bool {
+            true
+        }
+
+        /// Always empty.
+        pub fn snapshot(&self) -> TraceData {
+            TraceData::default()
+        }
+    }
+}
+
+/// Nearest-rank `p`-quantile of a sorted slice (`None` if empty).
+fn quantile_sorted(sorted: &[u64], p: f64) -> Option<u64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = ((p.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1) - 1;
+    Some(sorted[rank.min(sorted.len() - 1)])
+}
+
+fn fmt_opt(v: Option<u64>) -> String {
+    v.map_or_else(|| "-".to_string(), |v| v.to_string())
+}
+
+fn percentile_row(name: String, values: &mut [u64]) -> Vec<String> {
+    values.sort_unstable();
+    vec![
+        name,
+        values.len().to_string(),
+        fmt_opt(quantile_sorted(values, 0.50)),
+        fmt_opt(quantile_sorted(values, 0.90)),
+        fmt_opt(quantile_sorted(values, 0.99)),
+        fmt_opt(values.last().copied()),
+    ]
+}
+
+/// Render a textual per-hop latency breakdown: queueing delay per tenant
+/// and per hop, link serialization and propagation per hop, end-to-end
+/// delivery latency per tenant, and the inversion timeline naming the
+/// exact packet pairs that inverted and in which queue.
+pub fn render_report(data: &TraceData) -> String {
+    use std::collections::BTreeMap;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "trace report ({} span(s) retained, {} evicted, sampling 1-in-{}, seed {})\n",
+        data.records.len(),
+        data.dropped,
+        data.sample_one_in.max(1),
+        data.seed,
+    ));
+    if data.dropped > 0 {
+        out.push_str("warning: ring buffer overflowed — the oldest spans are missing\n");
+    }
+
+    // (tenant, queue) -> queueing waits; queue -> (tx, prop) times.
+    let mut queueing: BTreeMap<(u16, u32), Vec<u64>> = BTreeMap::new();
+    let mut serialization: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+    let mut propagation: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+    let mut delivery: BTreeMap<u16, Vec<u64>> = BTreeMap::new();
+    let mut inversions: Vec<&TraceRecord> = Vec::new();
+    let mut drops = 0u64;
+    for r in &data.records {
+        match r.kind {
+            TraceKind::Dequeue { wait_ns, .. } => {
+                queueing
+                    .entry((r.tenant, r.label))
+                    .or_default()
+                    .push(wait_ns);
+            }
+            TraceKind::TxStart { tx_ns, prop_ns, .. } => {
+                serialization.entry(r.label).or_default().push(tx_ns);
+                propagation.entry(r.label).or_default().push(prop_ns);
+            }
+            TraceKind::Deliver { latency_ns } => {
+                delivery.entry(r.tenant).or_default().push(latency_ns);
+            }
+            TraceKind::Inversion { .. } => inversions.push(r),
+            TraceKind::Drop { .. } => drops += 1,
+            _ => {}
+        }
+    }
+
+    let label_name = |id: u32| -> String {
+        data.labels
+            .get(id as usize)
+            .cloned()
+            .unwrap_or_else(|| "-".to_string())
+    };
+    let headers: Vec<String> = ["where", "count", "p50", "p90", "p99", "max"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+
+    if !queueing.is_empty() {
+        out.push_str("\nqueueing delay (ns), per tenant and hop:\n");
+        let rows: Vec<Vec<String>> = queueing
+            .iter_mut()
+            .map(|(&(tenant, label), waits)| {
+                percentile_row(format!("T{tenant} @ {}", label_name(label)), waits)
+            })
+            .collect();
+        crate::report::render_table(&mut out, &headers, &rows);
+    }
+    if !serialization.is_empty() {
+        out.push_str("\nlink serialization (ns), per hop:\n");
+        let rows: Vec<Vec<String>> = serialization
+            .iter_mut()
+            .map(|(&label, txs)| percentile_row(label_name(label), txs))
+            .collect();
+        crate::report::render_table(&mut out, &headers, &rows);
+    }
+    if !propagation.is_empty() {
+        out.push_str("\npropagation (ns), per hop:\n");
+        let rows: Vec<Vec<String>> = propagation
+            .iter_mut()
+            .map(|(&label, props)| percentile_row(label_name(label), props))
+            .collect();
+        crate::report::render_table(&mut out, &headers, &rows);
+    }
+    if !delivery.is_empty() {
+        out.push_str("\nend-to-end delivery latency (ns), per tenant:\n");
+        let rows: Vec<Vec<String>> = delivery
+            .iter_mut()
+            .map(|(&tenant, lats)| percentile_row(format!("T{tenant}"), lats))
+            .collect();
+        crate::report::render_table(&mut out, &headers, &rows);
+    }
+    if drops > 0 {
+        out.push_str(&format!("\ndrops traced: {drops}\n"));
+    }
+
+    out.push_str(&format!("\ninversions ({}):\n", inversions.len()));
+    if inversions.is_empty() {
+        out.push_str("  none — every traced dequeue respected rank order\n");
+    }
+    for r in inversions {
+        if let TraceKind::Inversion {
+            rank,
+            loser_flow,
+            loser_seq,
+            loser_rank,
+        } = r.kind
+        {
+            out.push_str(&format!(
+                "  t={}ns {}: T{} f{}#{} (rank {rank}) dequeued before f{loser_flow}#{loser_seq} (rank {loser_rank})\n",
+                r.t.as_nanos(),
+                label_name(r.label),
+                r.tenant,
+                r.flow,
+                r.seq,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data() -> TraceData {
+        let q = 0u32;
+        TraceData {
+            records: vec![
+                TraceRecord::new(Nanos(0), 1, 0, 1, TraceKind::FlowStart { size: 3000 }),
+                TraceRecord::new(Nanos(10), 1, 0, 1, TraceKind::RankComputed { rank: 9 }),
+                TraceRecord::new(Nanos(11), 1, 0, 1, TraceKind::Transform { pre: 9, post: 4 })
+                    .at_label(q),
+                TraceRecord::new(Nanos(12), 1, 0, 1, TraceKind::Enqueue { rank: 4 }).at_label(q),
+                TraceRecord::new(
+                    Nanos(500),
+                    1,
+                    0,
+                    1,
+                    TraceKind::Dequeue {
+                        rank: 4,
+                        wait_ns: 488,
+                    },
+                )
+                .at_label(q),
+                TraceRecord::new(
+                    Nanos(500),
+                    1,
+                    0,
+                    1,
+                    TraceKind::Inversion {
+                        rank: 4,
+                        loser_flow: 2,
+                        loser_seq: 7,
+                        loser_rank: 1,
+                    },
+                )
+                .at_label(q),
+                TraceRecord::new(
+                    Nanos(500),
+                    1,
+                    0,
+                    1,
+                    TraceKind::TxStart {
+                        bytes: 1500,
+                        tx_ns: 12_000,
+                        prop_ns: 1_000,
+                    },
+                )
+                .at_label(q),
+                TraceRecord::new(
+                    Nanos(13_500),
+                    1,
+                    0,
+                    1,
+                    TraceKind::Deliver { latency_ns: 13_500 },
+                ),
+                TraceRecord::new(Nanos(14_000), 1, 0, 1, TraceKind::Ack { latency_ns: 400 })
+                    .as_ack(true),
+            ],
+            labels: vec!["n0.p0".to_string()],
+            dropped: 2,
+            capacity: 1024,
+            sample_one_in: 1,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_byte_identical() {
+        let data = sample_data();
+        let jsonl = data.to_jsonl();
+        for line in jsonl.lines() {
+            Value::parse(line).expect("valid JSON line");
+        }
+        let parsed = TraceData::parse(&jsonl).unwrap();
+        assert_eq!(parsed, data);
+        assert_eq!(parsed.to_jsonl(), jsonl);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_tolerates_unknowns() {
+        assert!(TraceData::parse("").is_err());
+        let err = TraceData::parse("{\"type\":\"trace_meta\"}\nnope\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        let ok = TraceData::parse(
+            "{\"type\":\"mystery\"}\n{\"type\":\"span\",\"kind\":\"hologram\",\"t_ns\":1}\n",
+        )
+        .unwrap();
+        assert!(ok.records.is_empty());
+    }
+
+    #[test]
+    fn report_breaks_down_latency_and_names_inversion_pairs() {
+        let text = render_report(&sample_data());
+        assert!(text.contains("queueing delay"), "{text}");
+        assert!(text.contains("T1 @ n0.p0"), "{text}");
+        assert!(text.contains("link serialization"), "{text}");
+        assert!(text.contains("12000"), "{text}");
+        assert!(text.contains("end-to-end delivery latency"), "{text}");
+        assert!(
+            text.contains("f1#0 (rank 4) dequeued before f2#7 (rank 1)"),
+            "{text}"
+        );
+        assert!(text.contains("warning: ring buffer overflowed"), "{text}");
+    }
+
+    #[cfg(feature = "enabled")]
+    mod live {
+        use super::super::*;
+
+        #[test]
+        fn disabled_tracer_is_inert() {
+            let t = Tracer::disabled();
+            assert!(!t.is_enabled());
+            assert!(!t.sampled(0));
+            assert_eq!(t.intern("q"), NO_LABEL);
+            t.record(TraceRecord::new(
+                Nanos(1),
+                1,
+                0,
+                0,
+                TraceKind::FlowStart { size: 1 },
+            ));
+            assert!(t.is_empty());
+            assert_eq!(t.snapshot(), TraceData::default());
+        }
+
+        #[test]
+        fn sampling_is_deterministic_and_thins() {
+            let cfg = TraceConfig {
+                sample_one_in: 8,
+                seed: 42,
+                ..TraceConfig::default()
+            };
+            let a = Tracer::enabled(cfg);
+            let b = Tracer::enabled(cfg);
+            let picked: Vec<u64> = (0..1000).filter(|&f| a.sampled(f)).collect();
+            let again: Vec<u64> = (0..1000).filter(|&f| b.sampled(f)).collect();
+            assert_eq!(picked, again, "sampling must be a pure function");
+            assert!(
+                picked.len() > 50 && picked.len() < 250,
+                "1-in-8 of 1000 flows picked {}",
+                picked.len()
+            );
+            // A different seed picks a different subset.
+            let c = Tracer::enabled(TraceConfig { seed: 43, ..cfg });
+            let other: Vec<u64> = (0..1000).filter(|&f| c.sampled(f)).collect();
+            assert_ne!(picked, other);
+            // 1-in-1 samples everything.
+            let all = Tracer::enabled(TraceConfig {
+                sample_one_in: 1,
+                ..TraceConfig::default()
+            });
+            assert!((0..100).all(|f| all.sampled(f)));
+        }
+
+        #[test]
+        fn ring_buffer_evicts_oldest_and_counts() {
+            let t = Tracer::enabled(TraceConfig {
+                capacity: 3,
+                ..TraceConfig::default()
+            });
+            for i in 0..5u64 {
+                t.record(TraceRecord::new(
+                    Nanos(i),
+                    i,
+                    0,
+                    0,
+                    TraceKind::FlowStart { size: i },
+                ));
+            }
+            assert_eq!(t.len(), 3);
+            assert_eq!(t.dropped(), 2);
+            let snap = t.snapshot();
+            let ts: Vec<u64> = snap.records.iter().map(|r| r.t.as_nanos()).collect();
+            assert_eq!(ts, vec![2, 3, 4]);
+            assert_eq!(snap.dropped, 2);
+        }
+
+        #[test]
+        fn clones_share_one_buffer_and_label_table() {
+            let t = Tracer::enabled(TraceConfig::default());
+            let t2 = t.clone();
+            let a = t.intern("n0.p0");
+            let b = t2.intern("n0.p0");
+            assert_eq!(a, b);
+            assert_eq!(t2.intern("n0.p1"), a + 1);
+            t.record(
+                TraceRecord::new(Nanos(1), 1, 0, 0, TraceKind::Enqueue { rank: 5 }).at_label(a),
+            );
+            assert_eq!(t2.len(), 1);
+            assert_eq!(
+                t2.snapshot().label_of(&t2.snapshot().records[0]),
+                Some("n0.p0")
+            );
+        }
+
+        #[test]
+        fn snapshot_jsonl_round_trips() {
+            let t = Tracer::enabled(TraceConfig {
+                sample_one_in: 4,
+                seed: 9,
+                ..TraceConfig::default()
+            });
+            let q = t.intern("n1.p2");
+            t.record(
+                TraceRecord::new(Nanos(5), 3, 1, 2, TraceKind::Enqueue { rank: 8 }).at_label(q),
+            );
+            t.record(TraceRecord::new(
+                Nanos(9),
+                3,
+                1,
+                2,
+                TraceKind::Deliver { latency_ns: 4 },
+            ));
+            let snap = t.snapshot();
+            let parsed = TraceData::parse(&snap.to_jsonl()).unwrap();
+            assert_eq!(parsed, snap);
+            assert_eq!(parsed.sample_one_in, 4);
+        }
+    }
+}

@@ -5,14 +5,20 @@
 //! transformations, the pre-processor rewrites packet ranks at line rate,
 //! and a PIFO emits the packets in the joint order.
 //!
+//! Along the way a [`Tracer`] flight-records every packet's lifecycle
+//! (rank computed, transform, enqueue/dequeue, delivery) and exports it as
+//! Chrome trace-event JSON — load `quickstart_trace.json` at
+//! <https://ui.perfetto.dev> to see Fig. 3 as a timeline.
+//!
 //! Run with: `cargo run --example quickstart`
 
 use qvisor::core::{
     analyze, synthesize, Policy, PreProcessor, SynthConfig, TenantSpec, UnknownTenantAction,
 };
 use qvisor::ranking::RankRange;
-use qvisor::scheduler::{Capacity, PacketQueue, PifoQueue};
+use qvisor::scheduler::{Capacity, InstrumentedQueue, PacketQueue, PifoQueue};
 use qvisor::sim::{FlowId, Nanos, NodeId, Packet, TenantId};
+use qvisor::telemetry::{perfetto, Telemetry, TraceConfig, TraceKind, TraceRecord, Tracer};
 
 fn main() {
     // 1. Tenant specifications (§3.1): traffic subset + declared ranks.
@@ -42,12 +48,20 @@ fn main() {
     println!("\n{report}");
 
     // 5. Pre-process the exact packet sequence of Fig. 3 and schedule it
-    //    on a PIFO.
+    //    on a PIFO, flight-recording every packet's lifecycle. Packet i
+    //    arrives at i µs; the PIFO drains one packet per µs afterwards.
+    let tracer = Tracer::enabled(TraceConfig::default());
     let mut pre = PreProcessor::new(&joint, UnknownTenantAction::BestEffort);
     let arrivals: [(u16, u64); 7] = [(3, 5), (2, 3), (1, 9), (3, 3), (2, 1), (1, 8), (1, 7)];
-    let mut pifo = PifoQueue::new(Capacity::UNBOUNDED);
+    let mut pifo = InstrumentedQueue::with_tracer(
+        PifoQueue::new(Capacity::UNBOUNDED),
+        &Telemetry::disabled(),
+        &tracer,
+        "fig3.pifo",
+    );
     println!("pre-processor:");
     for (i, (tenant, rank)) in arrivals.into_iter().enumerate() {
+        let now = Nanos::from_micros(i as u64);
         let mut p = Packet::data(
             FlowId(i as u64),
             TenantId(tenant),
@@ -56,17 +70,51 @@ fn main() {
             NodeId(0),
             NodeId(1),
             rank,
-            Nanos::ZERO,
+            now,
         );
+        tracer.record(TraceRecord::new(
+            now,
+            p.flow.0,
+            p.seq,
+            tenant,
+            TraceKind::RankComputed { rank },
+        ));
         pre.process(&mut p);
+        tracer.record(TraceRecord::new(
+            now,
+            p.flow.0,
+            p.seq,
+            tenant,
+            TraceKind::Transform {
+                pre: rank,
+                post: p.txf_rank,
+            },
+        ));
         println!("  T{tenant} rank {rank} -> {}", p.txf_rank);
-        pifo.enqueue(p, Nanos::ZERO);
+        pifo.enqueue(p, now);
     }
 
     print!("PIFO output     : ");
-    while let Some(p) = pifo.dequeue(Nanos::ZERO) {
+    let mut slot = arrivals.len() as u64;
+    while let Some(p) = pifo.dequeue(Nanos::from_micros(slot)) {
+        let now = Nanos::from_micros(slot + 1);
+        tracer.record(TraceRecord::new(
+            now,
+            p.flow.0,
+            p.seq,
+            p.tenant.0,
+            TraceKind::Deliver {
+                latency_ns: now.as_nanos() - p.flow.0 * 1_000,
+            },
+        ));
         print!("T{}({}) ", p.tenant.0, p.txf_rank);
+        slot += 1;
     }
     println!();
     println!("\nT1's packets lead; T2 and T3 interleave — the Fig. 3 outcome.");
+
+    // 6. Export the flight recording for Perfetto.
+    let chrome = perfetto::export_chrome(&tracer.snapshot());
+    std::fs::write("quickstart_trace.json", &chrome).expect("write quickstart_trace.json");
+    println!("wrote quickstart_trace.json — open it at https://ui.perfetto.dev");
 }

@@ -56,7 +56,11 @@ USAGE:
     qvisor compile <config.json> --queues N --rank-bits B
                                                  fit onto constrained hardware
     qvisor telemetry report <export.jsonl>       render a telemetry export
+    qvisor trace report <trace.jsonl>            latency breakdown + inversions
+    qvisor trace export <trace.jsonl>            convert to Chrome/Perfetto JSON
     qvisor example                               print a starter config
+
+Report commands accept '-' in place of a file to read from stdin.
 
 The config file is the Fig. 1 Configuration API as JSON:
     { \"tenants\": [ {\"id\": 1, \"name\": \"T1\", \"algorithm\": \"pFabric\",
@@ -92,14 +96,30 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 let path = args.get(2).ok_or_else(|| {
                     CliError::Usage("telemetry report needs an export file".into())
                 })?;
-                let text = std::fs::read_to_string(path)
-                    .map_err(|e| CliError::Telemetry(format!("cannot read {path}: {e}")))?;
-                cmd_telemetry_report(&text)
+                cmd_telemetry_report(&read_input(path)?)
             }
             Some(other) => Err(CliError::Usage(format!(
                 "unknown telemetry subcommand '{other}'"
             ))),
             None => Err(CliError::Usage("telemetry needs a subcommand".into())),
+        },
+        Some("trace") => match args.get(1).map(String::as_str) {
+            Some("report") => {
+                let path = args
+                    .get(2)
+                    .ok_or_else(|| CliError::Usage("trace report needs a trace file".into()))?;
+                cmd_trace_report(&read_input(path)?)
+            }
+            Some("export") => {
+                let path = args
+                    .get(2)
+                    .ok_or_else(|| CliError::Usage("trace export needs a trace file".into()))?;
+                cmd_trace_export(&read_input(path)?)
+            }
+            Some(other) => Err(CliError::Usage(format!(
+                "unknown trace subcommand '{other}'"
+            ))),
+            None => Err(CliError::Usage("trace needs a subcommand".into())),
         },
         Some("example") => Ok(example_config()),
         Some(other) => Err(CliError::Usage(format!("unknown command '{other}'"))),
@@ -200,11 +220,42 @@ pub fn cmd_compile(config_json: &str, queues: usize, rank_bits: u32) -> Result<S
     Ok(text)
 }
 
+/// Read a report input: `-` means stdin, anything else is a file path.
+fn read_input(path: &str) -> Result<String, CliError> {
+    if path == "-" {
+        use std::io::Read as _;
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| CliError::Telemetry(format!("cannot read stdin: {e}")))?;
+        Ok(text)
+    } else {
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError::Telemetry(format!("cannot read {path}: {e}")))
+    }
+}
+
 /// `qvisor telemetry report`: render a JSONL telemetry export (as written
 /// by `Telemetry::export_jsonl` or the bench binaries' `--telemetry` flag)
 /// as per-tenant and per-queue summary tables.
 pub fn cmd_telemetry_report(jsonl: &str) -> Result<String, CliError> {
     qvisor_telemetry::report::render(jsonl).map_err(CliError::Telemetry)
+}
+
+/// `qvisor trace report`: render a trace snapshot (as written by
+/// `TraceData::to_jsonl` or the bench binaries' `--trace` flag) as a
+/// latency breakdown with an inversion timeline.
+pub fn cmd_trace_report(jsonl: &str) -> Result<String, CliError> {
+    let data = qvisor_telemetry::TraceData::parse(jsonl).map_err(CliError::Telemetry)?;
+    Ok(qvisor_telemetry::trace::render_report(&data))
+}
+
+/// `qvisor trace export`: convert a trace snapshot to Chrome trace-event
+/// JSON, loadable in Perfetto (<https://ui.perfetto.dev>) or
+/// `chrome://tracing`.
+pub fn cmd_trace_export(jsonl: &str) -> Result<String, CliError> {
+    let data = qvisor_telemetry::TraceData::parse(jsonl).map_err(CliError::Telemetry)?;
+    Ok(qvisor_telemetry::perfetto::export_chrome(&data))
 }
 
 /// `qvisor example`: a starter configuration.
@@ -323,6 +374,67 @@ mod tests {
         ));
         assert!(matches!(
             cmd_telemetry_report("{not json"),
+            Err(CliError::Telemetry(_))
+        ));
+    }
+
+    #[test]
+    fn trace_report_and_export_round_trip() {
+        use qvisor_telemetry::{TraceConfig, TraceKind, TraceRecord, Tracer};
+        let tracer = Tracer::enabled(TraceConfig::default());
+        let q = tracer.intern("n0.p0");
+        let t = |us: u64| qvisor_sim::Nanos::from_micros(us);
+        tracer.record(TraceRecord::new(
+            t(1),
+            7,
+            0,
+            1,
+            TraceKind::Enqueue { rank: 5 },
+        ));
+        tracer.record(
+            TraceRecord::new(
+                t(3),
+                7,
+                0,
+                1,
+                TraceKind::Dequeue {
+                    rank: 5,
+                    wait_ns: 2_000,
+                },
+            )
+            .at_label(q),
+        );
+        tracer.record(TraceRecord::new(
+            t(9),
+            7,
+            0,
+            1,
+            TraceKind::Deliver { latency_ns: 8_000 },
+        ));
+        let jsonl = tracer.snapshot().to_jsonl();
+        let report = cmd_trace_report(&jsonl).unwrap();
+        assert!(report.contains("trace report"));
+        assert!(report.contains("queueing delay"));
+        let chrome = cmd_trace_export(&jsonl).unwrap();
+        assert!(chrome.contains("\"traceEvents\""));
+        assert!(chrome.contains("\"dequeue\""));
+        // Dispatch through run() with a temp file.
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let path = std::env::temp_dir().join("qvisor_cli_test_trace.jsonl");
+        std::fs::write(&path, &jsonl).unwrap();
+        let out = run(&args(&["trace", "report", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("trace report"));
+        let out = run(&args(&["trace", "export", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("\"traceEvents\""));
+        std::fs::remove_file(&path).ok();
+        // Usage and parse errors are clean.
+        assert!(matches!(run(&args(&["trace"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&args(&["trace", "bogus"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_trace_report("{not json"),
             Err(CliError::Telemetry(_))
         ));
     }

@@ -184,6 +184,11 @@ fn netsim_reports_are_byte_identical_under_both_cores() {
 /// Telemetry exports (counters, histograms, and the sim-time event
 /// journal) are also byte-identical across cores. Run without a QVISOR
 /// deployment so no wall-clock synthesis timing enters the export.
+///
+/// `profile` lines are the one deliberate exception: the self-profiler
+/// measures *wall-clock* time around hot paths, so its values differ
+/// between any two runs. The comparison strips those lines but still
+/// requires both cores to register the same profile sites.
 #[test]
 fn telemetry_exports_are_byte_identical_under_both_cores() {
     let (wheel_report, wheel_jsonl) = world(EventCore::Wheel, false, Telemetry::enabled());
@@ -193,8 +198,30 @@ fn telemetry_exports_are_byte_identical_under_both_cores() {
         wheel_jsonl.contains("net_sent_pkts"),
         "telemetry saw no traffic"
     );
+    let split = |jsonl: &str| {
+        let (profile, rest): (Vec<&str>, Vec<&str>) = jsonl
+            .lines()
+            .partition(|l| l.starts_with("{\"type\":\"profile\""));
+        let sites: Vec<String> = profile
+            .iter()
+            .filter_map(|l| l.split("\"name\":\"").nth(1))
+            .filter_map(|l| l.split('"').next())
+            .map(str::to_string)
+            .collect();
+        (rest.join("\n"), sites)
+    };
+    let (wheel_rest, wheel_sites) = split(&wheel_jsonl);
+    let (heap_rest, heap_sites) = split(&heap_jsonl);
     assert_eq!(
-        wheel_jsonl, heap_jsonl,
+        wheel_rest, heap_rest,
         "event core changed the telemetry export"
+    );
+    assert_eq!(
+        wheel_sites, heap_sites,
+        "event core changed the profile sites"
+    );
+    assert!(
+        wheel_sites.contains(&"event_dispatch".to_string()),
+        "self-profiler missed event dispatch"
     );
 }
