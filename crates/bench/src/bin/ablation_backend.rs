@@ -9,102 +9,11 @@
 //! Usage: cargo run -p qvisor-bench --release --bin ablation_backend
 //!        [-- --telemetry PREFIX]   write PREFIX-<backend>.jsonl per backend
 
-use qvisor_bench::snapshot;
-use qvisor_core::{SynthConfig, TenantSpec, UnknownTenantAction};
-use qvisor_netsim::{QvisorSetup, SchedulerKind, SimConfig, Simulation};
-use qvisor_ranking::{Edf, PFabric, RankRange};
-use qvisor_sim::{Nanos, SimRng, TenantId};
-use qvisor_telemetry::Telemetry;
-use qvisor_topology::{LeafSpine, LeafSpineConfig};
-use qvisor_transport::SizeBucket;
-use qvisor_workloads::{
-    arrival_rate_for_load, cbr_tenant, EmpiricalCdf, FlowSizeDist, PoissonFlowGen,
+use qvisor_bench::harness::{
+    ablation_scenario, run_labelled, scaled_fcts, telemetry_prefix, ABLATION_SCALE,
 };
-
-const PF: TenantId = TenantId(1);
-const ED: TenantId = TenantId(2);
-
-fn run(scheduler: SchedulerKind, telemetry: &Telemetry) -> (f64, f64, f64) {
-    let fabric = LeafSpine::build(&LeafSpineConfig::paper());
-    let hosts = fabric.all_hosts();
-    let scale = 10u64;
-    let sizes = EmpiricalCdf::data_mining().scaled(1, scale);
-    let max_rank = 100_000_000 / scale / 1_000;
-
-    let specs = vec![
-        TenantSpec::new(PF, "pFabric", "pFabric", RankRange::new(0, max_rank)).with_levels(512),
-        TenantSpec::new(ED, "EDF", "EDF", RankRange::new(0, 10)).with_levels(8),
-    ];
-    let cfg = SimConfig {
-        seed: 2,
-        horizon: Nanos::from_secs(3),
-        scheduler,
-        qvisor: Some(QvisorSetup {
-            specs,
-            policy: "pFabric >> EDF".into(),
-            synth: SynthConfig::default(),
-            unknown: UnknownTenantAction::BestEffort,
-            scope: Default::default(),
-            monitor: None,
-        }),
-        telemetry: telemetry.clone(),
-        ..SimConfig::default()
-    };
-    let mut sim = Simulation::new(fabric.topology.clone(), cfg).unwrap();
-    sim.register_rank_fn(PF, Box::new(PFabric::new(1_000, max_rank)));
-    sim.register_rank_fn(ED, Box::new(Edf::new(Nanos::from_micros(60), 10)));
-
-    let rng = SimRng::seed_from(2);
-    let rate = arrival_rate_for_load(0.6, hosts.len(), qvisor_sim::gbps(1), sizes.mean_bytes());
-    let flows = PoissonFlowGen {
-        tenant: PF,
-        hosts: &hosts,
-        sizes: &sizes,
-        rate_flows_per_sec: rate,
-    }
-    .generate(800, &mut rng.derive(1));
-    let last = flows.last().unwrap().start;
-    for f in &flows {
-        sim.add_generated(f);
-    }
-    for s in &cbr_tenant(
-        ED,
-        &hosts,
-        50,
-        500_000_000,
-        1_500,
-        Nanos::ZERO,
-        last + Nanos::from_millis(10),
-        Nanos::from_micros(300),
-        &mut rng.derive(2),
-    ) {
-        sim.add_generated_cbr(s);
-    }
-    let r = sim.run();
-    let small = SizeBucket {
-        lo: 1,
-        hi: 100_000 / scale,
-    };
-    let large = SizeBucket {
-        lo: 1_000_000 / scale,
-        hi: u64::MAX,
-    };
-    (
-        r.fct.mean_fct_ms(Some(PF), small).unwrap_or(f64::NAN),
-        r.fct.mean_fct_ms(Some(PF), large).unwrap_or(f64::NAN),
-        r.tenant(ED).deadline_hit_rate().unwrap_or(f64::NAN) * 100.0,
-    )
-}
-
-fn telemetry_prefix() -> Option<String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    args.iter().position(|a| a == "--telemetry").map(|i| {
-        args.get(i + 1).cloned().unwrap_or_else(|| {
-            eprintln!("missing value after --telemetry");
-            std::process::exit(2);
-        })
-    })
-}
+use qvisor_netsim::scenario::SchedulerSpec;
+use qvisor_sim::TenantId;
 
 fn main() {
     println!("Ablation: deployment backends (policy pFabric >> EDF, load 0.6)");
@@ -112,48 +21,51 @@ fn main() {
         "{:<28}{:>16}{:>16}{:>16}",
         "backend", "small FCT (ms)", "large FCT (ms)", "EDF on-time (%)"
     );
-    let max_rank = 100_000_000 / 10 / 1_000;
-    let backends: Vec<(&str, SchedulerKind)> = vec![
-        ("ideal PIFO", SchedulerKind::Pifo),
+    let max_rank = 100_000_000 / ABLATION_SCALE / 1_000;
+    let backends: Vec<(&str, SchedulerSpec)> = vec![
+        ("ideal PIFO", SchedulerSpec::Pifo),
         (
             "8q strict (banded static)",
-            SchedulerKind::StrictStatic {
+            SchedulerSpec::StrictStatic {
                 queues: 8,
-                span: RankRange::new(0, max_rank),
+                span_min: 0,
+                span_max: max_rank,
             },
         ),
         (
             "32q strict (banded static)",
-            SchedulerKind::StrictStatic {
+            SchedulerSpec::StrictStatic {
                 queues: 32,
-                span: RankRange::new(0, max_rank),
+                span_min: 0,
+                span_max: max_rank,
             },
         ),
-        ("8q SP-PIFO", SchedulerKind::SpPifo { queues: 8 }),
+        ("8q SP-PIFO", SchedulerSpec::SpPifo { queues: 8 }),
         (
             "AIFO (w=64, k=0.1)",
-            SchedulerKind::Aifo {
+            SchedulerSpec::Aifo {
                 window: 64,
                 burst: 0.1,
             },
         ),
-        ("FIFO", SchedulerKind::Fifo),
+        ("FIFO", SchedulerSpec::Fifo),
     ];
-    let prefix = telemetry_prefix();
-    for (name, sched) in backends {
-        let telemetry = match prefix {
-            Some(_) => Telemetry::enabled(),
-            None => Telemetry::disabled(),
-        };
-        let (small, large, hit) = run(sched, &telemetry);
+    let points: Vec<_> = backends
+        .into_iter()
+        .map(|(name, sched)| {
+            let spec = ablation_scenario(format!("ablation-backend {name}"), 2, sched, 512);
+            (name.to_string(), spec)
+        })
+        .collect();
+    run_labelled(&points, telemetry_prefix().as_deref(), |name, r| {
+        let (small, large) = scaled_fcts(r, TenantId(1), ABLATION_SCALE);
+        let hit = r
+            .tenant(TenantId(2))
+            .deadline_hit_rate()
+            .unwrap_or(f64::NAN)
+            * 100.0;
         println!("{name:<28}{small:>16.3}{large:>16.2}{hit:>16.1}");
-        if let Some(prefix) = &prefix {
-            eprintln!(
-                "  wrote {}",
-                snapshot::write_snapshot(&telemetry, prefix, name)
-            );
-        }
-    }
+    });
     println!(
         "\nMore queues bring the banded bank closer to the PIFO; SP-PIFO \
          adapts without per-policy allocation; FIFO ignores the policy."

@@ -9,91 +9,11 @@
 //! Usage: cargo run -p qvisor-bench --release --bin ablation_quantization
 //!        [-- --telemetry PREFIX]   write PREFIX-levels<N>.jsonl per point
 
-use qvisor_bench::snapshot;
-use qvisor_core::{SynthConfig, TenantSpec, UnknownTenantAction};
-use qvisor_netsim::{QvisorSetup, SchedulerKind, SimConfig, Simulation};
-use qvisor_ranking::{Edf, PFabric, RankRange};
-use qvisor_sim::{Nanos, SimRng, TenantId};
-use qvisor_telemetry::Telemetry;
-use qvisor_topology::{LeafSpine, LeafSpineConfig};
-use qvisor_transport::SizeBucket;
-use qvisor_workloads::{
-    arrival_rate_for_load, cbr_tenant, EmpiricalCdf, FlowSizeDist, PoissonFlowGen,
+use qvisor_bench::harness::{
+    ablation_scenario, run_labelled, scaled_fcts, telemetry_prefix, ABLATION_SCALE,
 };
-
-const PF: TenantId = TenantId(1);
-const ED: TenantId = TenantId(2);
-
-fn run(levels: u64, telemetry: &Telemetry) -> (f64, f64) {
-    let fabric = LeafSpine::build(&LeafSpineConfig::paper());
-    let hosts = fabric.all_hosts();
-    let scale = 10u64;
-    let sizes = EmpiricalCdf::data_mining().scaled(1, scale);
-    let max_rank = 100_000_000 / scale / 1_000;
-
-    let specs = vec![
-        TenantSpec::new(PF, "pFabric", "pFabric", RankRange::new(0, max_rank)).with_levels(levels),
-        TenantSpec::new(ED, "EDF", "EDF", RankRange::new(0, 10)).with_levels(8),
-    ];
-    let cfg = SimConfig {
-        seed: 1,
-        horizon: Nanos::from_secs(3),
-        scheduler: SchedulerKind::Pifo,
-        qvisor: Some(QvisorSetup {
-            specs,
-            policy: "pFabric >> EDF".into(),
-            synth: SynthConfig::default(),
-            unknown: UnknownTenantAction::BestEffort,
-            scope: Default::default(),
-            monitor: None,
-        }),
-        telemetry: telemetry.clone(),
-        ..SimConfig::default()
-    };
-    let mut sim = Simulation::new(fabric.topology.clone(), cfg).unwrap();
-    sim.register_rank_fn(PF, Box::new(PFabric::new(1_000, max_rank)));
-    sim.register_rank_fn(ED, Box::new(Edf::new(Nanos::from_micros(60), 10)));
-
-    let rng = SimRng::seed_from(1);
-    let rate = arrival_rate_for_load(0.6, hosts.len(), qvisor_sim::gbps(1), sizes.mean_bytes());
-    let flows = PoissonFlowGen {
-        tenant: PF,
-        hosts: &hosts,
-        sizes: &sizes,
-        rate_flows_per_sec: rate,
-    }
-    .generate(800, &mut rng.derive(1));
-    let last = flows.last().unwrap().start;
-    for f in &flows {
-        sim.add_generated(f);
-    }
-    for s in &cbr_tenant(
-        ED,
-        &hosts,
-        50,
-        500_000_000,
-        1_500,
-        Nanos::ZERO,
-        last + Nanos::from_millis(10),
-        Nanos::from_micros(300),
-        &mut rng.derive(2),
-    ) {
-        sim.add_generated_cbr(s);
-    }
-    let r = sim.run();
-    let small = SizeBucket {
-        lo: 1,
-        hi: 100_000 / scale,
-    };
-    let large = SizeBucket {
-        lo: 1_000_000 / scale,
-        hi: u64::MAX,
-    };
-    (
-        r.fct.mean_fct_ms(Some(PF), small).unwrap_or(f64::NAN),
-        r.fct.mean_fct_ms(Some(PF), large).unwrap_or(f64::NAN),
-    )
-}
+use qvisor_netsim::scenario::SchedulerSpec;
+use qvisor_sim::TenantId;
 
 fn main() {
     println!("Ablation: pFabric quantization levels (policy pFabric >> EDF, load 0.6)");
@@ -101,28 +21,23 @@ fn main() {
         "{:>8}{:>16}{:>16}",
         "levels", "small FCT (ms)", "large FCT (ms)"
     );
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let prefix = args.iter().position(|a| a == "--telemetry").map(|i| {
-        args.get(i + 1).cloned().unwrap_or_else(|| {
-            eprintln!("missing value after --telemetry");
-            std::process::exit(2);
-        })
-    });
-    for levels in [2u64, 4, 8, 32, 128, 512, 2048] {
-        let telemetry = match prefix {
-            Some(_) => Telemetry::enabled(),
-            None => Telemetry::disabled(),
-        };
-        let (small, large) = run(levels, &telemetry);
-        println!("{levels:>8}{small:>16.3}{large:>16.2}");
-        if let Some(prefix) = &prefix {
-            let tag = format!("levels{levels}");
-            eprintln!(
-                "  wrote {}",
-                snapshot::write_snapshot(&telemetry, prefix, &tag)
+    let points: Vec<_> = [2u64, 4, 8, 32, 128, 512, 2048]
+        .into_iter()
+        .map(|levels| {
+            let spec = ablation_scenario(
+                format!("ablation-quantization levels{levels}"),
+                1,
+                SchedulerSpec::Pifo,
+                levels,
             );
-        }
-    }
+            (format!("levels{levels}"), spec)
+        })
+        .collect();
+    run_labelled(&points, telemetry_prefix().as_deref(), |tag, r| {
+        let levels: u64 = tag.trim_start_matches("levels").parse().unwrap();
+        let (small, large) = scaled_fcts(r, TenantId(1), ABLATION_SCALE);
+        println!("{levels:>8}{small:>16.3}{large:>16.2}");
+    });
     println!(
         "\nFew levels collapse pFabric's SRPT behaviour (small flows slow \
          down); returns diminish once levels resolve the small-flow sizes."

@@ -8,61 +8,85 @@
 //! Usage: cargo run -p qvisor-bench --release --bin ablation_sharegroups
 //!        [-- --telemetry PREFIX]   write PREFIX-n<N>_{qvisor,naive}.jsonl
 
-use qvisor_bench::snapshot;
-use qvisor_core::{SynthConfig, TenantSpec, UnknownTenantAction};
-use qvisor_netsim::{NewFlow, QvisorSetup, SchedulerKind, SimConfig, Simulation};
-use qvisor_ranking::{ByteCountFq, RankRange};
+use qvisor_bench::harness::{run_one, telemetry_prefix};
+use qvisor_netsim::scenario::{
+    FlowDecl, QvisorSpec, ScenarioSpec, SchedulerSpec, ScopeSpec, SimSpec, TenantDecl, TimeRef,
+    TopologySpec, WorkloadSpec,
+};
+use qvisor_netsim::SimReport;
+use qvisor_ranking::RankFnSpec;
 use qvisor_sim::{gbps, jain_fairness, Nanos, TenantId};
-use qvisor_telemetry::Telemetry;
-use qvisor_topology::Dumbbell;
 
-fn run(n: usize, qvisor: bool, telemetry: &Telemetry) -> (f64, f64) {
-    let d = Dumbbell::build(n, gbps(1), gbps(1), Nanos::from_micros(1));
-    let mut cfg = SimConfig {
-        seed: 9,
-        horizon: Nanos::from_millis(120),
-        scheduler: SchedulerKind::Pifo,
-        telemetry: telemetry.clone(),
-        ..SimConfig::default()
-    };
-    if qvisor {
-        let specs: Vec<TenantSpec> = (1..=n)
-            .map(|i| {
-                TenantSpec::new(
-                    TenantId(i as u16),
-                    format!("T{i}"),
-                    "FQ",
-                    RankRange::new(0, 14_000),
-                )
-                .with_levels(64)
+fn scenario(n: usize, qvisor: bool) -> ScenarioSpec {
+    let qvisor_spec = qvisor.then(|| QvisorSpec {
+        tenants: (1..=n)
+            .map(|i| TenantDecl {
+                id: i as u16,
+                name: format!("T{i}"),
+                algorithm: "FQ".to_string(),
+                rank_min: 0,
+                rank_max: 14_000,
+                levels: Some(64),
             })
-            .collect();
-        let policy = (1..=n)
+            .collect(),
+        policy: (1..=n)
             .map(|i| format!("T{i}"))
             .collect::<Vec<_>>()
-            .join(" + ");
-        cfg.qvisor = Some(QvisorSetup {
-            specs,
-            policy,
-            synth: SynthConfig::default(),
-            unknown: UnknownTenantAction::BestEffort,
-            scope: Default::default(),
-            monitor: None,
-        });
+            .join(" + "),
+        unknown_drop: false,
+        scope: ScopeSpec::Everywhere,
+        monitor: None,
+        synth: None,
+    });
+    ScenarioSpec {
+        name: format!(
+            "sharegroups n{n} {}",
+            if qvisor { "qvisor" } else { "naive" }
+        ),
+        seed: 9,
+        topology: TopologySpec::Dumbbell {
+            pairs: n,
+            edge_bps: gbps(1),
+            bottleneck_bps: gbps(1),
+            delay_ns: Nanos::from_micros(1).as_nanos(),
+        },
+        sim: SimSpec {
+            horizon: TimeRef::At(Nanos::from_millis(120).as_nanos()),
+            ..SimSpec::default()
+        },
+        scheduler: SchedulerSpec::Pifo,
+        host_scheduler: None,
+        qvisor: qvisor_spec,
+        rank_fns: (1..=n)
+            .map(|i| {
+                (
+                    i as u16,
+                    RankFnSpec::ByteCountFq {
+                        unit_bytes: 1_460,
+                        max_rank: 14_000,
+                    },
+                )
+            })
+            .collect(),
+        // Sender i pairs with receiver i: dumbbell hosts are senders then
+        // receivers, so receiver i sits at index n + i - 1.
+        workloads: vec![WorkloadSpec::Flows {
+            list: (1..=n)
+                .map(|i| FlowDecl {
+                    tenant: i as u16,
+                    src_host: i - 1,
+                    dst_host: n + i - 1,
+                    size: 20_000_000,
+                    start_ns: 0,
+                    deadline_ns: None,
+                    weight: 1,
+                })
+                .collect(),
+        }],
     }
-    let mut sim = Simulation::new(d.topology.clone(), cfg).unwrap();
-    for i in 1..=n {
-        let t = TenantId(i as u16);
-        sim.register_rank_fn(t, Box::new(ByteCountFq::new(1_460, 14_000)));
-        sim.add_flow(NewFlow::new(
-            t,
-            d.senders[i - 1],
-            d.receivers[i - 1],
-            20_000_000,
-            Nanos::ZERO,
-        ));
-    }
-    let r = sim.run();
+}
+
+fn measure(n: usize, r: &SimReport) -> (f64, f64) {
     let bytes: Vec<f64> = (1..=n)
         .map(|i| r.tenant(TenantId(i as u16)).delivered_bytes as f64)
         .collect();
@@ -77,31 +101,21 @@ fn main() {
         "{:>4}{:>22}{:>22}{:>14}",
         "N", "Jain (QVISOR +)", "Jain (naive PIFO)", "util (QVISOR)"
     );
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let prefix = args.iter().position(|a| a == "--telemetry").map(|i| {
-        args.get(i + 1).cloned().unwrap_or_else(|| {
-            eprintln!("missing value after --telemetry");
-            std::process::exit(2);
-        })
-    });
+    let prefix = telemetry_prefix();
     for n in [2usize, 3, 4, 6, 8] {
-        let make = || match prefix {
-            Some(_) => Telemetry::enabled(),
-            None => Telemetry::disabled(),
-        };
-        let tq = make();
-        let tn = make();
-        let (jq, uq) = run(n, true, &tq);
-        let (jn, _) = run(n, false, &tn);
+        let rq = run_one(
+            &scenario(n, true),
+            prefix.as_deref(),
+            &format!("n{n}_qvisor"),
+        );
+        let rn = run_one(
+            &scenario(n, false),
+            prefix.as_deref(),
+            &format!("n{n}_naive"),
+        );
+        let (jq, uq) = measure(n, &rq);
+        let (jn, _) = measure(n, &rn);
         println!("{n:>4}{jq:>22.4}{jn:>22.4}{uq:>13.2}x");
-        if let Some(prefix) = &prefix {
-            for (telemetry, tag) in [(&tq, format!("n{n}_qvisor")), (&tn, format!("n{n}_naive"))] {
-                eprintln!(
-                    "  wrote {}",
-                    snapshot::write_snapshot(telemetry, prefix, &tag)
-                );
-            }
-        }
     }
     println!(
         "\nQVISOR's stride interleaving holds Jain ~1.0 as the group grows; \

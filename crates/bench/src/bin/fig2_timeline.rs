@@ -16,7 +16,7 @@ use qvisor_core::{
     analyze, synthesize, MonitorConfig, Policy, RuntimeAdapter, RuntimeMonitor, SynthConfig,
     TenantSpec, ViolationAction,
 };
-use qvisor_ranking::RankRange;
+use qvisor_ranking::{RankFnSpec, RankRange};
 use qvisor_sim::{FlowId, Nanos, NodeId, Packet, SimRng, TenantId};
 use std::time::Instant;
 
@@ -34,6 +34,14 @@ fn mk_packet(tenant: u16, rank: u64, at: Nanos) -> Packet {
 }
 
 fn main() {
+    control_plane_timeline();
+    println!("\n=== in-network timeline (2x4-host leaf-spine, live adaptation) ===");
+    in_network_timeline();
+}
+
+/// Part 1: the monitor/adapter state machine driven directly with
+/// synthetic packet observations (no simulator in the loop).
+fn control_plane_timeline() {
     let specs = vec![
         TenantSpec::new(TenantId(1), "T1", "pFabric", RankRange::new(0, 100_000)).with_levels(256),
         TenantSpec::new(TenantId(2), "T2", "EDF", RankRange::new(0, 10_000)).with_levels(64),
@@ -127,89 +135,136 @@ fn main() {
         new_joint.chain(TenantId(3)).unwrap().apply(0)
     );
     println!("\nFig. 2's t1 transition handled: idle bands reclaimed, guarantees re-verified.");
-
-    // ------------------------------------------------------------------
-    // Part 2: the same timeline *in the network* — per-tenant goodput over
-    // time with live adaptation on, reproducing Fig. 2's traffic-volume
-    // curves from an actual simulation.
-    // ------------------------------------------------------------------
-    println!("\n=== in-network timeline (2x4-host leaf-spine, live adaptation) ===");
-    in_network_timeline();
 }
 
+/// Part 2: the same timeline *in the network* — per-tenant goodput over
+/// time with live adaptation on, reproducing Fig. 2's traffic-volume
+/// curves from a declarative scenario.
 fn in_network_timeline() {
-    use qvisor_core::UnknownTenantAction;
-    use qvisor_netsim::{NewCbr, NewFlow, QvisorSetup, SchedulerKind, SimConfig, Simulation};
-    use qvisor_ranking::{ByteCountFq, Edf, PFabric};
-    use qvisor_topology::{LeafSpine, LeafSpineConfig};
-
-    let fabric = LeafSpine::build(&LeafSpineConfig::small());
-    let hosts = fabric.all_hosts();
-    let t1_moment = Nanos::from_millis(30);
-    let horizon = Nanos::from_millis(60);
-
-    let specs = vec![
-        TenantSpec::new(TenantId(1), "T1", "pFabric", RankRange::new(0, 2_000)).with_levels(128),
-        TenantSpec::new(TenantId(2), "T2", "EDF", RankRange::new(0, 500)).with_levels(32),
-        TenantSpec::new(TenantId(3), "T3", "FQ", RankRange::new(0, 10_000)).with_levels(32),
-    ];
-    let cfg = SimConfig {
-        seed: 4,
-        horizon,
-        scheduler: SchedulerKind::Pifo,
-        sample_interval: Some(Nanos::from_millis(5)),
-        adaptation_interval: Some(Nanos::from_millis(10)),
-        qvisor: Some(QvisorSetup {
-            specs,
-            policy: "T1 + T2 >> T3".into(),
-            synth: SynthConfig::default(),
-            unknown: UnknownTenantAction::BestEffort,
-            scope: Default::default(),
-            monitor: Some(MonitorConfig {
-                violation_action: ViolationAction::Clamp,
-                idle_after: Nanos::from_millis(8),
-                drift_ratio: 4.0,
-            }),
-        }),
-        ..SimConfig::default()
+    use qvisor_bench::harness::run_one;
+    use qvisor_netsim::scenario::{
+        CbrDecl, FlowDecl, MonitorSpec, QvisorSpec, ScenarioSpec, SchedulerSpec, ScopeSpec,
+        SimSpec, TenantDecl, TimeRef, TopologySpec, ViolationSpec, WorkloadSpec,
     };
-    let mut sim = Simulation::new(fabric.topology.clone(), cfg).unwrap();
-    sim.register_rank_fn(TenantId(1), Box::new(PFabric::new(1_000, 2_000)));
-    sim.register_rank_fn(TenantId(2), Box::new(Edf::default_datacenter()));
-    sim.register_rank_fn(TenantId(3), Box::new(ByteCountFq::new(1_460, 10_000)));
+    use qvisor_topology::LeafSpineConfig;
 
-    // Phase A (t < t1): T1 sends short flows, T2 a CBR stream.
-    for i in 0..40u64 {
-        sim.add_flow(NewFlow::new(
-            TenantId(1),
-            hosts[(i % 4) as usize],
-            hosts[4 + (i % 4) as usize],
-            200_000,
-            Nanos::from_micros(600 * i),
-        ));
-    }
-    sim.add_cbr(NewCbr {
-        tenant: TenantId(2),
-        src: hosts[1],
-        dst: hosts[6],
+    let fabric = LeafSpineConfig::small();
+    let t1_moment = Nanos::from_millis(30);
+
+    // Phase A (t < t1): T1 sends short flows, T2 a CBR stream; phase B
+    // (t >= t1): T3 background elephants. Host indices follow the
+    // leaf-spine's rack-major canonical host order.
+    let t1_flows = (0..40u64)
+        .map(|i| FlowDecl {
+            tenant: 1,
+            src_host: (i % 4) as usize,
+            dst_host: 4 + (i % 4) as usize,
+            size: 200_000,
+            start_ns: Nanos::from_micros(600 * i).as_nanos(),
+            deadline_ns: None,
+            weight: 1,
+        })
+        .collect();
+    let t2_stream = CbrDecl {
+        tenant: 2,
+        src_host: 1,
+        dst_host: 6,
         rate_bps: 300_000_000,
         pkt_size: 1_500,
-        start: Nanos::ZERO,
-        stop: t1_moment,
-        deadline_offset: Nanos::from_micros(500),
-    });
-    // Phase B (t >= t1): T3 background elephants.
-    for i in 0..2u64 {
-        sim.add_flow(NewFlow::new(
-            TenantId(3),
-            hosts[(2 * i) as usize],
-            hosts[(5 + 2 * i) as usize],
-            2_000_000,
-            t1_moment + Nanos::from_millis(i),
-        ));
-    }
+        start_ns: 0,
+        stop: TimeRef::At(t1_moment.as_nanos()),
+        deadline_offset_ns: Nanos::from_micros(500).as_nanos(),
+    };
+    let t3_flows = (0..2u64)
+        .map(|i| FlowDecl {
+            tenant: 3,
+            src_host: (2 * i) as usize,
+            dst_host: (5 + 2 * i) as usize,
+            size: 2_000_000,
+            start_ns: (t1_moment + Nanos::from_millis(i)).as_nanos(),
+            deadline_ns: None,
+            weight: 1,
+        })
+        .collect();
 
-    let r = sim.run();
+    let tenant = |id: u16, name: &str, algorithm: &str, rank_max: u64, levels: u64| TenantDecl {
+        id,
+        name: name.to_string(),
+        algorithm: algorithm.to_string(),
+        rank_min: 0,
+        rank_max,
+        levels: Some(levels),
+    };
+    let spec = ScenarioSpec {
+        name: "fig2-in-network".to_string(),
+        seed: 4,
+        topology: TopologySpec::LeafSpine {
+            leaves: fabric.leaves,
+            spines: fabric.spines,
+            hosts_per_leaf: fabric.hosts_per_leaf,
+            access_bps: fabric.access_bps,
+            fabric_bps: fabric.fabric_bps,
+            access_delay_ns: fabric.access_delay.as_nanos(),
+            fabric_delay_ns: fabric.fabric_delay.as_nanos(),
+        },
+        sim: SimSpec {
+            horizon: TimeRef::At(Nanos::from_millis(60).as_nanos()),
+            sample_interval_ns: Some(Nanos::from_millis(5).as_nanos()),
+            adaptation_interval_ns: Some(Nanos::from_millis(10).as_nanos()),
+            ..SimSpec::default()
+        },
+        scheduler: SchedulerSpec::Pifo,
+        host_scheduler: None,
+        qvisor: Some(QvisorSpec {
+            tenants: vec![
+                tenant(1, "T1", "pFabric", 2_000, 128),
+                tenant(2, "T2", "EDF", 500, 32),
+                tenant(3, "T3", "FQ", 10_000, 32),
+            ],
+            policy: "T1 + T2 >> T3".to_string(),
+            unknown_drop: false,
+            scope: ScopeSpec::Everywhere,
+            monitor: Some(MonitorSpec {
+                violation_action: ViolationSpec::Clamp,
+                idle_after_ns: Nanos::from_millis(8).as_nanos(),
+                drift_ratio: 4.0,
+            }),
+            synth: None,
+        }),
+        rank_fns: vec![
+            (
+                1,
+                RankFnSpec::PFabric {
+                    unit_bytes: 1_000,
+                    max_rank: 2_000,
+                },
+            ),
+            // Edf::default_datacenter(): 1 µs per rank unit, max rank 10k.
+            (
+                2,
+                RankFnSpec::Edf {
+                    unit_ns: 1_000,
+                    max_rank: 10_000,
+                },
+            ),
+            (
+                3,
+                RankFnSpec::ByteCountFq {
+                    unit_bytes: 1_460,
+                    max_rank: 10_000,
+                },
+            ),
+        ],
+        workloads: vec![
+            WorkloadSpec::Flows { list: t1_flows },
+            WorkloadSpec::Cbr {
+                list: vec![t2_stream],
+            },
+            WorkloadSpec::Flows { list: t3_flows },
+        ],
+    };
+
+    let r = run_one(&spec, None, "fig2");
     println!(
         "{:>10} {:>12} {:>12} {:>12}",
         "t (ms)", "T1 (Mbps)", "T2 (Mbps)", "T3 (Mbps)"

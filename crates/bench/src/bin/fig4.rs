@@ -20,7 +20,7 @@
 //!                      Perfetto with `qvisor trace export`)
 //!   --trace-sample N   trace one flow in N (default 1 = every flow)
 
-use qvisor_bench::{run_point_instrumented, snapshot, Fig4Config, Scheme};
+use qvisor_bench::{run_point_instrumented, snapshot, Fig4Config, Fig4Point, Scheme};
 use qvisor_telemetry::{Telemetry, TraceConfig, Tracer};
 use std::io::Write;
 
@@ -100,66 +100,60 @@ fn parse_args() -> (Fig4Config, Vec<f64>, Outputs) {
     )
 }
 
-fn main() {
-    let (cfg, loads, outputs) = parse_args();
-    let (json_path, telemetry_prefix) = (outputs.json, outputs.telemetry);
-    eprintln!(
-        "fig4: {} hosts, {} flows/point, sizes /{}, {} CBR x {} Mbps, loads {loads:?}",
-        cfg.fabric.leaves * cfg.fabric.hosts_per_leaf,
-        cfg.flows,
-        cfg.size_scale_den,
-        cfg.cbr_streams,
-        cfg.cbr_rate_bps / 1_000_000,
-    );
+/// Exit with the snapshot error's message (which names the path) instead
+/// of panicking on a bad `--telemetry`/`--trace` prefix.
+fn written(result: Result<String, snapshot::SnapshotError>) -> String {
+    result.unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    })
+}
 
-    // results[scheme][load index]
-    let mut results: Vec<Vec<qvisor_bench::Fig4Point>> = Vec::new();
-    for scheme in Scheme::ALL {
-        let mut row = Vec::new();
-        for &load in &loads {
-            let t0 = std::time::Instant::now();
-            let telemetry = match telemetry_prefix {
-                Some(_) => Telemetry::enabled(),
-                None => Telemetry::disabled(),
-            };
-            let tracer = match outputs.trace {
-                Some(_) => Tracer::enabled(TraceConfig {
-                    sample_one_in: outputs.trace_sample,
-                    seed: cfg.seed,
-                    ..TraceConfig::default()
-                }),
-                None => Tracer::disabled(),
-            };
-            let p = run_point_instrumented(scheme, load, &cfg, &telemetry, &tracer);
-            let tag = format!("{}-load{load}", scheme.label());
-            if let Some(prefix) = &telemetry_prefix {
-                eprintln!(
-                    "    wrote {}",
-                    snapshot::write_snapshot(&telemetry, prefix, &tag)
-                );
-            }
-            if let Some(prefix) = &outputs.trace {
-                eprintln!(
-                    "    wrote {}",
-                    snapshot::write_trace_snapshot(&tracer, prefix, &tag)
-                );
-            }
-            eprintln!(
-                "  {:<26} load {:.1}: small {:>8} ms, large {:>9} ms, \
-                 {}/{} flows, {:>4.1}s wall",
-                scheme.label(),
-                load,
-                p.small_fct_ms.map_or("-".into(), |v| format!("{v:.3}")),
-                p.large_fct_ms.map_or("-".into(), |v| format!("{v:.2}")),
-                p.completed,
-                p.completed as u64 + p.incomplete,
-                t0.elapsed().as_secs_f64(),
-            );
-            row.push(p);
-        }
-        results.push(row);
+/// Run one (scheme, load) point with whatever instrumentation the flags
+/// ask for, writing per-point snapshots as we go.
+fn run_point(scheme: Scheme, load: f64, cfg: &Fig4Config, outputs: &Outputs) -> Fig4Point {
+    let t0 = std::time::Instant::now();
+    let telemetry = match outputs.telemetry {
+        Some(_) => Telemetry::enabled(),
+        None => Telemetry::disabled(),
+    };
+    let tracer = match outputs.trace {
+        Some(_) => Tracer::enabled(TraceConfig {
+            sample_one_in: outputs.trace_sample,
+            seed: cfg.seed,
+            ..TraceConfig::default()
+        }),
+        None => Tracer::disabled(),
+    };
+    let p = run_point_instrumented(scheme, load, cfg, &telemetry, &tracer);
+    let tag = format!("{}-load{load}", scheme.label());
+    if let Some(prefix) = &outputs.telemetry {
+        eprintln!(
+            "    wrote {}",
+            written(snapshot::write_snapshot(&telemetry, prefix, &tag))
+        );
     }
+    if let Some(prefix) = &outputs.trace {
+        eprintln!(
+            "    wrote {}",
+            written(snapshot::write_trace_snapshot(&tracer, prefix, &tag))
+        );
+    }
+    eprintln!(
+        "  {:<26} load {:.1}: small {:>8} ms, large {:>9} ms, \
+         {}/{} flows, {:>4.1}s wall",
+        scheme.label(),
+        load,
+        p.small_fct_ms.map_or("-".into(), |v| format!("{v:.3}")),
+        p.large_fct_ms.map_or("-".into(), |v| format!("{v:.2}")),
+        p.completed,
+        p.completed as u64 + p.incomplete,
+        t0.elapsed().as_secs_f64(),
+    );
+    p
+}
 
+fn print_tables(results: &[Vec<Fig4Point>], loads: &[f64]) {
     for (title, pick) in [
         (
             "Figure 4a: (0,100KB) mean FCTs of pFabric traffic (ms)",
@@ -172,7 +166,7 @@ fn main() {
     ] {
         println!("\n{title}");
         print!("{:<26}", "scheme \\ load");
-        for l in &loads {
+        for l in loads {
             print!("{l:>9.1}");
         }
         println!();
@@ -193,27 +187,57 @@ fn main() {
             println!();
         }
     }
+}
 
-    if let Some(path) = json_path {
-        use qvisor_sim::json::Value;
-        let rows: Vec<Value> = Scheme::ALL
-            .iter()
-            .enumerate()
-            .flat_map(|(si, s)| {
-                results[si].iter().map(move |p| {
-                    Value::object()
-                        .set("scheme", s.label())
-                        .set("load", p.load)
-                        .set("small_fct_ms", p.small_fct_ms)
-                        .set("large_fct_ms", p.large_fct_ms)
-                        .set("completed", p.completed)
-                        .set("incomplete", p.incomplete)
-                        .set("deadline_hit", p.deadline_hit)
-                })
+fn write_json(results: &[Vec<Fig4Point>], path: &str) {
+    use qvisor_sim::json::Value;
+    let rows: Vec<Value> = Scheme::ALL
+        .iter()
+        .enumerate()
+        .flat_map(|(si, s)| {
+            results[si].iter().map(move |p| {
+                Value::object()
+                    .set("scheme", s.label())
+                    .set("load", p.load)
+                    .set("small_fct_ms", p.small_fct_ms)
+                    .set("large_fct_ms", p.large_fct_ms)
+                    .set("completed", p.completed)
+                    .set("incomplete", p.incomplete)
+                    .set("deadline_hit", p.deadline_hit)
             })
-            .collect();
-        let mut f = std::fs::File::create(&path).expect("create json output");
-        writeln!(f, "{}", Value::from(rows).to_pretty()).unwrap();
-        eprintln!("wrote {path}");
+        })
+        .collect();
+    let fail = |e: std::io::Error| -> ! {
+        eprintln!("cannot write results {path}: {e}");
+        std::process::exit(1);
+    };
+    let mut f = std::fs::File::create(path).unwrap_or_else(|e| fail(e));
+    writeln!(f, "{}", Value::from(rows).to_pretty()).unwrap_or_else(|e| fail(e));
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let (cfg, loads, outputs) = parse_args();
+    eprintln!(
+        "fig4: {} hosts, {} flows/point, sizes /{}, {} CBR x {} Mbps, loads {loads:?}",
+        cfg.fabric.leaves * cfg.fabric.hosts_per_leaf,
+        cfg.flows,
+        cfg.size_scale_den,
+        cfg.cbr_streams,
+        cfg.cbr_rate_bps / 1_000_000,
+    );
+    // results[scheme][load index]
+    let results: Vec<Vec<Fig4Point>> = Scheme::ALL
+        .iter()
+        .map(|&scheme| {
+            loads
+                .iter()
+                .map(|&load| run_point(scheme, load, &cfg, &outputs))
+                .collect()
+        })
+        .collect();
+    print_tables(&results, &loads);
+    if let Some(path) = &outputs.json {
+        write_json(&results, path);
     }
 }

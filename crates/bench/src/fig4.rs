@@ -19,16 +19,20 @@
 //! [`Fig4Config::size_scale_den`] so a full sweep runs on a laptop; the
 //! scale knob changes absolute FCTs, not the ordering of schemes
 //! (EXPERIMENTS.md records both scales).
+//!
+//! Since the scenario-engine refactor this module only *describes* the
+//! experiment: [`scenario`] maps a `(scheme, load, config)` triple to a
+//! declarative [`ScenarioSpec`] and the netsim [`Engine`] does the rest.
 
-use qvisor_core::{SynthConfig, TenantSpec, UnknownTenantAction};
-use qvisor_netsim::{QvisorSetup, SchedulerKind, SimConfig, SimReport, Simulation};
-use qvisor_ranking::{Edf, PFabric, RankRange};
-use qvisor_sim::{Nanos, SimRng, TenantId};
-use qvisor_topology::{LeafSpine, LeafSpineConfig};
-use qvisor_transport::SizeBucket;
-use qvisor_workloads::{
-    arrival_rate_for_load, cbr_tenant, EmpiricalCdf, FlowSizeDist, PoissonFlowGen,
+use qvisor_netsim::scenario::{
+    ArrivalSpec, Engine, QvisorSpec, ScenarioSpec, SchedulerSpec, ScopeSpec, SimSpec, SizeDistSpec,
+    TenantDecl, TimeRef, TopologySpec, WorkloadSpec,
 };
+use qvisor_netsim::SimReport;
+use qvisor_ranking::RankFnSpec;
+use qvisor_sim::{Nanos, TenantId};
+use qvisor_topology::LeafSpineConfig;
+use qvisor_transport::SizeBucket;
 
 /// Tenant 1: the pFabric data-mining tenant.
 pub const PFABRIC: TenantId = TenantId(1);
@@ -74,6 +78,16 @@ impl Scheme {
             Scheme::QvisorPfabricFirst => "QVISOR: pFabric >> EDF",
         }
     }
+
+    /// The operator policy string, for the QVISOR schemes.
+    pub fn policy(self) -> Option<&'static str> {
+        match self {
+            Scheme::QvisorEdfFirst => Some("EDF >> pFabric"),
+            Scheme::QvisorShare => Some("pFabric + EDF"),
+            Scheme::QvisorPfabricFirst => Some("pFabric >> EDF"),
+            _ => None,
+        }
+    }
 }
 
 /// Which flow-size distribution drives tenant 1.
@@ -95,10 +109,10 @@ impl Workload {
         }
     }
 
-    fn cdf(self) -> EmpiricalCdf {
+    fn sizes(self, scale_den: u64) -> SizeDistSpec {
         match self {
-            Workload::DataMining => EmpiricalCdf::data_mining(),
-            Workload::WebSearch => EmpiricalCdf::web_search(),
+            Workload::DataMining => SizeDistSpec::DataMining { scale_den },
+            Workload::WebSearch => SizeDistSpec::WebSearch { scale_den },
         }
     }
 }
@@ -188,6 +202,125 @@ fn scaled_bucket(bucket: SizeBucket, den: u64) -> SizeBucket {
     }
 }
 
+/// The declarative scenario behind one (scheme, load) point — the whole
+/// experiment as data. `Engine::run(&scenario(..))` reproduces the
+/// pre-refactor hand-wired construction byte for byte.
+pub fn scenario(scheme: Scheme, load: f64, cfg: &Fig4Config) -> ScenarioSpec {
+    // pFabric rank = remaining KB; bound by the scaled maximum flow size.
+    let max_rank = (cfg.workload.max_bytes() / cfg.size_scale_den / 1_000).max(1);
+    // EDF's rank unit is chosen so raw EDF ranks land in the middle of the
+    // small-flow pFabric rank span: this is the §2 clash the paper
+    // constructs — under naive sharing "the priorities defined by the EDF
+    // policy are higher than the ones set by pFabric" for most packets,
+    // independent of the size-scale knob.
+    let small_hi_rank = (100_000 / cfg.size_scale_den / 1_000).max(2);
+    let edf_target = (small_hi_rank / 2).max(1);
+    let edf_unit = Nanos(cfg.deadline_offset.as_nanos() / edf_target);
+    let deadline_rank_max = edf_target * 2;
+
+    let mut workloads = vec![WorkloadSpec::Poisson {
+        tenant: PFABRIC.0,
+        flows: cfg.flows,
+        sizes: cfg.workload.sizes(cfg.size_scale_den),
+        arrival: ArrivalSpec::Load(load),
+        rng_stream: 1,
+    }];
+    if scheme != Scheme::PifoIdeal {
+        workloads.push(WorkloadSpec::CbrFleet {
+            tenant: EDF.0,
+            streams: cfg.cbr_streams,
+            rate_bps: cfg.cbr_rate_bps,
+            pkt_size: 1_500,
+            start_ns: 0,
+            stop: TimeRef::AfterLastArrival(Nanos::from_millis(20).as_nanos()),
+            deadline_offset_ns: cfg.deadline_offset.as_nanos(),
+            rng_stream: 2,
+        });
+    }
+
+    let qvisor = scheme.policy().map(|policy| QvisorSpec {
+        tenants: vec![
+            TenantDecl {
+                id: PFABRIC.0,
+                name: "pFabric".to_string(),
+                algorithm: "pFabric".to_string(),
+                rank_min: 0,
+                rank_max: max_rank,
+                levels: Some(512),
+            },
+            TenantDecl {
+                id: EDF.0,
+                name: "EDF".to_string(),
+                algorithm: "EDF".to_string(),
+                rank_min: 0,
+                rank_max: deadline_rank_max,
+                levels: Some(64),
+            },
+        ],
+        policy: policy.to_string(),
+        unknown_drop: false,
+        scope: ScopeSpec::Everywhere,
+        monitor: None,
+        synth: None,
+    });
+
+    ScenarioSpec {
+        name: format!("fig4-{:?}-load{load}", scheme),
+        seed: cfg.seed,
+        topology: TopologySpec::LeafSpine {
+            leaves: cfg.fabric.leaves,
+            spines: cfg.fabric.spines,
+            hosts_per_leaf: cfg.fabric.hosts_per_leaf,
+            access_bps: cfg.fabric.access_bps,
+            fabric_bps: cfg.fabric.fabric_bps,
+            access_delay_ns: cfg.fabric.access_delay.as_nanos(),
+            fabric_delay_ns: cfg.fabric.fabric_delay.as_nanos(),
+        },
+        sim: SimSpec {
+            horizon: TimeRef::AfterLastArrival(Nanos::from_secs(2).as_nanos()),
+            ..SimSpec::default()
+        },
+        scheduler: match scheme {
+            Scheme::Fifo => SchedulerSpec::Fifo,
+            _ => SchedulerSpec::Pifo,
+        },
+        host_scheduler: None,
+        qvisor,
+        rank_fns: vec![
+            (
+                PFABRIC.0,
+                RankFnSpec::PFabric {
+                    unit_bytes: 1_000,
+                    max_rank,
+                },
+            ),
+            (
+                EDF.0,
+                RankFnSpec::Edf {
+                    unit_ns: edf_unit.as_nanos(),
+                    max_rank: deadline_rank_max,
+                },
+            ),
+        ],
+        workloads,
+    }
+}
+
+/// Reduce a raw report to the figure's measured point.
+pub fn extract_point(report: &SimReport, load: f64, cfg: &Fig4Config) -> Fig4Point {
+    let small = scaled_bucket(SizeBucket::SMALL, cfg.size_scale_den);
+    let large = scaled_bucket(SizeBucket::LARGE, cfg.size_scale_den);
+    Fig4Point {
+        load,
+        small_fct_ms: report.fct.mean_fct_ms(Some(PFABRIC), small),
+        large_fct_ms: report.fct.mean_fct_ms(Some(PFABRIC), large),
+        completed: report.fct.count(Some(PFABRIC)),
+        incomplete: report.incomplete_flows,
+        deadline_hit: report.tenant(EDF).deadline_hit_rate(),
+        events: report.events,
+    }
+}
+
 /// Run one (scheme, load) point without telemetry.
 pub fn run_point(scheme: Scheme, load: f64, cfg: &Fig4Config) -> Fig4Point {
     run_point_telemetry(scheme, load, cfg, &qvisor_telemetry::Telemetry::disabled())
@@ -221,105 +354,12 @@ pub fn run_point_instrumented(
     telemetry: &qvisor_telemetry::Telemetry,
     tracer: &qvisor_telemetry::Tracer,
 ) -> Fig4Point {
-    let fabric = LeafSpine::build(&cfg.fabric);
-    let hosts = fabric.all_hosts();
-    let sizes = cfg.workload.cdf().scaled(1, cfg.size_scale_den);
-
-    // pFabric rank = remaining KB; bound by the scaled maximum flow size.
-    let max_rank = (cfg.workload.max_bytes() / cfg.size_scale_den / 1_000).max(1);
-    // EDF's rank unit is chosen so raw EDF ranks land in the middle of the
-    // small-flow pFabric rank span: this is the §2 clash the paper
-    // constructs — under naive sharing "the priorities defined by the EDF
-    // policy are higher than the ones set by pFabric" for most packets,
-    // independent of the size-scale knob.
-    let small_hi_rank = (100_000 / cfg.size_scale_den / 1_000).max(2);
-    let edf_target = (small_hi_rank / 2).max(1);
-    let edf_unit = Nanos(cfg.deadline_offset.as_nanos() / edf_target);
-    let deadline_rank_max = edf_target * 2;
-
-    // Generate tenant 1's flows up front so the CBR window can cover them.
-    let rng = SimRng::seed_from(cfg.seed);
-    let rate = arrival_rate_for_load(load, hosts.len(), cfg.fabric.access_bps, sizes.mean_bytes());
-    let flows = PoissonFlowGen {
-        tenant: PFABRIC,
-        hosts: &hosts,
-        sizes: &sizes,
-        rate_flows_per_sec: rate,
-    }
-    .generate(cfg.flows, &mut rng.derive(1));
-    let last_arrival = flows.last().map(|f| f.start).unwrap_or(Nanos::ZERO);
-
-    let mut sim_cfg = SimConfig {
-        seed: cfg.seed,
-        horizon: last_arrival + Nanos::from_secs(2),
-        scheduler: match scheme {
-            Scheme::Fifo => SchedulerKind::Fifo,
-            _ => SchedulerKind::Pifo,
-        },
-        telemetry: telemetry.clone(),
-        tracer: tracer.clone(),
-        ..SimConfig::default()
-    };
-
-    let policy = match scheme {
-        Scheme::QvisorEdfFirst => Some("EDF >> pFabric"),
-        Scheme::QvisorShare => Some("pFabric + EDF"),
-        Scheme::QvisorPfabricFirst => Some("pFabric >> EDF"),
-        _ => None,
-    };
-    if let Some(policy) = policy {
-        let specs = vec![
-            TenantSpec::new(PFABRIC, "pFabric", "pFabric", RankRange::new(0, max_rank))
-                .with_levels(512),
-            TenantSpec::new(EDF, "EDF", "EDF", RankRange::new(0, deadline_rank_max))
-                .with_levels(64),
-        ];
-        sim_cfg.qvisor = Some(QvisorSetup {
-            specs,
-            policy: policy.to_string(),
-            synth: SynthConfig::default(),
-            unknown: UnknownTenantAction::BestEffort,
-            scope: Default::default(),
-            monitor: None,
-        });
-    }
-
-    let mut sim = Simulation::new(fabric.topology.clone(), sim_cfg).expect("valid fig4 config");
-    sim.register_rank_fn(PFABRIC, Box::new(PFabric::new(1_000, max_rank)));
-    sim.register_rank_fn(EDF, Box::new(Edf::new(edf_unit, deadline_rank_max)));
-
-    for f in &flows {
-        sim.add_generated(f);
-    }
-    if scheme != Scheme::PifoIdeal {
-        let streams = cbr_tenant(
-            EDF,
-            &hosts,
-            cfg.cbr_streams,
-            cfg.cbr_rate_bps,
-            1_500,
-            Nanos::ZERO,
-            last_arrival + Nanos::from_millis(20),
-            cfg.deadline_offset,
-            &mut rng.derive(2),
-        );
-        for s in &streams {
-            sim.add_generated_cbr(s);
-        }
-    }
-
-    let report: SimReport = sim.run();
-    let small = scaled_bucket(SizeBucket::SMALL, cfg.size_scale_den);
-    let large = scaled_bucket(SizeBucket::LARGE, cfg.size_scale_den);
-    Fig4Point {
-        load,
-        small_fct_ms: report.fct.mean_fct_ms(Some(PFABRIC), small),
-        large_fct_ms: report.fct.mean_fct_ms(Some(PFABRIC), large),
-        completed: report.fct.count(Some(PFABRIC)),
-        incomplete: report.incomplete_flows,
-        deadline_hit: report.tenant(EDF).deadline_hit_rate(),
-        events: report.events,
-    }
+    let report = Engine::new()
+        .with_telemetry(telemetry)
+        .with_tracer(tracer)
+        .run(&scenario(scheme, load, cfg))
+        .expect("valid fig4 scenario");
+    extract_point(&report, load, cfg)
 }
 
 #[cfg(test)]
@@ -374,5 +414,13 @@ mod tests {
         let l = scaled_bucket(SizeBucket::LARGE, 50);
         assert_eq!(l.lo, 20_000);
         assert_eq!(l.hi, u64::MAX);
+    }
+
+    #[test]
+    fn scenario_spec_round_trips_through_json() {
+        let cfg = Fig4Config::smoke();
+        let spec = scenario(Scheme::QvisorShare, 0.5, &cfg);
+        let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(spec, back);
     }
 }

@@ -6,6 +6,28 @@
 
 use qvisor_telemetry::{Telemetry, Tracer};
 
+/// A snapshot file could not be written; carries the offending path so a
+/// bad `--telemetry`/`--trace` prefix is reported instead of panicking.
+#[derive(Debug)]
+pub struct SnapshotError {
+    /// The path that failed.
+    pub path: String,
+    /// The underlying I/O error.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot write snapshot {}: {}", self.path, self.source)
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
 /// Reduce a human label (`"QVISOR: pFabric >> EDF"`) to a file-name-safe
 /// tag (`"qvisor_pfabric_over_edf"`). Policy operators are spelled out so
 /// `A >> B` and `A + B` stay distinct files.
@@ -28,29 +50,39 @@ pub fn slug(label: &str) -> String {
     out
 }
 
-/// Write one telemetry export to `PREFIX-<tag>.jsonl`; returns the path.
-///
-/// # Panics
-/// Panics when the file cannot be written (bench binaries treat output
-/// paths as fatal, like their `--json` flag does).
-pub fn write_snapshot(telemetry: &Telemetry, prefix: &str, tag: &str) -> String {
-    let path = format!("{prefix}-{}.jsonl", slug(tag));
-    std::fs::write(&path, telemetry.export_jsonl())
-        .unwrap_or_else(|e| panic!("cannot write telemetry snapshot {path}: {e}"));
-    path
+fn write(path: String, contents: String) -> Result<String, SnapshotError> {
+    match std::fs::write(&path, contents) {
+        Ok(()) => Ok(path),
+        Err(source) => Err(SnapshotError { path, source }),
+    }
+}
+
+/// Write one telemetry export to `PREFIX-<tag>.jsonl`; returns the path
+/// written, or the path plus the I/O error when the prefix is unusable.
+pub fn write_snapshot(
+    telemetry: &Telemetry,
+    prefix: &str,
+    tag: &str,
+) -> Result<String, SnapshotError> {
+    write(
+        format!("{prefix}-{}.jsonl", slug(tag)),
+        telemetry.export_jsonl(),
+    )
 }
 
 /// Write one packet-lifecycle trace snapshot to `PREFIX-<tag>.trace.jsonl`;
-/// returns the path. Render with `qvisor trace report` or convert for
-/// Perfetto with `qvisor trace export`.
-///
-/// # Panics
-/// Panics when the file cannot be written, like [`write_snapshot`].
-pub fn write_trace_snapshot(tracer: &Tracer, prefix: &str, tag: &str) -> String {
-    let path = format!("{prefix}-{}.trace.jsonl", slug(tag));
-    std::fs::write(&path, tracer.snapshot().to_jsonl())
-        .unwrap_or_else(|e| panic!("cannot write trace snapshot {path}: {e}"));
-    path
+/// returns the path written, or the path plus the I/O error. Render with
+/// `qvisor trace report` or convert for Perfetto with `qvisor trace
+/// export`.
+pub fn write_trace_snapshot(
+    tracer: &Tracer,
+    prefix: &str,
+    tag: &str,
+) -> Result<String, SnapshotError> {
+    write(
+        format!("{prefix}-{}.trace.jsonl", slug(tag)),
+        tracer.snapshot().to_jsonl(),
+    )
 }
 
 #[cfg(test)]
@@ -71,12 +103,20 @@ mod tests {
         t.counter("net_sent_pkts", &[("tenant", "T1")]).add(5);
         let dir = std::env::temp_dir().join("qvisor_bench_snapshot_test");
         let prefix = dir.to_str().unwrap();
-        let path = write_snapshot(&t, prefix, "ideal PIFO");
+        let path = write_snapshot(&t, prefix, "ideal PIFO").unwrap();
         assert!(path.ends_with("-ideal_pifo.jsonl"));
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(qvisor_telemetry::report::render(&text)
             .unwrap()
             .contains("T1"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_prefix_reports_the_path() {
+        let t = Telemetry::enabled();
+        let err = write_snapshot(&t, "/nonexistent_dir_qvisor/deep/prefix", "tag").unwrap_err();
+        assert!(err.path.starts_with("/nonexistent_dir_qvisor/deep/prefix-"));
+        assert!(err.to_string().contains("/nonexistent_dir_qvisor"));
     }
 }

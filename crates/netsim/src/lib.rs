@@ -11,9 +11,11 @@
 
 pub mod config;
 pub mod report;
+pub mod scenario;
 pub mod sim;
 
 pub use config::{PreprocScope, QvisorSetup, SchedulerKind, SimConfig};
 pub use qvisor_sim::EventCore;
 pub use report::{SimReport, TenantTraffic};
+pub use scenario::{Engine, ScenarioError, ScenarioSpec, SweepSpec};
 pub use sim::{NewCbr, NewFlow, Simulation};

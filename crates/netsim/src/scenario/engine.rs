@@ -1,0 +1,431 @@
+//! The scenario engine: materialize a [`ScenarioSpec`] into a configured
+//! [`Simulation`] and run it to a [`SimReport`].
+//!
+//! Materialization is fully deterministic: every workload draws from its
+//! own derived RNG stream (`seed_from(seed).derive(rng_stream)`), flows
+//! are added in declaration order (so flow ids and ECMP hashing are
+//! stable), and rank functions are registered before any traffic.
+
+use super::spec::{
+    ArrivalSpec, QvisorSpec, ScenarioSpec, SchedulerSpec, ScopeSpec, SizeDistSpec, TimeRef,
+    ViolationSpec, WorkloadSpec,
+};
+use super::ScenarioError;
+use crate::config::{PreprocScope, QvisorSetup, SchedulerKind, SimConfig};
+use crate::report::SimReport;
+use crate::sim::Simulation;
+use qvisor_core::{MonitorConfig, SynthConfig, TenantSpec, UnknownTenantAction, ViolationAction};
+use qvisor_ranking::RankRange;
+use qvisor_scheduler::Capacity;
+use qvisor_sim::{json::Value, EventCore, Nanos, NodeId, SimRng, TenantId};
+use qvisor_telemetry::{Telemetry, Tracer};
+use qvisor_topology::{Dumbbell, FatTree, LeafSpine, LeafSpineConfig, Topology};
+use qvisor_transport::SizeBucket;
+use qvisor_workloads::{
+    arrival_rate_for_load, cbr_tenant, EmpiricalCdf, FixedSize, FlowSizeDist, GeneratedCbr,
+    GeneratedFlow, PoissonFlowGen, UniformSize,
+};
+
+/// Executes [`ScenarioSpec`]s. Holds the observability handles and event
+/// core wired into every simulation it builds; the default engine runs
+/// with both disabled.
+#[derive(Clone, Default)]
+pub struct Engine {
+    telemetry: Telemetry,
+    tracer: Tracer,
+    event_core: EventCore,
+}
+
+impl Engine {
+    /// An engine with telemetry and tracing disabled.
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// Wire a telemetry registry into built simulations.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Engine {
+        self.telemetry = telemetry.clone();
+        self
+    }
+
+    /// Wire a packet flight recorder into built simulations.
+    pub fn with_tracer(mut self, tracer: &Tracer) -> Engine {
+        self.tracer = tracer.clone();
+        self
+    }
+
+    /// Override the event-queue core (oracle runs).
+    pub fn with_event_core(mut self, core: EventCore) -> Engine {
+        self.event_core = core;
+        self
+    }
+
+    /// Materialize `spec` into a ready-to-run simulation: topology built,
+    /// QVISOR synthesized and deployed, rank functions registered, and all
+    /// traffic loaded.
+    pub fn build(&self, spec: &ScenarioSpec) -> Result<Simulation, ScenarioError> {
+        spec.validate()?;
+        let (topology, hosts) = build_topology(spec);
+
+        // Phase 1: generate Poisson flows (each workload on its own RNG
+        // stream) so the last reliable arrival is known before resolving
+        // relative time references.
+        let mut generated: Vec<Option<Vec<GeneratedFlow>>> = Vec::new();
+        for w in &spec.workloads {
+            generated.push(match w {
+                WorkloadSpec::Poisson {
+                    tenant,
+                    flows,
+                    sizes,
+                    arrival,
+                    rng_stream,
+                } => {
+                    let dist = build_sizes(*sizes);
+                    let rate = match arrival {
+                        ArrivalSpec::Load(load) => arrival_rate_for_load(
+                            *load,
+                            hosts.len(),
+                            spec.topology.access_bps(),
+                            dist.mean_bytes(),
+                        ),
+                        ArrivalSpec::RateFlowsPerSec(r) => *r,
+                    };
+                    let gen = PoissonFlowGen {
+                        tenant: TenantId(*tenant),
+                        hosts: &hosts,
+                        sizes: &*dist,
+                        rate_flows_per_sec: rate,
+                    };
+                    let mut rng = SimRng::seed_from(spec.seed).derive(*rng_stream);
+                    Some(gen.generate(*flows, &mut rng))
+                }
+                _ => None,
+            });
+        }
+        let mut last_arrival = Nanos::ZERO;
+        for (w, flows) in spec.workloads.iter().zip(&generated) {
+            if let Some(flows) = flows {
+                for f in flows {
+                    last_arrival = last_arrival.max(f.start);
+                }
+            }
+            if let WorkloadSpec::Flows { list } = w {
+                for f in list {
+                    last_arrival = last_arrival.max(Nanos(f.start_ns));
+                }
+            }
+        }
+        let resolve = |t: TimeRef| match t {
+            TimeRef::At(ns) => Nanos(ns),
+            TimeRef::AfterLastArrival(ns) => last_arrival + Nanos(ns),
+        };
+
+        // Phase 2: generate CBR fleets (stop times may be relative).
+        let mut fleets: Vec<Option<Vec<GeneratedCbr>>> = Vec::new();
+        for w in &spec.workloads {
+            fleets.push(match w {
+                WorkloadSpec::CbrFleet {
+                    tenant,
+                    streams,
+                    rate_bps,
+                    pkt_size,
+                    start_ns,
+                    stop,
+                    deadline_offset_ns,
+                    rng_stream,
+                } => {
+                    let stop = resolve(*stop);
+                    if stop <= Nanos(*start_ns) {
+                        return Err(super::field_err(
+                            "workloads.cbr_fleet.stop",
+                            "resolves to a time before start_ns",
+                        ));
+                    }
+                    let mut rng = SimRng::seed_from(spec.seed).derive(*rng_stream);
+                    Some(cbr_tenant(
+                        TenantId(*tenant),
+                        &hosts,
+                        *streams,
+                        *rate_bps,
+                        *pkt_size,
+                        Nanos(*start_ns),
+                        stop,
+                        Nanos(*deadline_offset_ns),
+                        &mut rng,
+                    ))
+                }
+                _ => None,
+            });
+        }
+
+        let cfg = SimConfig {
+            seed: spec.seed,
+            mss: spec.sim.mss,
+            header_bytes: spec.sim.header_bytes,
+            ack_bytes: spec.sim.ack_bytes,
+            cwnd: spec.sim.cwnd,
+            rto: Nanos(spec.sim.rto_ns),
+            buffer: Capacity::bytes(spec.sim.buffer_bytes),
+            scheduler: build_scheduler(&spec.scheduler),
+            host_scheduler: spec.host_scheduler.as_ref().map(build_scheduler),
+            horizon: resolve(spec.sim.horizon),
+            random_loss: spec.sim.random_loss,
+            sample_interval: spec.sim.sample_interval_ns.map(Nanos),
+            adaptation_interval: spec.sim.adaptation_interval_ns.map(Nanos),
+            qvisor: spec.qvisor.as_ref().map(build_qvisor),
+            event_core: self.event_core,
+            telemetry: self.telemetry.clone(),
+            tracer: self.tracer.clone(),
+        };
+        let mut sim = Simulation::new(topology, cfg).map_err(ScenarioError::Build)?;
+        for (tenant, rank_fn) in &spec.rank_fns {
+            sim.register_rank_fn(TenantId(*tenant), rank_fn.build());
+        }
+        for (i, w) in spec.workloads.iter().enumerate() {
+            match w {
+                WorkloadSpec::Poisson { .. } => {
+                    for f in generated[i].as_ref().expect("generated in phase 1") {
+                        sim.add_generated(f);
+                    }
+                }
+                WorkloadSpec::CbrFleet { .. } => {
+                    for c in fleets[i].as_ref().expect("generated in phase 2") {
+                        sim.add_generated_cbr(c);
+                    }
+                }
+                WorkloadSpec::Flows { list } => {
+                    for f in list {
+                        sim.add_flow(crate::NewFlow {
+                            tenant: TenantId(f.tenant),
+                            src: hosts[f.src_host],
+                            dst: hosts[f.dst_host],
+                            size: f.size,
+                            start: Nanos(f.start_ns),
+                            deadline: f.deadline_ns.map(Nanos),
+                            weight: f.weight,
+                        });
+                    }
+                }
+                WorkloadSpec::Cbr { list } => {
+                    for c in list {
+                        sim.add_cbr(crate::NewCbr {
+                            tenant: TenantId(c.tenant),
+                            src: hosts[c.src_host],
+                            dst: hosts[c.dst_host],
+                            rate_bps: c.rate_bps,
+                            pkt_size: c.pkt_size,
+                            start: Nanos(c.start_ns),
+                            stop: resolve(c.stop),
+                            deadline_offset: Nanos(c.deadline_offset_ns),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(sim)
+    }
+
+    /// Build and run `spec` to completion.
+    pub fn run(&self, spec: &ScenarioSpec) -> Result<SimReport, ScenarioError> {
+        Ok(self.build(spec)?.run())
+    }
+}
+
+fn build_topology(spec: &ScenarioSpec) -> (Topology, Vec<NodeId>) {
+    match spec.topology {
+        super::TopologySpec::LeafSpine {
+            leaves,
+            spines,
+            hosts_per_leaf,
+            access_bps,
+            fabric_bps,
+            access_delay_ns,
+            fabric_delay_ns,
+        } => {
+            let ls = LeafSpine::build(&LeafSpineConfig {
+                leaves,
+                spines,
+                hosts_per_leaf,
+                access_bps,
+                fabric_bps,
+                access_delay: Nanos(access_delay_ns),
+                fabric_delay: Nanos(fabric_delay_ns),
+            });
+            let hosts = ls.all_hosts();
+            (ls.topology, hosts)
+        }
+        super::TopologySpec::Dumbbell {
+            pairs,
+            edge_bps,
+            bottleneck_bps,
+            delay_ns,
+        } => {
+            let d = Dumbbell::build(pairs, edge_bps, bottleneck_bps, Nanos(delay_ns));
+            let hosts: Vec<NodeId> = d
+                .senders
+                .iter()
+                .chain(d.receivers.iter())
+                .copied()
+                .collect();
+            (d.topology, hosts)
+        }
+        super::TopologySpec::FatTree {
+            arity,
+            rate_bps,
+            delay_ns,
+        } => {
+            let ft = FatTree::build(arity, rate_bps, Nanos(delay_ns));
+            let hosts = ft.hosts.clone();
+            (ft.topology, hosts)
+        }
+    }
+}
+
+fn build_sizes(spec: SizeDistSpec) -> Box<dyn FlowSizeDist> {
+    match spec {
+        SizeDistSpec::DataMining { scale_den } => {
+            Box::new(EmpiricalCdf::data_mining().scaled(1, scale_den))
+        }
+        SizeDistSpec::WebSearch { scale_den } => {
+            Box::new(EmpiricalCdf::web_search().scaled(1, scale_den))
+        }
+        SizeDistSpec::Fixed { bytes } => Box::new(FixedSize(bytes)),
+        SizeDistSpec::Uniform { min, max } => Box::new(UniformSize::new(min, max)),
+    }
+}
+
+fn build_scheduler(spec: &SchedulerSpec) -> SchedulerKind {
+    match *spec {
+        SchedulerSpec::Fifo => SchedulerKind::Fifo,
+        SchedulerSpec::Pifo => SchedulerKind::Pifo,
+        SchedulerSpec::SpPifo { queues } => SchedulerKind::SpPifo { queues },
+        SchedulerSpec::StrictStatic {
+            queues,
+            span_min,
+            span_max,
+        } => SchedulerKind::StrictStatic {
+            queues,
+            span: RankRange::new(span_min, span_max),
+        },
+        SchedulerSpec::Aifo { window, burst } => SchedulerKind::Aifo { window, burst },
+        SchedulerSpec::FairTree { tenants } => SchedulerKind::FairTree { tenants },
+    }
+}
+
+fn build_qvisor(spec: &QvisorSpec) -> QvisorSetup {
+    QvisorSetup {
+        specs: spec
+            .tenants
+            .iter()
+            .map(|t| TenantSpec {
+                id: TenantId(t.id),
+                name: t.name.clone(),
+                algorithm: t.algorithm.clone(),
+                range: RankRange::new(t.rank_min, t.rank_max),
+                levels: t.levels,
+            })
+            .collect(),
+        policy: spec.policy.clone(),
+        synth: spec
+            .synth
+            .map(|s| SynthConfig {
+                default_levels: s.default_levels,
+                first_rank: s.first_rank,
+                pref_bias_divisor: s.pref_bias_divisor,
+            })
+            .unwrap_or_default(),
+        unknown: if spec.unknown_drop {
+            UnknownTenantAction::Drop
+        } else {
+            UnknownTenantAction::BestEffort
+        },
+        scope: match spec.scope {
+            ScopeSpec::Everywhere => PreprocScope::Everywhere,
+            ScopeSpec::SwitchesOnly => PreprocScope::SwitchesOnly,
+            ScopeSpec::FirstHopOnly => PreprocScope::FirstHopOnly,
+        },
+        monitor: spec.monitor.map(|m| MonitorConfig {
+            violation_action: match m.violation_action {
+                ViolationSpec::Clamp => ViolationAction::Clamp,
+                ViolationSpec::AlarmOnly => ViolationAction::AlarmOnly,
+                ViolationSpec::Drop => ViolationAction::Drop,
+            },
+            idle_after: Nanos(m.idle_after_ns),
+            drift_ratio: m.drift_ratio,
+        }),
+    }
+}
+
+/// Render a [`SimReport`] as a deterministic JSON value: identical runs
+/// produce byte-identical output (maps are emitted in sorted key order,
+/// no wall-clock data).
+pub fn report_json(report: &SimReport) -> Value {
+    let tenants: Vec<Value> = report
+        .tenants
+        .iter()
+        .map(|(id, t)| {
+            Value::object()
+                .set("tenant", id.0)
+                .set("sent_pkts", t.sent_pkts)
+                .set("delivered_pkts", t.delivered_pkts)
+                .set("delivered_bytes", t.delivered_bytes)
+                .set("dropped_pkts", t.dropped_pkts)
+                .set("deadline_met", t.deadline_met)
+                .set("deadline_missed", t.deadline_missed)
+        })
+        .collect();
+    let node_drops: Vec<Value> = report
+        .node_drops
+        .iter()
+        .map(|(node, drops)| Value::from(vec![Value::from(node.0), Value::from(*drops)]))
+        .collect();
+    let samples: Vec<Value> = report
+        .samples
+        .iter()
+        .map(|(t, tenant, bytes)| {
+            Value::from(vec![
+                Value::from(*t),
+                Value::from(tenant.0),
+                Value::from(*bytes),
+            ])
+        })
+        .collect();
+    let fct = Value::object()
+        .set("count", report.fct.count(None) as u64)
+        .set(
+            "mean_ms_all",
+            report
+                .fct
+                .mean_fct_ms(None, SizeBucket::ALL)
+                .map(Value::from)
+                .unwrap_or(Value::Null),
+        )
+        .set(
+            "mean_ms_small",
+            report
+                .fct
+                .mean_fct_ms(None, SizeBucket::SMALL)
+                .map(Value::from)
+                .unwrap_or(Value::Null),
+        )
+        .set(
+            "mean_ms_large",
+            report
+                .fct
+                .mean_fct_ms(None, SizeBucket::LARGE)
+                .map(Value::from)
+                .unwrap_or(Value::Null),
+        );
+    Value::object()
+        .set("events", report.events)
+        .set("end_time_ns", report.end_time.as_nanos())
+        .set("incomplete_flows", report.incomplete_flows)
+        .set("preproc_dropped", report.preproc_dropped)
+        .set("monitor_violations", report.monitor_violations)
+        .set("random_losses", report.random_losses)
+        .set("reconfigurations", report.reconfigurations)
+        .set("fct", fct)
+        .set("tenants", Value::from(tenants))
+        .set("node_drops", Value::from(node_drops))
+        .set("samples", Value::from(samples))
+}

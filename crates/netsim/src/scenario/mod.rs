@@ -1,0 +1,78 @@
+//! Declarative scenarios: a fully serializable description of a
+//! simulation run and the engine that materializes it.
+//!
+//! The layer has four parts:
+//!
+//! - [`ScenarioSpec`] ([`spec`]): topology parameters, simulation knobs,
+//!   per-port schedulers, the QVISOR setup (tenants, policy, monitor,
+//!   synthesizer), rank functions, and workloads — everything needed to
+//!   reproduce a run from a single JSON file plus a seed.
+//! - the codec ([`codec`]): a strict JSON round-trip
+//!   (`to_json`/`from_json`) that rejects unknown fields and
+//!   out-of-range values with named-field errors.
+//! - [`Engine`] ([`engine`]): materializes a spec into a configured
+//!   [`crate::Simulation`] and runs it to a [`crate::SimReport`],
+//!   optionally wiring telemetry, tracing, and an alternate event-queue
+//!   backend.
+//! - [`SweepSpec`]/[`run_sweep`] ([`sweep`]): fans a grid of patched
+//!   scenarios across OS threads with deterministic, order-independent
+//!   merging.
+
+mod codec;
+mod engine;
+mod spec;
+mod sweep;
+
+pub use engine::{report_json, Engine};
+pub use spec::{
+    ArrivalSpec, CbrDecl, FlowDecl, MonitorSpec, QvisorSpec, ScenarioSpec, SchedulerSpec,
+    ScopeSpec, SimSpec, SizeDistSpec, SynthSpec, TenantDecl, TimeRef, TopologySpec, ViolationSpec,
+    WorkloadSpec,
+};
+pub use sweep::{
+    merged_value, run_sweep, sanitize_export, SweepAxis, SweepPoint, SweepPointResult, SweepSpec,
+};
+
+/// Error raised while parsing, validating, or materializing a scenario.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// A named field is missing, unknown, or out of range.
+    Field {
+        /// Dotted path to the offending field (e.g. `sim.mss`).
+        path: String,
+        /// What is wrong with it.
+        msg: String,
+    },
+    /// The input is not syntactically valid JSON.
+    Json(qvisor_sim::json::ParseError),
+    /// Materializing the scenario into a simulation failed.
+    Build(qvisor_core::QvisorError),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Field { path, msg } => write!(f, "scenario field `{path}`: {msg}"),
+            ScenarioError::Json(e) => write!(f, "scenario JSON: {e}"),
+            ScenarioError::Build(e) => write!(f, "scenario build: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Field { .. } => None,
+            ScenarioError::Json(e) => Some(e),
+            ScenarioError::Build(e) => Some(e),
+        }
+    }
+}
+
+/// Shorthand for a named-field error.
+pub(crate) fn field_err(path: impl Into<String>, msg: impl Into<String>) -> ScenarioError {
+    ScenarioError::Field {
+        path: path.into(),
+        msg: msg.into(),
+    }
+}

@@ -1,0 +1,143 @@
+//! Device/port forwarding: the runtime monitor and pre-processor hookup,
+//! queueing, link serialization, and arrival-side loss.
+
+use super::Simulation;
+use qvisor_core::Verdict;
+use qvisor_sim::{transmission_time, Nanos, NodeId, Packet, PacketKind};
+use qvisor_telemetry::{TraceKind, TraceRecord};
+use qvisor_topology::NodeKind;
+
+impl Simulation {
+    /// Move a packet sitting at `at` one hop toward its destination.
+    pub(in crate::sim) fn forward(&mut self, at: NodeId, mut p: Packet, now: Nanos) {
+        // Runtime monitor polices raw ranks once, at the first hop.
+        if at == p.src {
+            if let Some(m) = self.monitor.as_mut() {
+                use qvisor_core::{Observation, ViolationAction};
+                if let Observation::Violation(action) = m.observe(&mut p, now) {
+                    self.report.monitor_violations += 1;
+                    if action == ViolationAction::Drop {
+                        self.trace_pkt(&p, now, TraceKind::Drop { rank: p.txf_rank });
+                        self.drop_packet(&p, at);
+                        return;
+                    }
+                }
+            }
+        }
+        // Pre-processor at the configured scope (idempotent: transforms
+        // the original tenant rank, so re-applying per hop is safe).
+        let scope = self
+            .cfg
+            .qvisor
+            .as_ref()
+            .map(|q| q.scope)
+            .unwrap_or_default();
+        let apply_here = match scope {
+            crate::config::PreprocScope::Everywhere => true,
+            crate::config::PreprocScope::SwitchesOnly => {
+                self.topo.node(at).kind == NodeKind::Switch
+            }
+            crate::config::PreprocScope::FirstHopOnly => at == p.src,
+        };
+        if apply_here {
+            let raw_rank = p.rank;
+            if let Some(pre) = self.preproc.as_mut() {
+                if pre.process(&mut p) == Verdict::Drop {
+                    self.report.preproc_dropped += 1;
+                    self.trace_pkt(&p, now, TraceKind::Drop { rank: p.txf_rank });
+                    self.drop_packet(&p, at);
+                    return;
+                }
+                self.trace_pkt(
+                    &p,
+                    now,
+                    TraceKind::Transform {
+                        pre: raw_rank,
+                        post: p.txf_rank,
+                    },
+                );
+            }
+        }
+        let next = self.routes.ecmp_next_hop(at, p.dst, p.flow);
+        let port = self.port_of[at.index()][&next.0];
+        let outcome = self.ports[at.index()][port].queue.enqueue(p, now);
+        for victim in outcome.dropped() {
+            self.drop_packet(&victim, at);
+        }
+        self.try_transmit(at, port, now);
+    }
+
+    pub(in crate::sim) fn drop_packet(&mut self, p: &Packet, at: NodeId) {
+        debug_assert!(self.in_flight > 0);
+        self.in_flight -= 1;
+        *self.report.node_drops.entry(at).or_insert(0) += 1;
+        if p.is_payload() {
+            self.tenant_mut(p.tenant).dropped_pkts += 1;
+            self.metrics(p.tenant).dropped_pkts.inc();
+        }
+    }
+
+    pub(in crate::sim) fn try_transmit(&mut self, node: NodeId, port: usize, now: Nanos) {
+        let p = {
+            let port_ref = &mut self.ports[node.index()][port];
+            if port_ref.busy {
+                return;
+            }
+            match port_ref.queue.dequeue(now) {
+                Some(p) => p,
+                None => return,
+            }
+        };
+        let (rate, delay, to, trace_label) = {
+            let port_ref = &mut self.ports[node.index()][port];
+            port_ref.busy = true;
+            port_ref.tx_pkts.inc();
+            port_ref.tx_bytes.add(p.size as u64);
+            (
+                port_ref.rate_bps,
+                port_ref.delay,
+                port_ref.to,
+                port_ref.trace_label,
+            )
+        };
+        let tx = transmission_time(p.size as u64, rate);
+        if self.cfg.tracer.sampled(p.flow.0) {
+            self.cfg.tracer.record(
+                TraceRecord::new(
+                    now,
+                    p.flow.0,
+                    p.seq,
+                    p.tenant.0,
+                    TraceKind::TxStart {
+                        bytes: p.size as u64,
+                        tx_ns: tx.as_nanos(),
+                        prop_ns: delay.as_nanos(),
+                    },
+                )
+                .at_label(trace_label)
+                .as_ack(matches!(p.kind, PacketKind::Ack { .. })),
+            );
+        }
+        self.events
+            .schedule(now + tx, (super::Event::PortFree { node, port }, None));
+        let slot = self.arena.insert(p);
+        self.events.schedule(
+            now + tx + delay,
+            (super::Event::Arrive { node: to }, Some(slot)),
+        );
+    }
+
+    pub(in crate::sim) fn on_arrive(&mut self, node: NodeId, p: Packet, now: Nanos) {
+        if self.cfg.random_loss > 0.0 && self.rng.uniform() < self.cfg.random_loss {
+            self.report.random_losses += 1;
+            self.trace_pkt(&p, now, TraceKind::Drop { rank: p.txf_rank });
+            self.drop_packet(&p, node);
+            return;
+        }
+        if node == p.dst {
+            self.deliver(p, now);
+        } else {
+            self.forward(node, p, now);
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! The packet-level network simulator (the repo's Netbench equivalent).
+//!
+//! A deterministic discrete-event loop over output-queued nodes: hosts run
+//! transport state machines and tag packets with tenant ranks; every output
+//! port owns a scheduler-model queue; switches (and hosts) run QVISOR's
+//! pre-processor at egress when deployed. Links have a serialization rate
+//! and a propagation delay; routing is precomputed ECMP.
+//!
+//! The implementation is split by concern:
+//!
+//! * [`mod@self`] — the [`Simulation`] state, construction (including the
+//!   QVISOR synthesis/deployment hookup), and the event dispatch loop;
+//! * `traffic` — traffic sources: reliable flows and CBR streams, packet
+//!   emission, and retransmission timers;
+//! * `forward` — device/port forwarding: the pre-processor and monitor
+//!   hookup, queueing, and link serialization;
+//! * `deliver` — destination-side delivery, ACK generation, and per-tenant
+//!   stats collection;
+//! * `queues` — per-port scheduler-model queue construction.
+
+mod deliver;
+mod forward;
+mod queues;
+#[cfg(test)]
+mod tests;
+mod traffic;
+
+pub use traffic::{NewCbr, NewFlow};
+
+use crate::config::SimConfig;
+use crate::report::SimReport;
+use qvisor_core::{JointPolicy, Policy, PreProcessor, QvisorError, RuntimeAdapter, RuntimeMonitor};
+use qvisor_ranking::{RankCtx, RankFn};
+use qvisor_sim::{
+    json::Value, EventQueue, FlowId, Nanos, NodeId, PacketArena, PacketSlot, SimRng, TenantId,
+};
+use qvisor_telemetry::{Profiler, TraceKind, TraceRecord};
+use qvisor_topology::{Routes, Topology};
+use std::collections::BTreeMap;
+
+use queues::{Port, TenantMetrics};
+use traffic::FlowState;
+
+#[derive(Clone, Copy, Debug)]
+pub(in crate::sim) enum Event {
+    FlowStart(FlowId),
+    CbrEmit(FlowId),
+    PortFree {
+        node: NodeId,
+        port: usize,
+    },
+    Arrive {
+        node: NodeId,
+    },
+    Timeout {
+        flow: FlowId,
+        seq: u64,
+        attempt: u32,
+    },
+    /// Periodic control-plane tick driving runtime adaptation.
+    ControlTick,
+    /// Periodic goodput sampling tick.
+    Sample,
+}
+
+/// The simulator. Build with [`Simulation::new`], register tenant rank
+/// functions, add traffic, then [`Simulation::run`].
+pub struct Simulation {
+    pub(in crate::sim) topo: Topology,
+    pub(in crate::sim) routes: Routes,
+    pub(in crate::sim) cfg: SimConfig,
+    pub(in crate::sim) joint: Option<JointPolicy>,
+    pub(in crate::sim) preproc: Option<PreProcessor>,
+    pub(in crate::sim) monitor: Option<RuntimeMonitor>,
+    pub(in crate::sim) adapter: Option<RuntimeAdapter>,
+    /// The event core. Payloads are `Copy`: packets in flight are parked
+    /// in `arena` and referenced by slot, so scheduling an event moves a
+    /// few words instead of boxing a packet.
+    pub(in crate::sim) events: EventQueue<(Event, Option<PacketSlot>)>,
+    /// In-flight packet storage (freelist-recycled; no per-packet allocation
+    /// on the forwarding path).
+    pub(in crate::sim) arena: PacketArena,
+    pub(in crate::sim) ports: Vec<Vec<Port>>,
+    /// `port_of[node][neighbor raw id]` = port index.
+    pub(in crate::sim) port_of: Vec<BTreeMap<u32, usize>>,
+    pub(in crate::sim) flows: Vec<FlowState>,
+    pub(in crate::sim) rank_fns: Vec<Option<Box<dyn RankFn>>>,
+    pub(in crate::sim) rng: SimRng,
+    pub(in crate::sim) report: SimReport,
+    pub(in crate::sim) reliable_total: u64,
+    pub(in crate::sim) reliable_done: u64,
+    pub(in crate::sim) cbr_live: u64,
+    pub(in crate::sim) in_flight: u64,
+    /// Bytes delivered per tenant since the last sampling tick.
+    pub(in crate::sim) window_bytes: BTreeMap<TenantId, u64>,
+    pub(in crate::sim) tenant_metrics: BTreeMap<TenantId, TenantMetrics>,
+    /// Wall-clock cost of handling one event (self-profiler site).
+    pub(in crate::sim) dispatch_prof: Profiler,
+}
+
+impl Simulation {
+    /// Build a simulation over `topo` with `cfg`. Synthesizes and deploys
+    /// the QVISOR joint policy when configured.
+    pub fn new(topo: Topology, cfg: SimConfig) -> Result<Simulation, QvisorError> {
+        let routes = Routes::compute(&topo);
+        let (joint, preproc, monitor, adapter) = match &cfg.qvisor {
+            Some(setup) => {
+                let policy = Policy::parse(&setup.policy)?;
+                let started = std::time::Instant::now();
+                let joint = qvisor_core::synthesize(&setup.specs, &policy, setup.synth)?;
+                let synth_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                cfg.telemetry
+                    .histogram("runtime_synth_ns", &[])
+                    .record(synth_ns);
+                cfg.telemetry.profiler("synthesize").record_ns(synth_ns);
+                cfg.telemetry.gauge("runtime_transform_version", &[]).set(1);
+                let preproc = PreProcessor::new(&joint, setup.unknown);
+                let monitor = setup
+                    .monitor
+                    .map(|mc| RuntimeMonitor::new(&setup.specs, mc));
+                let adapter = match (cfg.adaptation_interval, setup.monitor) {
+                    (Some(_), Some(mc)) => Some(
+                        RuntimeAdapter::new(setup.specs.clone(), policy.clone(), setup.synth, mc)
+                            .with_telemetry(&cfg.telemetry),
+                    ),
+                    (Some(_), None) => {
+                        return Err(QvisorError::Deployment(
+                            "adaptation_interval requires a runtime monitor".into(),
+                        ))
+                    }
+                    _ => None,
+                };
+                (Some(joint), Some(preproc), monitor, adapter)
+            }
+            None => {
+                if cfg.adaptation_interval.is_some() {
+                    return Err(QvisorError::Deployment(
+                        "adaptation_interval requires a QVISOR deployment".into(),
+                    ));
+                }
+                (None, None, None, None)
+            }
+        };
+
+        let (ports, port_of) = queues::build_ports(&topo, &cfg, joint.as_ref())?;
+        let rng = SimRng::seed_from(cfg.seed).derive(0x5157_4953);
+        let events = EventQueue::with_core(cfg.event_core);
+        let dispatch_prof = cfg.telemetry.profiler("event_dispatch");
+        Ok(Simulation {
+            topo,
+            routes,
+            cfg,
+            joint,
+            preproc,
+            monitor,
+            adapter,
+            events,
+            arena: PacketArena::with_capacity(64),
+            ports,
+            port_of,
+            flows: Vec::new(),
+            rank_fns: Vec::new(),
+            rng,
+            report: SimReport::default(),
+            reliable_total: 0,
+            reliable_done: 0,
+            cbr_live: 0,
+            in_flight: 0,
+            window_bytes: BTreeMap::new(),
+            tenant_metrics: BTreeMap::new(),
+            dispatch_prof,
+        })
+    }
+
+    /// The synthesized joint policy, when QVISOR is deployed.
+    pub fn joint_policy(&self) -> Option<&JointPolicy> {
+        self.joint.as_ref()
+    }
+
+    /// Register the rank function computing `tenant`'s packet ranks at the
+    /// end hosts. Tenants without one emit rank 0.
+    pub fn register_rank_fn(&mut self, tenant: TenantId, f: Box<dyn RankFn>) {
+        if self.rank_fns.len() <= tenant.index() {
+            self.rank_fns.resize_with(tenant.index() + 1, || None);
+        }
+        self.rank_fns[tenant.index()] = Some(f);
+    }
+
+    pub(in crate::sim) fn compute_rank(&mut self, tenant: TenantId, ctx: &RankCtx) -> u64 {
+        match self
+            .rank_fns
+            .get_mut(tenant.index())
+            .and_then(|f| f.as_mut())
+        {
+            Some(f) => f.rank(ctx),
+            None => 0,
+        }
+    }
+
+    fn all_traffic_done(&self) -> bool {
+        self.reliable_done == self.reliable_total && self.cbr_live == 0 && self.in_flight == 0
+    }
+
+    /// One control-plane tick: feed the monitor's view to the adapter;
+    /// on a proposal, re-synthesize and hot-reload the pre-processor.
+    ///
+    /// Queue contents keep their old transformed ranks until they drain —
+    /// the transition cost §2 acknowledges ("emptying the buffers") — but
+    /// every packet processed after the reload uses the new joint policy.
+    fn control_tick(&mut self, now: Nanos) {
+        let (Some(adapter), Some(monitor), Some(preproc)) = (
+            self.adapter.as_mut(),
+            self.monitor.as_ref(),
+            self.preproc.as_mut(),
+        ) else {
+            return;
+        };
+        if let Some(proposal) = adapter.propose(monitor, now) {
+            if let Some(Ok(new_joint)) = adapter.apply(&proposal) {
+                preproc.reload(&new_joint);
+                self.joint = Some(new_joint);
+                self.report.reconfigurations += 1;
+                self.cfg.telemetry.event(
+                    now,
+                    "reconfiguration",
+                    &[("total", Value::from(self.report.reconfigurations))],
+                );
+            }
+        }
+    }
+
+    /// Run to quiescence or the horizon; returns the report.
+    pub fn run(mut self) -> SimReport {
+        if let Some(interval) = self.cfg.adaptation_interval {
+            assert!(
+                interval > Nanos::ZERO,
+                "adaptation interval must be positive"
+            );
+            self.events.schedule(interval, (Event::ControlTick, None));
+        }
+        if let Some(interval) = self.cfg.sample_interval {
+            assert!(interval > Nanos::ZERO, "sample interval must be positive");
+            self.events.schedule(interval, (Event::Sample, None));
+        }
+        while let Some(t) = self.events.peek_time() {
+            if t > self.cfg.horizon {
+                break;
+            }
+            if self.all_traffic_done() {
+                break;
+            }
+            let (now, (ev, packet)) = self.events.pop().expect("peeked");
+            self.report.events += 1;
+            self.report.end_time = now;
+            let _dispatch = self.dispatch_prof.time();
+            match ev {
+                Event::FlowStart(flow) => {
+                    if self.cfg.tracer.sampled(flow.0) {
+                        if let FlowState::Reliable { sender, .. } = &self.flows[flow.index()] {
+                            let def = *sender.def();
+                            self.cfg.tracer.record(TraceRecord::new(
+                                now,
+                                flow.0,
+                                0,
+                                def.tenant.0,
+                                TraceKind::FlowStart { size: def.size },
+                            ));
+                        }
+                    }
+                    let sends = match &mut self.flows[flow.index()] {
+                        FlowState::Reliable { sender, .. } => sender.on_start(now),
+                        FlowState::Cbr { .. } => unreachable!("FlowStart on CBR"),
+                    };
+                    for req in sends {
+                        self.send_data(flow, req, 0, now);
+                    }
+                }
+                Event::CbrEmit(flow) => self.emit_cbr(flow, now),
+                Event::PortFree { node, port } => {
+                    self.ports[node.index()][port].busy = false;
+                    self.try_transmit(node, port, now);
+                }
+                Event::Arrive { node } => {
+                    let p = self.arena.take(packet.expect("Arrive carries a packet"));
+                    self.on_arrive(node, p, now);
+                }
+                Event::Timeout { flow, seq, attempt } => {
+                    let req = match &mut self.flows[flow.index()] {
+                        FlowState::Reliable { sender, .. } => sender.on_timeout(seq, now),
+                        FlowState::Cbr { .. } => None,
+                    };
+                    if let Some(req) = req {
+                        self.send_data(flow, req, attempt + 1, now);
+                    }
+                }
+                Event::ControlTick => {
+                    self.control_tick(now);
+                    let interval = self.cfg.adaptation_interval.expect("tick implies interval");
+                    if now + interval <= self.cfg.horizon {
+                        self.events
+                            .schedule(now + interval, (Event::ControlTick, None));
+                    }
+                }
+                Event::Sample => {
+                    for (&tenant, bytes) in self.window_bytes.iter_mut() {
+                        if *bytes > 0 {
+                            self.report.samples.push((now, tenant, *bytes));
+                            *bytes = 0;
+                        }
+                    }
+                    let interval = self.cfg.sample_interval.expect("tick implies interval");
+                    if now + interval <= self.cfg.horizon {
+                        self.events.schedule(now + interval, (Event::Sample, None));
+                    }
+                }
+            }
+        }
+        // Flush the final partial sampling window so the series sums to
+        // the delivered bytes.
+        if self.cfg.sample_interval.is_some() {
+            let at = self.report.end_time;
+            for (&tenant, bytes) in self.window_bytes.iter_mut() {
+                if *bytes > 0 {
+                    self.report.samples.push((at, tenant, *bytes));
+                    *bytes = 0;
+                }
+            }
+        }
+        self.report.incomplete_flows = self.reliable_total - self.reliable_done;
+        self.report
+    }
+}

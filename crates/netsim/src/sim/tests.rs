@@ -1,0 +1,220 @@
+use super::*;
+use crate::config::SimConfig;
+use qvisor_ranking::PFabric;
+use qvisor_sim::{gbps, Nanos, TenantId};
+use qvisor_topology::Dumbbell;
+use qvisor_transport::SizeBucket;
+
+fn dumbbell() -> Dumbbell {
+    Dumbbell::build(2, gbps(1), gbps(1), Nanos::from_micros(1))
+}
+
+fn base_cfg() -> SimConfig {
+    SimConfig {
+        horizon: Nanos::from_secs(2),
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn single_flow_completes_with_sane_fct() {
+    let d = dumbbell();
+    let mut sim = Simulation::new(d.topology.clone(), base_cfg()).unwrap();
+    sim.register_rank_fn(TenantId(1), Box::new(PFabric::default_datacenter()));
+    sim.add_flow(NewFlow::new(
+        TenantId(1),
+        d.senders[0],
+        d.receivers[0],
+        150_000, // ~103 packets
+        Nanos::ZERO,
+    ));
+    let r = sim.run();
+    assert_eq!(r.incomplete_flows, 0);
+    assert_eq!(r.fct.count(None), 1);
+    let fct = r.fct.mean_fct_ms(None, SizeBucket::ALL).unwrap();
+    // Ideal: 150 KB at 1 Gbps ≈ 1.2 ms plus RTTs; must be close.
+    assert!(
+        (1.0..3.0).contains(&fct),
+        "FCT {fct} ms outside sane bounds"
+    );
+    let t = r.tenant(TenantId(1));
+    assert_eq!(t.delivered_bytes, 150_000);
+    // pFabric's remaining-size ranks let an elephant's early packets
+    // starve behind its own later packets until a timeout refreshes
+    // them; a couple of stale duplicates may be priority-dropped.
+    assert!(t.dropped_pkts <= 3, "drops {}", t.dropped_pkts);
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let run = || {
+        let d = dumbbell();
+        let mut sim = Simulation::new(d.topology.clone(), base_cfg()).unwrap();
+        sim.register_rank_fn(TenantId(1), Box::new(PFabric::default_datacenter()));
+        for i in 0..8 {
+            sim.add_flow(NewFlow::new(
+                TenantId(1),
+                d.senders[i % 2],
+                d.receivers[(i + 1) % 2],
+                20_000 + i as u64 * 7_000,
+                Nanos::from_micros(i as u64 * 13),
+            ));
+        }
+        let r = sim.run();
+        (
+            r.events,
+            r.end_time,
+            r.fct.mean_fct_ms(None, SizeBucket::ALL),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn congestion_drops_and_recovers() {
+    // Two senders at 1 Gbps into a 0.5 Gbps bottleneck: drops must
+    // occur, yet every flow completes via retransmission.
+    let d = Dumbbell::build(2, gbps(1), 500_000_000, Nanos::from_micros(1));
+    let mut sim = Simulation::new(d.topology.clone(), base_cfg()).unwrap();
+    sim.register_rank_fn(TenantId(1), Box::new(PFabric::default_datacenter()));
+    for i in 0..2 {
+        sim.add_flow(NewFlow::new(
+            TenantId(1),
+            d.senders[i],
+            d.receivers[i],
+            400_000,
+            Nanos::ZERO,
+        ));
+    }
+    let r = sim.run();
+    assert_eq!(r.incomplete_flows, 0);
+    let t = r.tenant(TenantId(1));
+    assert!(t.dropped_pkts > 0, "bottleneck must drop");
+    assert_eq!(t.delivered_bytes, 800_000);
+}
+
+#[test]
+fn random_loss_is_survivable() {
+    let d = dumbbell();
+    let cfg = SimConfig {
+        random_loss: 0.05,
+        ..base_cfg()
+    };
+    let mut sim = Simulation::new(d.topology.clone(), cfg).unwrap();
+    sim.add_flow(NewFlow::new(
+        TenantId(1),
+        d.senders[0],
+        d.receivers[0],
+        100_000,
+        Nanos::ZERO,
+    ));
+    let r = sim.run();
+    assert_eq!(r.incomplete_flows, 0);
+    assert!(r.random_losses > 0, "5% loss over ~140 packets");
+}
+
+#[test]
+fn cbr_stream_delivers_and_tracks_deadlines() {
+    let d = dumbbell();
+    let mut sim = Simulation::new(d.topology.clone(), base_cfg()).unwrap();
+    sim.add_cbr(NewCbr {
+        tenant: TenantId(2),
+        src: d.senders[0],
+        dst: d.receivers[0],
+        rate_bps: 100_000_000,
+        pkt_size: 1_500,
+        start: Nanos::ZERO,
+        stop: Nanos::from_millis(1),
+        deadline_offset: Nanos::from_micros(200),
+    });
+    let r = sim.run();
+    let t = r.tenant(TenantId(2));
+    // 100 Mbps, 1500 B -> one packet per 120 us -> 9 packets in 1 ms
+    // (t=0 inclusive), all delivered well within 200 us on an idle path.
+    assert!(t.delivered_pkts >= 8, "got {}", t.delivered_pkts);
+    assert_eq!(t.deadline_missed, 0);
+    assert_eq!(t.deadline_hit_rate(), Some(1.0));
+}
+
+#[test]
+fn pifo_prioritizes_small_flow_under_contention() {
+    // One elephant and one mouse share a bottleneck; with pFabric ranks
+    // on a PIFO, the mouse's FCT must be near-ideal.
+    let d = Dumbbell::build(2, gbps(1), gbps(1), Nanos::from_micros(1));
+    let mut sim = Simulation::new(d.topology.clone(), base_cfg()).unwrap();
+    sim.register_rank_fn(TenantId(1), Box::new(PFabric::default_datacenter()));
+    // Elephant from sender 0, mouse from sender 1, same receiver.
+    sim.add_flow(NewFlow::new(
+        TenantId(1),
+        d.senders[0],
+        d.receivers[0],
+        5_000_000,
+        Nanos::ZERO,
+    ));
+    sim.add_flow(NewFlow::new(
+        TenantId(1),
+        d.senders[1],
+        d.receivers[0],
+        20_000,
+        Nanos::from_millis(5), // arrives mid-elephant
+    ));
+    let r = sim.run();
+    assert_eq!(r.incomplete_flows, 0);
+    let small = r.fct.mean_fct_ms(None, SizeBucket::SMALL).unwrap();
+    // Ideal ~0.2 ms; generous bound that FIFO would blow through.
+    assert!(small < 1.0, "mouse FCT {small} ms too slow under PIFO");
+}
+
+#[test]
+fn telemetry_observes_the_run() {
+    let d = dumbbell();
+    let telemetry = qvisor_telemetry::Telemetry::enabled();
+    let cfg = SimConfig {
+        telemetry: telemetry.clone(),
+        ..base_cfg()
+    };
+    let mut sim = Simulation::new(d.topology.clone(), cfg).unwrap();
+    sim.register_rank_fn(TenantId(1), Box::new(PFabric::default_datacenter()));
+    sim.add_flow(NewFlow::new(
+        TenantId(1),
+        d.senders[0],
+        d.receivers[0],
+        150_000,
+        Nanos::ZERO,
+    ));
+    let r = sim.run();
+    assert_eq!(r.incomplete_flows, 0);
+    // Per-tenant counters agree with the report.
+    let t1 = [("tenant", "T1")];
+    assert_eq!(
+        telemetry.counter("net_sent_pkts", &t1).get(),
+        r.tenant(TenantId(1)).sent_pkts
+    );
+    assert_eq!(telemetry.counter("net_delivered_bytes", &t1).get(), 150_000);
+    assert_eq!(telemetry.histogram("net_fct_ns", &t1).count(), 1);
+    // Port queues and links reported through the same registry, and the
+    // export round-trips through the report parser.
+    let jsonl = telemetry.export_jsonl();
+    assert!(jsonl.contains("sched_dequeued_pkts"));
+    assert!(jsonl.contains("sched_sojourn_ns"));
+    assert!(jsonl.contains("net_link_tx_bytes"));
+    assert!(jsonl.contains("flow_complete"));
+    let export = qvisor_telemetry::report::parse(&jsonl).unwrap();
+    assert!(!export.counters.is_empty());
+}
+
+#[test]
+fn rejects_non_host_endpoints() {
+    let d = dumbbell();
+    let mut sim = Simulation::new(d.topology.clone(), base_cfg()).unwrap();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        sim.add_flow(NewFlow::new(
+            TenantId(1),
+            d.left_switch,
+            d.receivers[0],
+            1_000,
+            Nanos::ZERO,
+        ));
+    }));
+    assert!(result.is_err());
+}

@@ -5,6 +5,7 @@
 //! and returns the text it would print.
 
 use qvisor_core::{analyze, compile, DeploymentConfig, HardwareModel, QvisorError};
+use qvisor_netsim::{Engine, ScenarioError, ScenarioSpec, SweepSpec};
 use qvisor_scheduler::Capacity;
 use std::fmt::Write as _;
 
@@ -19,6 +20,15 @@ pub enum CliError {
     Qvisor(QvisorError),
     /// A telemetry export file could not be parsed.
     Telemetry(String),
+    /// A scenario or sweep document was rejected.
+    Scenario(ScenarioError),
+    /// An output file could not be written.
+    Output {
+        /// The path that failed.
+        path: String,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
 }
 
 impl std::fmt::Display for CliError {
@@ -28,11 +38,19 @@ impl std::fmt::Display for CliError {
             CliError::Io(e) => write!(f, "cannot read configuration: {e}"),
             CliError::Qvisor(e) => write!(f, "{e}"),
             CliError::Telemetry(msg) => write!(f, "invalid telemetry export: {msg}"),
+            CliError::Scenario(e) => write!(f, "{e}"),
+            CliError::Output { path, source } => write!(f, "cannot write {path}: {source}"),
         }
     }
 }
 
 impl std::error::Error for CliError {}
+
+impl From<ScenarioError> for CliError {
+    fn from(e: ScenarioError) -> CliError {
+        CliError::Scenario(e)
+    }
+}
 
 impl From<QvisorError> for CliError {
     fn from(e: QvisorError) -> CliError {
@@ -55,12 +73,21 @@ USAGE:
     qvisor analyze <config.json>                 verify worst-case guarantees
     qvisor compile <config.json> --queues N --rank-bits B
                                                  fit onto constrained hardware
+    qvisor run <scenario.json>                   run a declarative scenario
+               [--telemetry PATH] [--trace PATH]
+    qvisor sweep <sweep.json> [--jobs N]         run a scenario grid in parallel
+               [--out PATH] [--telemetry PREFIX]
     qvisor telemetry report <export.jsonl>       render a telemetry export
     qvisor trace report <trace.jsonl>            latency breakdown + inversions
     qvisor trace export <trace.jsonl>            convert to Chrome/Perfetto JSON
     qvisor example                               print a starter config
 
 Report commands accept '-' in place of a file to read from stdin.
+
+Scenario files describe a full simulation declaratively (topology, workloads,
+schedulers, QVISOR deployment); see examples/scenarios/. Sweep files add a
+grid of overrides on top of a base scenario; see examples/sweeps/. Sweep
+output is byte-identical at any --jobs level.
 
 The config file is the Fig. 1 Configuration API as JSON:
     { \"tenants\": [ {\"id\": 1, \"name\": \"T1\", \"algorithm\": \"pFabric\",
@@ -90,6 +117,20 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .ok_or_else(|| CliError::Usage("compile needs a config file".into()))?;
             let (queues, rank_bits) = parse_compile_flags(&args[2..])?;
             cmd_compile(&std::fs::read_to_string(path)?, queues, rank_bits)
+        }
+        Some("run") => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("run needs a scenario file".into()))?;
+            let opts = parse_run_flags(&args[2..])?;
+            cmd_run(&std::fs::read_to_string(path)?, &opts)
+        }
+        Some("sweep") => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("sweep needs a sweep file".into()))?;
+            let opts = parse_sweep_flags(&args[2..])?;
+            cmd_sweep(&std::fs::read_to_string(path)?, &opts)
         }
         Some("telemetry") => match args.get(1).map(String::as_str) {
             Some("report") => {
@@ -152,6 +193,163 @@ fn parse_compile_flags(args: &[String]) -> Result<(usize, u32), CliError> {
         }
     }
     Ok((queues, rank_bits))
+}
+
+/// Options for `qvisor run`.
+#[derive(Debug, Default)]
+pub struct RunOpts {
+    /// Write the telemetry export (JSONL) here.
+    pub telemetry: Option<String>,
+    /// Write the packet-lifecycle trace snapshot (JSONL) here.
+    pub trace: Option<String>,
+}
+
+fn parse_run_flags(args: &[String]) -> Result<RunOpts, CliError> {
+    let mut opts = RunOpts::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--telemetry" => {
+                opts.telemetry = Some(
+                    args.get(i + 1)
+                        .ok_or_else(|| CliError::Usage("--telemetry needs a path".into()))?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--trace" => {
+                opts.trace = Some(
+                    args.get(i + 1)
+                        .ok_or_else(|| CliError::Usage("--trace needs a path".into()))?
+                        .clone(),
+                );
+                i += 2;
+            }
+            other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
+        }
+    }
+    Ok(opts)
+}
+
+/// Options for `qvisor sweep`.
+#[derive(Debug)]
+pub struct SweepOpts {
+    /// Worker threads (grid points run one engine per thread).
+    pub jobs: usize,
+    /// Write the merged results document here instead of stdout.
+    pub out: Option<String>,
+    /// Write per-point telemetry snapshots as `PREFIX.point<i>.telemetry.jsonl`.
+    pub telemetry: Option<String>,
+}
+
+impl Default for SweepOpts {
+    fn default() -> SweepOpts {
+        SweepOpts {
+            jobs: 1,
+            out: None,
+            telemetry: None,
+        }
+    }
+}
+
+fn parse_sweep_flags(args: &[String]) -> Result<SweepOpts, CliError> {
+    let mut opts = SweepOpts::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" => {
+                opts.jobs = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&j| j >= 1)
+                    .ok_or_else(|| CliError::Usage("--jobs needs a positive number".into()))?;
+                i += 2;
+            }
+            "--out" => {
+                opts.out = Some(
+                    args.get(i + 1)
+                        .ok_or_else(|| CliError::Usage("--out needs a path".into()))?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--telemetry" => {
+                opts.telemetry = Some(
+                    args.get(i + 1)
+                        .ok_or_else(|| CliError::Usage("--telemetry needs a prefix".into()))?
+                        .clone(),
+                );
+                i += 2;
+            }
+            other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
+        }
+    }
+    Ok(opts)
+}
+
+/// Write an output file, reporting the offending path on failure instead
+/// of panicking.
+fn write_output(path: &str, contents: &str) -> Result<(), CliError> {
+    std::fs::write(path, contents).map_err(|source| CliError::Output {
+        path: path.to_string(),
+        source,
+    })
+}
+
+/// `qvisor run`: materialize and execute one declarative scenario, printing
+/// the deterministic report JSON.
+pub fn cmd_run(scenario_json: &str, opts: &RunOpts) -> Result<String, CliError> {
+    use qvisor_telemetry::{Telemetry, TraceConfig, Tracer};
+    let spec = ScenarioSpec::from_json(scenario_json)?;
+    let telemetry = if opts.telemetry.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let tracer = if opts.trace.is_some() {
+        Tracer::enabled(TraceConfig::default())
+    } else {
+        Tracer::disabled()
+    };
+    let report = Engine::new()
+        .with_telemetry(&telemetry)
+        .with_tracer(&tracer)
+        .run(&spec)?;
+    if let Some(path) = &opts.telemetry {
+        write_output(path, &telemetry.export_jsonl())?;
+    }
+    if let Some(path) = &opts.trace {
+        write_output(path, &tracer.snapshot().to_jsonl())?;
+    }
+    Ok(format!(
+        "{}\n",
+        qvisor_netsim::scenario::report_json(&report).to_pretty()
+    ))
+}
+
+/// `qvisor sweep`: run a scenario grid across worker threads and emit the
+/// merged results document (byte-identical at any `--jobs` level).
+pub fn cmd_sweep(sweep_json: &str, opts: &SweepOpts) -> Result<String, CliError> {
+    use qvisor_netsim::scenario::{merged_value, run_sweep};
+    let spec = SweepSpec::from_json(sweep_json)?;
+    let results = run_sweep(&spec, opts.jobs, opts.telemetry.is_some())?;
+    let mut out = String::new();
+    if let Some(prefix) = &opts.telemetry {
+        for r in &results {
+            let path = format!("{prefix}.point{}.telemetry.jsonl", r.index);
+            write_output(&path, r.telemetry_jsonl.as_deref().unwrap_or(""))?;
+            writeln!(out, "wrote {path}").unwrap();
+        }
+    }
+    let merged = format!("{}\n", merged_value(&spec, &results).to_pretty());
+    match &opts.out {
+        Some(path) => {
+            write_output(path, &merged)?;
+            writeln!(out, "wrote {path}").unwrap();
+        }
+        None => out.push_str(&merged),
+    }
+    Ok(out)
 }
 
 /// `qvisor synth`: synthesize and print the per-tenant chains.
@@ -436,6 +634,115 @@ mod tests {
         assert!(matches!(
             cmd_trace_report("{not json"),
             Err(CliError::Telemetry(_))
+        ));
+    }
+
+    const SCENARIO: &str = r#"{
+        "name": "cli-test",
+        "seed": 1,
+        "topology": { "dumbbell": { "pairs": 1, "edge_bps": 1000000000,
+                                    "bottleneck_bps": 1000000000, "delay_ns": 1000 } },
+        "sim": { "horizon": { "at_ns": 10000000 } },
+        "workloads": [ { "flows": { "list": [
+            { "tenant": 1, "src_host": 0, "dst_host": 1, "size": 100000, "start_ns": 0 }
+        ] } } ]
+    }"#;
+
+    #[test]
+    fn run_executes_a_scenario() {
+        let out = cmd_run(SCENARIO, &RunOpts::default()).unwrap();
+        assert!(out.contains("\"end_time_ns\""));
+        assert!(out.contains("\"fct\""));
+        // Bad field paths come back as named-field errors, not panics.
+        let err = cmd_run(
+            r#"{"topology": {"dumbbell": {"pairs": 0}}}"#,
+            &RunOpts::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Scenario(_)));
+        assert!(err.to_string().contains("dumbbell"));
+    }
+
+    #[test]
+    fn run_writes_telemetry_and_trace_files() {
+        let dir = std::env::temp_dir();
+        let tpath = dir.join("qvisor_cli_test_run.telemetry.jsonl");
+        let rpath = dir.join("qvisor_cli_test_run.trace.jsonl");
+        let opts = RunOpts {
+            telemetry: Some(tpath.to_str().unwrap().to_string()),
+            trace: Some(rpath.to_str().unwrap().to_string()),
+        };
+        cmd_run(SCENARIO, &opts).unwrap();
+        let telemetry = std::fs::read_to_string(&tpath).unwrap();
+        assert!(telemetry.contains("net_sent_pkts"));
+        let trace = std::fs::read_to_string(&rpath).unwrap();
+        assert!(trace.contains("\"deliver\"") || trace.contains("\"enqueue\""));
+        std::fs::remove_file(&tpath).ok();
+        std::fs::remove_file(&rpath).ok();
+        // A bad output path reports the path instead of panicking.
+        let opts = RunOpts {
+            telemetry: Some("/nonexistent_dir_qvisor/deep/t.jsonl".into()),
+            trace: None,
+        };
+        let err = cmd_run(SCENARIO, &opts).unwrap_err();
+        assert!(err
+            .to_string()
+            .contains("/nonexistent_dir_qvisor/deep/t.jsonl"));
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_jobs() {
+        let sweep = format!(
+            r#"{{ "base": {SCENARIO}, "axes": [ {{ "path": "seed", "values": [1, 2, 3] }} ] }}"#
+        );
+        let one = cmd_sweep(&sweep, &SweepOpts::default()).unwrap();
+        let four = cmd_sweep(
+            &sweep,
+            &SweepOpts {
+                jobs: 4,
+                ..SweepOpts::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(one, four);
+        assert!(one.contains("\"label\": \"seed=1\""));
+        assert!(one.contains("\"label\": \"seed=3\""));
+        // Unknown axis paths are named in the error.
+        let bad = format!(
+            r#"{{ "base": {SCENARIO}, "axes": [ {{ "path": "nope.deep", "values": [1] }} ] }}"#
+        );
+        let err = cmd_sweep(&bad, &SweepOpts::default()).unwrap_err();
+        assert!(matches!(err, CliError::Scenario(_)));
+    }
+
+    #[test]
+    fn run_and_sweep_dispatch_through_cli() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let dir = std::env::temp_dir();
+        let spath = dir.join("qvisor_cli_test_scenario.json");
+        std::fs::write(&spath, SCENARIO).unwrap();
+        let out = run(&args(&["run", spath.to_str().unwrap()])).unwrap();
+        assert!(out.contains("\"end_time_ns\""));
+        let wpath = dir.join("qvisor_cli_test_sweep.json");
+        std::fs::write(
+            &wpath,
+            format!(
+                r#"{{ "base": {SCENARIO}, "axes": [ {{ "path": "seed", "values": [1, 2] }} ] }}"#
+            ),
+        )
+        .unwrap();
+        let out = run(&args(&["sweep", wpath.to_str().unwrap(), "--jobs", "2"])).unwrap();
+        assert!(out.contains("\"points\""));
+        std::fs::remove_file(&spath).ok();
+        std::fs::remove_file(&wpath).ok();
+        assert!(matches!(run(&args(&["run"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&args(&["sweep", "x.json", "--jobs", "0"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_run_flags(&args(&["--wat"])),
+            Err(CliError::Usage(_))
         ));
     }
 
