@@ -15,8 +15,10 @@
 //!    priority, best-effort preference `>`, fair sharing `+`).
 //! 3. [`synthesize`] produces a [`JointPolicy`]: one rank
 //!    [`TransformChain`] per tenant (normalization + stride + shift).
-//! 4. [`analyze`] verifies worst-case guarantees (isolation, overlap)
-//!    before deployment.
+//! 4. [`analyze`] describes worst-case guarantees (isolation, overlap)
+//!    and [`verify`] statically proves or refutes them — overflow-freedom,
+//!    order preservation, strict-band disjointness — with concrete witness
+//!    pairs for every refutation, before deployment.
 //! 5. A [`PreProcessor`] applies the chains to packets at line rate; a
 //!    [`Backend`] realizes the policy on a PIFO, strict-priority bank
 //!    (static or SP-PIFO mapping), AIFO, or FIFO.
@@ -54,6 +56,7 @@ pub mod runtime;
 pub mod spec;
 pub mod synth;
 pub mod transform;
+pub mod verify;
 
 pub use analysis::{analyze, IsolationCheck, PairNote, PolicyReport, Relation, TenantReport};
 pub use backend::{Backend, BandedMapper, SpAdaptation};
@@ -69,3 +72,6 @@ pub use runtime::{
 pub use spec::{SynthConfig, TenantSpec};
 pub use synth::{synthesize, GroupLayout, JointPolicy, LevelLayout, MemberLayout};
 pub use transform::{RankTransform, TransformChain};
+pub use verify::{
+    verify, ChainCheck, DiagCode, Diagnostic, Severity, SpecPaths, VerifyReport, Witness,
+};

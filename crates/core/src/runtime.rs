@@ -286,7 +286,9 @@ impl RuntimeAdapter {
             .cloned()
             .collect();
         self.specs = specs;
-        let started = std::time::Instant::now();
+        // determinism: allowed (self-profiler measures host synthesis cost;
+        // stripped from deterministic exports)
+        let started = std::time::Instant::now(); // determinism: allowed
         let result = synthesize(&active_specs, &policy, self.synth_config);
         let elapsed = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
         self.synth_ns.record(elapsed);

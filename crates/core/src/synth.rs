@@ -23,7 +23,7 @@ use crate::spec::{SynthConfig, TenantSpec};
 use crate::transform::{RankTransform, TransformChain};
 use qvisor_ranking::RankRange;
 use qvisor_sim::{Rank, TenantId};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Where one tenant landed inside the joint rank space.
 #[derive(Clone, Debug)]
@@ -69,7 +69,9 @@ pub struct LevelLayout {
 #[derive(Clone, Debug)]
 pub struct JointPolicy {
     /// Per-tenant rank transformation chains (the deployable artifact).
-    chains: HashMap<TenantId, TransformChain>,
+    /// Ordered by tenant id so iteration is deterministic (the repo's
+    /// determinism lint forbids hash-order iteration in sim crates).
+    chains: BTreeMap<TenantId, TransformChain>,
     /// Structural description of the rank space (for analysis, backends,
     /// and reports).
     pub layout: Vec<LevelLayout>,
@@ -98,7 +100,7 @@ impl JointPolicy {
         let last = self
             .layout
             .last()
-            .map(|l| l.base + l.width.saturating_sub(1))
+            .map(|l| l.base.saturating_add(l.width.saturating_sub(1)))
             .unwrap_or(first);
         RankRange::new(first, last.max(first))
     }
@@ -152,7 +154,7 @@ pub fn synthesize(
         seen.push(name);
     }
 
-    let mut chains = HashMap::new();
+    let mut chains = BTreeMap::new();
     let mut layout = Vec::with_capacity(policy.levels.len());
     let mut level_base = config.first_rank;
 
@@ -179,10 +181,13 @@ pub fn synthesize(
                 members.push((by_name[m.name.as_str()], m.weight, slot));
                 slot += m.weight as u64;
             }
+            // All band geometry saturates rather than wraps: an absurd
+            // levels × stride product pins at `Rank::MAX` and the verifier
+            // reports the overflow instead of the layout silently aliasing.
             geoms.push(GroupGeom {
                 stride,
                 q_base,
-                width: q_base * stride,
+                width: q_base.saturating_mul(stride),
                 members,
             });
         }
@@ -194,7 +199,7 @@ pub fn synthesize(
         let mut acc = 0u64;
         for geom in &geoms {
             biases.push(acc);
-            acc += (geom.width.div_ceil(config.pref_bias_divisor)).max(1);
+            acc = acc.saturating_add((geom.width.div_ceil(config.pref_bias_divisor)).max(1));
         }
 
         // Second pass: emit chains and layout.
@@ -204,7 +209,7 @@ pub fn synthesize(
             let bias = biases[k];
             let mut members_layout = Vec::with_capacity(geom.members.len());
             for &(spec, weight, slot_offset) in &geom.members {
-                let levels = geom.q_base * weight as u64;
+                let levels = geom.q_base.saturating_mul(weight as u64);
                 // Weighted members normalize over a range stretched by
                 // their weight: their rank-per-input slope drops to 1/w of
                 // an unweighted member's, which is what gives them w× the
@@ -229,7 +234,7 @@ pub fn synthesize(
                         offset: slot_offset,
                     });
                 }
-                let shift = level_base + bias;
+                let shift = level_base.saturating_add(bias);
                 if shift > 0 {
                     chain.push(RankTransform::Shift { offset: shift });
                 }
@@ -243,7 +248,7 @@ pub fn synthesize(
                 });
                 chains.insert(spec.id, chain);
             }
-            level_width = level_width.max(bias + geom.width);
+            level_width = level_width.max(bias.saturating_add(geom.width));
             groups_layout.push(GroupLayout {
                 bias,
                 width: geom.width,
@@ -257,7 +262,7 @@ pub fn synthesize(
             width: level_width,
             groups: groups_layout,
         });
-        level_base += level_width;
+        level_base = level_base.saturating_add(level_width);
     }
 
     Ok(JointPolicy {

@@ -75,17 +75,29 @@ impl RankTransform {
                 width,
                 offset,
             } => {
-                debug_assert!(width > 0 && every >= width);
-                (rank / width).saturating_mul(every) + offset + rank % width
+                // Total even on malformed ops (the verifier evaluates those
+                // to build witnesses): a zero width would divide by zero,
+                // and near `Rank::MAX` the adds would wrap silently —
+                // saturate instead, like `Shift`.
+                let width = width.max(1);
+                (rank / width)
+                    .saturating_mul(every)
+                    .saturating_add(offset)
+                    .saturating_add(rank % width)
             }
             RankTransform::Clamp { range } => range.clamp(rank),
         }
     }
 
     /// The output range for inputs drawn from `input` (used by the static
-    /// analyzer). Exact for monotone ops, which all of these are.
+    /// analyzer). Exact for monotone ops — everything the synthesizer
+    /// emits. For a malformed (non-monotone) op the applied endpoints can
+    /// land out of order; they are re-sorted so this never panics, and the
+    /// verifier's interval analysis computes the sound bounds instead.
     pub fn output_range(&self, input: RankRange) -> RankRange {
-        RankRange::new(self.apply(input.min), self.apply(input.max))
+        let lo = self.apply(input.min);
+        let hi = self.apply(input.max);
+        RankRange::new(lo.min(hi), lo.max(hi))
     }
 }
 
@@ -323,6 +335,80 @@ mod tests {
             chain.output_range(RankRange::new(0, 10_000)),
             RankRange::new(101, 115)
         );
+    }
+
+    #[test]
+    fn stride_saturates_at_rank_max() {
+        // (MAX/1)*3 would wrap in release; it must pin at MAX instead.
+        let s = RankTransform::Stride {
+            every: 3,
+            width: 1,
+            offset: 0,
+        };
+        assert_eq!(s.apply(u64::MAX), u64::MAX);
+        // Multiply fits but the offset add would wrap.
+        let s = RankTransform::Stride {
+            every: 1,
+            width: 1,
+            offset: 10,
+        };
+        assert_eq!(s.apply(u64::MAX - 3), u64::MAX);
+        // The final `+ rank % width` add would wrap.
+        let s = RankTransform::Stride {
+            every: 4,
+            width: 4,
+            offset: 0,
+        };
+        assert_eq!(s.apply(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn stride_zero_width_is_total() {
+        // Malformed op: must not divide by zero (the verifier evaluates
+        // malformed strides when computing witnesses).
+        let s = RankTransform::Stride {
+            every: 0,
+            width: 0,
+            offset: 7,
+        };
+        assert_eq!(s.apply(123), 7);
+    }
+
+    #[test]
+    fn shift_chain_output_range_at_rank_max() {
+        let chain = TransformChain::from_ops(vec![
+            RankTransform::Shift {
+                offset: u64::MAX - 10,
+            },
+            RankTransform::Shift { offset: 100 },
+        ]);
+        // Both endpoints saturate to MAX; range must stay well-formed.
+        assert_eq!(
+            chain.output_range(RankRange::new(50, 60)),
+            RankRange::new(u64::MAX, u64::MAX)
+        );
+    }
+
+    #[test]
+    fn output_range_never_panics_on_non_monotone_op() {
+        // every < width is non-monotone: cycle boundaries step backwards.
+        let s = RankTransform::Stride {
+            every: 1,
+            width: 4,
+            offset: 0,
+        };
+        let r = s.output_range(RankRange::new(3, 4));
+        assert_eq!(r, RankRange::new(1, 3)); // endpoints re-sorted
+    }
+
+    #[test]
+    fn normalize_wide_range_at_rank_max() {
+        let n = RankTransform::Normalize {
+            input: RankRange::new(0, u64::MAX),
+            levels: u64::MAX,
+        };
+        assert_eq!(n.apply(0), 0);
+        assert_eq!(n.apply(u64::MAX), u64::MAX - 1);
     }
 
     #[test]

@@ -1,0 +1,446 @@
+//! Interval abstract interpretation over transformation chains.
+//!
+//! The abstract domain is the inclusive rank interval `[lo, hi]` plus, per
+//! op, a small set of facts: does the op saturate at `Rank::MAX` anywhere
+//! on the interval, does a clamp cut into it, is it (strictly) monotone on
+//! it, and how many distinct inputs can collapse onto one output (the
+//! *collision bound*).
+//!
+//! Interval propagation is exact for monotone ops (endpoints map to
+//! endpoints). The one op that can be non-monotone — a malformed `Stride`
+//! with `every < width` — is handled by evaluating the op in `u128` at the
+//! interval endpoints *and* at the cycle boundaries adjacent to them, which
+//! are the only points where a stride's local extrema can occur; the
+//! resulting bounds are sound.
+
+use crate::transform::{RankTransform, TransformChain};
+use qvisor_ranking::RankRange;
+use qvisor_sim::Rank;
+
+/// What one op does to the interval flowing through it.
+#[derive(Clone, Debug)]
+pub struct OpReport {
+    /// Position in the chain.
+    pub index: usize,
+    /// The op itself.
+    pub op: RankTransform,
+    /// Interval flowing in.
+    pub input: RankRange,
+    /// Sound output interval.
+    pub output: RankRange,
+    /// Some input in the interval hits the `Rank::MAX` saturation ceiling
+    /// with actual precision loss (at least one value pinned).
+    pub saturates: bool,
+    /// A clamp boundary (explicit `Clamp` or `Normalize`'s input range)
+    /// cuts into the interval.
+    pub clamps: bool,
+    /// Non-decreasing on the input interval.
+    pub monotone: bool,
+    /// Strictly increasing on the input interval (no two inputs collide).
+    pub strictly_monotone: bool,
+    /// Upper bound on how many distinct inputs map to one output (>= 1).
+    pub collision_bound: u64,
+}
+
+/// The whole chain's abstract execution on a declared input range.
+#[derive(Clone, Debug)]
+pub struct ChainAnalysis {
+    /// The declared input interval.
+    pub input: RankRange,
+    /// Sound final output interval.
+    pub output: RankRange,
+    /// Per-op reports, in application order.
+    pub ops: Vec<OpReport>,
+    /// Every op is non-decreasing on its interval — the chain is proven
+    /// order-preserving (ties possible, inversions impossible).
+    pub monotone: bool,
+    /// Every op is strictly increasing — distinct inputs stay distinct.
+    pub strictly_monotone: bool,
+    /// Some op saturates at `Rank::MAX` on the declared range.
+    pub saturates: bool,
+    /// Some clamp cuts into the declared range.
+    pub clamps: bool,
+    /// Upper bound on inputs collapsing to one output across the whole
+    /// chain (saturating product of per-op bounds).
+    pub collision_bound: u64,
+}
+
+impl ChainAnalysis {
+    /// Index of the first op that is not monotone on its interval, if any.
+    pub fn first_non_monotone(&self) -> Option<usize> {
+        self.ops.iter().position(|o| !o.monotone)
+    }
+
+    /// Index of the first op that saturates, if any.
+    pub fn first_saturating(&self) -> Option<usize> {
+        self.ops.iter().position(|o| o.saturates)
+    }
+}
+
+/// Number of integers in `[lo, hi]` (saturating).
+fn count(lo: Rank, hi: Rank) -> u64 {
+    (hi - lo).saturating_add(1)
+}
+
+/// Evaluate a stride in `u128` (no saturation) — used to detect overflow.
+fn stride_exact(every: u64, width: u64, offset: u64, rank: Rank) -> u128 {
+    let width = width.max(1);
+    (rank / width) as u128 * every as u128 + offset as u128 + (rank % width) as u128
+}
+
+fn analyze_op(index: usize, op: RankTransform, input: RankRange) -> OpReport {
+    let (lo, hi) = (input.min, input.max);
+    match op {
+        RankTransform::Normalize {
+            input: decl,
+            levels,
+        } => {
+            // Tail counts: inputs clamped to the declared min/max.
+            let below = if lo < decl.min {
+                count(lo, hi.min(decl.min - 1))
+            } else {
+                0
+            };
+            let above = if hi > decl.max {
+                count(lo.max(decl.max + 1), hi)
+            } else {
+                0
+            };
+            let span = decl.max - decl.min;
+            let output = RankRange::new(op.apply(lo), op.apply(hi));
+            // Quantize bucket size: with L-1 output steps over `span`
+            // inputs, at most floor(span/(L-1)) + 1 inputs share a level.
+            let inner = if levels <= 1 || span == 0 {
+                // Everything maps to level 0.
+                count(lo, hi)
+            } else if span < levels {
+                1
+            } else {
+                span / (levels - 1) + 1
+            };
+            let collision_bound = inner.saturating_add(below.max(above));
+            OpReport {
+                index,
+                op,
+                input,
+                output,
+                saturates: false,
+                clamps: below > 0 || above > 0,
+                monotone: true,
+                strictly_monotone: lo == hi || (inner == 1 && below == 0 && above == 0),
+                collision_bound,
+            }
+        }
+        RankTransform::Shift { offset } => {
+            // Inputs above `MAX - offset` pin at MAX; the first pinned
+            // value (== MAX - offset) is still exact, so precision is lost
+            // only when the interval extends strictly past the threshold.
+            let threshold = Rank::MAX - offset;
+            let saturates = hi > threshold;
+            let pinned = if hi >= threshold {
+                count(lo.max(threshold), hi)
+            } else {
+                1
+            };
+            OpReport {
+                index,
+                op,
+                input,
+                output: RankRange::new(lo.saturating_add(offset), hi.saturating_add(offset)),
+                saturates,
+                clamps: false,
+                monotone: true,
+                strictly_monotone: pinned <= 1,
+                collision_bound: pinned.max(1),
+            }
+        }
+        RankTransform::Stride {
+            every,
+            width,
+            offset,
+        } => analyze_stride(index, op, input, every, width, offset),
+        RankTransform::Clamp { range } => {
+            let below = if lo < range.min {
+                count(lo, hi.min(range.min - 1))
+            } else {
+                0
+            };
+            let above = if hi > range.max {
+                count(lo.max(range.max + 1), hi)
+            } else {
+                0
+            };
+            // A clamped tail collapses together with the boundary value
+            // itself when that value is also in the interval.
+            let at_min = below.saturating_add(u64::from(below > 0 && hi >= range.min));
+            let at_max = above.saturating_add(u64::from(above > 0 && lo <= range.max));
+            OpReport {
+                index,
+                op,
+                input,
+                output: RankRange::new(range.clamp(lo), range.clamp(hi)),
+                saturates: false,
+                clamps: below > 0 || above > 0,
+                monotone: true,
+                strictly_monotone: lo == hi || (below == 0 && above == 0),
+                collision_bound: at_min.max(at_max).max(1),
+            }
+        }
+    }
+}
+
+fn analyze_stride(
+    index: usize,
+    op: RankTransform,
+    input: RankRange,
+    every: u64,
+    width: u64,
+    offset: u64,
+) -> OpReport {
+    let (lo, hi) = (input.min, input.max);
+    let w = width.max(1);
+    let crosses_cycle = lo / w != hi / w;
+    // Within a single cycle the op is `+1` steps (strict); across cycle
+    // boundaries the step is `every - width + 1`, so monotonicity depends
+    // on `every` vs `width`.
+    let monotone = !crosses_cycle || every >= w - 1;
+    // Candidate extremal inputs: the endpoints, the last cycle top <= hi,
+    // and the first cycle bottom >= lo. A stride's restriction to any
+    // cycle is `+1` steps, so its extrema over the interval are always
+    // attained at one of these points.
+    let mut candidates = [lo, hi, lo, hi];
+    if crosses_cycle {
+        // First cycle bottom strictly above lo's position.
+        candidates[2] = (lo / w + 1) * w;
+        // Top of the cycle below hi's cycle, or hi's own cycle top if
+        // inside the interval.
+        let hi_top = hi - hi % w + (w - 1);
+        candidates[3] = if hi_top <= hi {
+            hi_top
+        } else {
+            hi - hi % w - 1
+        };
+    }
+    let mut min128 = u128::MAX;
+    let mut max128 = 0u128;
+    for &c in &candidates {
+        let c = c.clamp(lo, hi);
+        let v = stride_exact(every, width, offset, c);
+        min128 = min128.min(v);
+        max128 = max128.max(v);
+    }
+    let saturates = max128 > Rank::MAX as u128;
+    let clamp128 = |v: u128| -> Rank { v.min(Rank::MAX as u128) as Rank };
+    // Collision bound: cycle-boundary collisions (`every == width - 1`
+    // glues each cycle top to the next bottom) and saturation pinning.
+    let mut bound = 1u64;
+    if crosses_cycle && every < w {
+        bound = bound.max(w - every);
+    }
+    if saturates {
+        // Count pinned inputs: the stride is monotone per-cycle, so
+        // binary-search the first input whose exact value exceeds MAX.
+        let pinned = if monotone {
+            let (mut a, mut b) = (lo, hi);
+            while a < b {
+                let mid = a + (b - a) / 2;
+                if stride_exact(every, width, offset, mid) >= Rank::MAX as u128 {
+                    b = mid;
+                } else {
+                    a = mid + 1;
+                }
+            }
+            count(a, hi)
+        } else {
+            count(lo, hi)
+        };
+        bound = bound.max(pinned);
+    }
+    OpReport {
+        index,
+        op,
+        input,
+        output: RankRange::new(clamp128(min128), clamp128(max128)),
+        saturates,
+        clamps: false,
+        monotone,
+        strictly_monotone: !saturates && (!crosses_cycle || every >= w),
+        collision_bound: bound,
+    }
+}
+
+/// Run the abstract interpretation over a whole chain for inputs drawn
+/// from `input`.
+pub fn analyze_chain(chain: &TransformChain, input: RankRange) -> ChainAnalysis {
+    let mut ops = Vec::with_capacity(chain.ops().len());
+    let mut interval = input;
+    for (index, &op) in chain.ops().iter().enumerate() {
+        let report = analyze_op(index, op, interval);
+        interval = report.output;
+        ops.push(report);
+    }
+    ChainAnalysis {
+        input,
+        output: interval,
+        monotone: ops.iter().all(|o| o.monotone),
+        strictly_monotone: ops.iter().all(|o| o.strictly_monotone),
+        saturates: ops.iter().any(|o| o.saturates),
+        clamps: ops.iter().any(|o| o.clamps),
+        collision_bound: ops
+            .iter()
+            .fold(1u64, |acc, o| acc.saturating_mul(o.collision_bound)),
+        ops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_chain_is_strict() {
+        let a = analyze_chain(&TransformChain::identity(), RankRange::new(0, 99));
+        assert!(a.monotone && a.strictly_monotone && !a.saturates && !a.clamps);
+        assert_eq!(a.collision_bound, 1);
+        assert_eq!(a.output, RankRange::new(0, 99));
+    }
+
+    #[test]
+    fn normalize_collision_bound_matches_reality() {
+        // 2001 inputs onto 512 levels: buckets of floor(2000/511)+1 = 4.
+        let chain = TransformChain::from_ops(vec![RankTransform::Normalize {
+            input: RankRange::new(0, 2000),
+            levels: 512,
+        }]);
+        let a = analyze_chain(&chain, RankRange::new(0, 2000));
+        assert!(a.monotone && !a.strictly_monotone);
+        assert_eq!(a.collision_bound, 4);
+        // Check against a concrete maximum bucket size.
+        let mut counts = std::collections::BTreeMap::new();
+        for r in 0..=2000u64 {
+            *counts.entry(chain.apply(r)).or_insert(0u64) += 1;
+        }
+        let max_bucket = counts.values().copied().max().unwrap();
+        assert!(max_bucket <= a.collision_bound);
+    }
+
+    #[test]
+    fn normalize_exact_fit_is_strict() {
+        let chain = TransformChain::from_ops(vec![RankTransform::Normalize {
+            input: RankRange::new(7, 9),
+            levels: 3,
+        }]);
+        let a = analyze_chain(&chain, RankRange::new(7, 9));
+        assert!(a.strictly_monotone);
+        assert_eq!(a.collision_bound, 1);
+    }
+
+    #[test]
+    fn normalize_clamp_flagged_on_wider_inputs() {
+        let chain = TransformChain::from_ops(vec![RankTransform::Normalize {
+            input: RankRange::new(10, 20),
+            levels: 11,
+        }]);
+        let a = analyze_chain(&chain, RankRange::new(0, 30));
+        assert!(a.clamps);
+        // 10 inputs below + the boundary bucket.
+        assert!(a.collision_bound >= 10);
+    }
+
+    #[test]
+    fn shift_saturation_detected_and_counted() {
+        let chain = TransformChain::from_ops(vec![RankTransform::Shift {
+            offset: Rank::MAX - 10,
+        }]);
+        let a = analyze_chain(&chain, RankRange::new(0, 20));
+        assert!(a.saturates);
+        assert!(a.monotone && !a.strictly_monotone);
+        // Inputs 10..=20 pin at MAX: 11 of them.
+        assert_eq!(a.collision_bound, 11);
+        assert_eq!(a.output.max, Rank::MAX);
+    }
+
+    #[test]
+    fn shift_exact_threshold_is_lossless() {
+        let chain = TransformChain::from_ops(vec![RankTransform::Shift {
+            offset: Rank::MAX - 20,
+        }]);
+        let a = analyze_chain(&chain, RankRange::new(0, 20));
+        assert!(!a.saturates, "input 20 maps exactly to MAX — no loss");
+        assert!(a.strictly_monotone);
+    }
+
+    #[test]
+    fn stride_overflow_detected() {
+        let chain = TransformChain::from_ops(vec![RankTransform::Stride {
+            every: 1 << 40,
+            width: 1,
+            offset: 0,
+        }]);
+        let a = analyze_chain(&chain, RankRange::new(0, 1 << 30));
+        assert!(a.saturates);
+        assert_eq!(a.output.max, Rank::MAX);
+    }
+
+    #[test]
+    fn malformed_stride_is_non_monotone_with_sound_bounds() {
+        // every=1 < width=4: cycle boundaries step backwards.
+        let op = RankTransform::Stride {
+            every: 1,
+            width: 4,
+            offset: 0,
+        };
+        let chain = TransformChain::from_ops(vec![op]);
+        let a = analyze_chain(&chain, RankRange::new(0, 15));
+        assert!(!a.monotone);
+        // Sound bounds must cover every concrete output.
+        for r in 0..=15u64 {
+            assert!(a.output.contains(chain.apply(r)), "r={r}");
+        }
+    }
+
+    #[test]
+    fn stride_inside_one_cycle_is_strict_even_if_malformed() {
+        let op = RankTransform::Stride {
+            every: 1,
+            width: 100,
+            offset: 0,
+        };
+        let a = analyze_chain(
+            &TransformChain::from_ops(vec![op]),
+            RankRange::new(10, 20), // one cycle: 0..99
+        );
+        assert!(a.monotone && a.strictly_monotone);
+    }
+
+    #[test]
+    fn clamp_tail_collisions_counted() {
+        let chain = TransformChain::from_ops(vec![RankTransform::Clamp {
+            range: RankRange::new(5, 10),
+        }]);
+        let a = analyze_chain(&chain, RankRange::new(0, 20));
+        assert!(a.clamps && a.monotone && !a.strictly_monotone);
+        // 0..=4 plus 5 itself collapse onto 5; 11..=20 plus 10 onto 10.
+        assert_eq!(a.collision_bound, 11);
+    }
+
+    #[test]
+    fn synthesized_style_chain_composes() {
+        let chain = TransformChain::from_ops(vec![
+            RankTransform::Normalize {
+                input: RankRange::new(0, 10_000),
+                levels: 8,
+            },
+            RankTransform::Stride {
+                every: 2,
+                width: 1,
+                offset: 1,
+            },
+            RankTransform::Shift { offset: 100 },
+        ]);
+        let a = analyze_chain(&chain, RankRange::new(0, 10_000));
+        assert!(a.monotone && !a.strictly_monotone);
+        assert!(!a.saturates && !a.clamps);
+        assert_eq!(a.output, RankRange::new(101, 115));
+    }
+}

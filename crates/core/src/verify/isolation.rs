@@ -1,0 +1,166 @@
+//! Cross-tenant isolation checking over the synthesized layout.
+//!
+//! Works entirely from the per-tenant *chain-derived* output intervals (not
+//! the layout arithmetic — the point is to re-verify the synthesizer's
+//! construction independently):
+//!
+//! - `>>` strict levels: every pair of tenants across a level boundary must
+//!   have pairwise-disjoint output spans in the correct order (higher
+//!   priority ⇒ strictly smaller ranks).
+//! - `+` share groups: members must interleave (pairwise-overlapping
+//!   spans) and stay inside the group's band.
+//! - `>` preferences: adjacent groups should overlap (bias, not
+//!   isolation); degeneration is flagged.
+//!
+//! Cross-tenant refutations carry a witness pair: one concrete input rank
+//! per tenant whose observed outputs demonstrate the violation.
+
+use super::diag::{DiagCode, Diagnostic, Severity, Witness};
+use super::{SpecPaths, TenantVerify};
+use crate::synth::JointPolicy;
+use qvisor_ranking::RankRange;
+
+/// Check every cross-tenant property; `tenants` are the per-chain results
+/// in layout order.
+pub fn check_layout(
+    joint: &JointPolicy,
+    paths: &SpecPaths,
+    tenants: &[TenantVerify],
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    for i in 0..tenants.len() {
+        for j in (i + 1)..tenants.len() {
+            let (a, b) = (&tenants[i], &tenants[j]);
+            if a.level != b.level {
+                check_strict_pair(paths, a, b, &mut diags);
+            } else if a.group == b.group {
+                if !a.output.overlaps(&b.output) {
+                    diags.push(Diagnostic {
+                        code: DiagCode::ShareBand,
+                        severity: Severity::Warning,
+                        span: paths.policy(),
+                        message: format!(
+                            "share group members '{}' ({}) and '{}' ({}) do not \
+                             interleave: output spans {} and {} are disjoint",
+                            a.name, a.path, b.name, b.path, a.output, b.output
+                        ),
+                        witness: None,
+                    });
+                }
+            } else if a.group.abs_diff(b.group) == 1 && !a.output.overlaps(&b.output) {
+                diags.push(Diagnostic {
+                    code: DiagCode::PreferDegenerate,
+                    severity: Severity::Warning,
+                    span: paths.policy(),
+                    message: format!(
+                        "preference between '{}' ({}) and '{}' ({}) degenerated to \
+                         strict isolation: output spans {} and {} are disjoint",
+                        a.name, a.path, b.name, b.path, a.output, b.output
+                    ),
+                    witness: None,
+                });
+            }
+        }
+    }
+
+    // Band containment: each share-group member must stay inside its
+    // group's band as placed by the layout.
+    for (li, level) in joint.layout.iter().enumerate() {
+        for group in &level.groups {
+            let band_lo = level.base.saturating_add(group.bias);
+            let band_hi = band_lo.saturating_add(group.width.saturating_sub(1));
+            let band = RankRange::new(band_lo, band_hi.max(band_lo));
+            for member in &group.members {
+                let Some(t) = tenants.iter().find(|t| t.tenant == member.tenant) else {
+                    continue;
+                };
+                if t.level == li && !band.contains_range(&t.output) {
+                    diags.push(Diagnostic {
+                        code: DiagCode::ShareBand,
+                        severity: Severity::Warning,
+                        span: t.path.clone(),
+                        message: format!(
+                            "tenant '{}' output span {} escapes its share band {}",
+                            t.name, t.output, band
+                        ),
+                        witness: None,
+                    });
+                }
+            }
+        }
+    }
+
+    diags
+}
+
+/// `a` sits in a higher-priority strict level than `b` (or vice versa):
+/// their spans must be disjoint with the higher level strictly below.
+fn check_strict_pair(
+    paths: &SpecPaths,
+    a: &TenantVerify,
+    b: &TenantVerify,
+    diags: &mut Vec<Diagnostic>,
+) {
+    // Normalize so `hi` is the higher-priority (smaller level index).
+    let (hi, lo) = if a.level < b.level { (a, b) } else { (b, a) };
+    if hi.output.strictly_below(&lo.output) {
+        return;
+    }
+    if hi.output.overlaps(&lo.output) {
+        // Witness: the higher-priority tenant's worst (largest) observed
+        // output vs the lower-priority tenant's best (smallest).
+        let (wa_in, wa_out) = hi.observed_max;
+        let (wb_in, wb_out) = lo.observed_min;
+        let message = format!(
+            "strict levels {} and {} overlap: tenant '{}' ({}) spans {} and \
+             tenant '{}' ({}) spans {}",
+            hi.level, lo.level, hi.name, hi.path, hi.output, lo.name, lo.path, lo.output
+        );
+        if wa_out >= wb_out {
+            diags.push(Diagnostic {
+                code: DiagCode::StrictOverlap,
+                severity: Severity::Error,
+                span: paths.policy(),
+                message,
+                witness: Some(Witness {
+                    input_a: wa_in,
+                    output_a: wa_out,
+                    input_b: wb_in,
+                    output_b: wb_out,
+                }),
+            });
+        } else {
+            // The sound intervals overlap but no concrete pair was
+            // observed to: over-approximation, not a proven violation.
+            diags.push(Diagnostic {
+                code: DiagCode::StrictOverlap,
+                severity: Severity::Warning,
+                span: paths.policy(),
+                message: format!("{message} (interval over-approximation; no concrete witness)"),
+                witness: None,
+            });
+        }
+    } else {
+        // Disjoint but inverted: the whole higher-priority band sits above
+        // the lower-priority one. Any pair of observed outputs witnesses.
+        let (wa_in, wa_out) = hi.observed_min;
+        let (wb_in, wb_out) = lo.observed_max;
+        diags.push(Diagnostic {
+            code: DiagCode::StrictOrder,
+            severity: Severity::Error,
+            span: paths.policy(),
+            message: format!(
+                "strict levels {} and {} are ordered backwards: tenant '{}' ({}) \
+                 spans {} entirely above tenant '{}' ({}) spanning {}",
+                hi.level, lo.level, hi.name, hi.path, hi.output, lo.name, lo.path, lo.output
+            ),
+            witness: Some(Witness {
+                input_a: wa_in,
+                output_a: wa_out,
+                input_b: wb_in,
+                output_b: wb_out,
+            }),
+        });
+    }
+}

@@ -1,0 +1,539 @@
+//! Per-chain order-preservation checking with concrete witnesses.
+//!
+//! The interval analysis ([`super::interval`]) decides *structurally*
+//! whether a chain can invert or collapse input order. This module turns a
+//! structural refutation into a concrete witness — a pair of input ranks
+//! that demonstrably misbehaves when pushed through the real
+//! [`TransformChain::apply`] — before reporting an error. A structural
+//! suspicion for which no witness is reachable from the declared range is
+//! downgraded to a warning, so every error-severity refutation is
+//! re-checkable by construction.
+
+use super::diag::{DiagCode, Diagnostic, Severity, Witness};
+use super::interval::{analyze_chain, ChainAnalysis};
+use crate::transform::{RankTransform, TransformChain};
+use qvisor_ranking::RankRange;
+use qvisor_sim::Rank;
+
+/// Sampled-scan resolution for witness searches on huge ranges.
+const SCAN_POINTS: u64 = 2048;
+/// How many stride cycle boundaries to probe from each end of the range.
+const BOUNDARY_PROBES: u64 = 64;
+
+/// The verifier's verdict on one tenant's chain.
+#[derive(Clone, Debug)]
+pub struct ChainCheck {
+    /// The abstract execution.
+    pub analysis: ChainAnalysis,
+    /// Findings, most severe first.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The chain is *proven* order-preserving on the declared range:
+    /// inversions are impossible (ties from quantization remain allowed).
+    pub proved_order_preserving: bool,
+    /// Concrete `(input, output)` attaining the smallest observed output.
+    pub observed_min: (Rank, Rank),
+    /// Concrete `(input, output)` attaining the largest observed output.
+    pub observed_max: (Rank, Rank),
+}
+
+/// Check one chain against its declared input range. `span` is the dotted
+/// spec path blamed in diagnostics and `subject` names the chain's owner
+/// in messages (e.g. `tenant 'T1'`).
+pub fn check_chain(
+    chain: &TransformChain,
+    declared: RankRange,
+    span: &str,
+    subject: &str,
+) -> ChainCheck {
+    let analysis = analyze_chain(chain, declared);
+    let mut diagnostics = Vec::new();
+
+    if analysis.saturates {
+        let op = analysis.first_saturating().expect("saturating op exists");
+        let detail = format!(
+            "{subject}: op {} ({}) saturates at Rank::MAX on declared inputs {}",
+            op, analysis.ops[op].op, declared
+        );
+        match saturation_witness(chain, declared, analysis.monotone) {
+            Some(w) => diagnostics.push(Diagnostic {
+                code: DiagCode::Overflow,
+                severity: Severity::Error,
+                span: span.to_string(),
+                message: format!("{detail}; distinct inputs collapse at the ceiling"),
+                witness: Some(w),
+            }),
+            None => diagnostics.push(Diagnostic {
+                code: DiagCode::Overflow,
+                severity: Severity::Warning,
+                span: span.to_string(),
+                message: format!("{detail}; no collapsing pair is reachable"),
+                witness: None,
+            }),
+        }
+    }
+
+    if analysis.clamps {
+        let op = analysis
+            .ops
+            .iter()
+            .find(|o| o.clamps)
+            .expect("clamping op exists");
+        diagnostics.push(Diagnostic {
+            code: DiagCode::ClampEngaged,
+            severity: Severity::Warning,
+            span: span.to_string(),
+            message: format!(
+                "{subject}: op {} ({}) clamps part of the declared range {} \
+                 (clamped inputs lose their relative order granularity)",
+                op.index, op.op, declared
+            ),
+            witness: None,
+        });
+    }
+
+    if !analysis.monotone {
+        let op = analysis
+            .first_non_monotone()
+            .expect("non-monotone op exists");
+        let detail = format!(
+            "{subject}: op {} ({}) is not order-preserving on its input interval {}",
+            op, analysis.ops[op].op, analysis.ops[op].input
+        );
+        match inversion_witness(chain, declared, &analysis) {
+            Some(w) if w.output_a > w.output_b => diagnostics.push(Diagnostic {
+                code: DiagCode::NonMonotone,
+                severity: Severity::Error,
+                span: span.to_string(),
+                message: format!("{detail}; inputs invert"),
+                witness: Some(w),
+            }),
+            Some(w) => diagnostics.push(Diagnostic {
+                code: DiagCode::OrderCollapse,
+                severity: Severity::Error,
+                span: span.to_string(),
+                message: format!("{detail}; distinct inputs collapse outside quantization"),
+                witness: Some(w),
+            }),
+            None => diagnostics.push(Diagnostic {
+                code: DiagCode::NonMonotone,
+                severity: Severity::Warning,
+                span: span.to_string(),
+                message: format!("{detail}; no violating pair reachable from {declared}"),
+                witness: None,
+            }),
+        }
+    } else if let Some(op) = analysis.ops.iter().find(|o| {
+        matches!(o.op, RankTransform::Stride { .. })
+            && o.monotone
+            && !o.strictly_monotone
+            && !o.saturates
+    }) {
+        // `every == width - 1`: each cycle top glues to the next cycle
+        // bottom — a collapse no quantize step accounts for.
+        let detail = format!(
+            "{subject}: op {} ({}) glues adjacent stride cycles together",
+            op.index, op.op
+        );
+        match inversion_witness(chain, declared, &analysis) {
+            Some(w) => diagnostics.push(Diagnostic {
+                code: DiagCode::OrderCollapse,
+                severity: Severity::Error,
+                span: span.to_string(),
+                message: detail,
+                witness: Some(w),
+            }),
+            None => diagnostics.push(Diagnostic {
+                code: DiagCode::OrderCollapse,
+                severity: Severity::Warning,
+                span: span.to_string(),
+                message: format!("{detail}; no colliding pair reachable from {declared}"),
+                witness: None,
+            }),
+        }
+    }
+
+    if analysis.monotone && !analysis.strictly_monotone && !analysis.saturates && !analysis.clamps {
+        // Pure quantization loss: expected whenever a tenant declares more
+        // distinct ranks than it gets levels. Informational, with the
+        // computed bound.
+        if diagnostics.is_empty() {
+            diagnostics.push(Diagnostic {
+                code: DiagCode::QuantCollision,
+                severity: Severity::Info,
+                span: span.to_string(),
+                message: format!(
+                    "{subject}: up to {} distinct input ranks collapse onto one \
+                     output rank (quantization)",
+                    analysis.collision_bound
+                ),
+                witness: None,
+            });
+        }
+    }
+
+    let (observed_min, observed_max) = observed_extremes(chain, declared, analysis.monotone);
+    ChainCheck {
+        proved_order_preserving: analysis.monotone,
+        analysis,
+        diagnostics,
+        observed_min,
+        observed_max,
+    }
+}
+
+/// Apply only the first `k` ops of the chain.
+fn prefix_apply(chain: &TransformChain, k: usize, rank: Rank) -> Rank {
+    chain.ops()[..k].iter().fold(rank, |r, op| op.apply(r))
+}
+
+/// Largest `x` in `declared` with `prefix(x) <= target`, assuming the
+/// prefix is monotone non-decreasing.
+fn preimage_le(
+    chain: &TransformChain,
+    k: usize,
+    declared: RankRange,
+    target: Rank,
+) -> Option<Rank> {
+    if prefix_apply(chain, k, declared.min) > target {
+        return None;
+    }
+    let (mut lo, mut hi) = (declared.min, declared.max);
+    while lo < hi {
+        // Round up so the loop converges onto the largest qualifying x.
+        let mid = hi - (hi - lo) / 2;
+        if prefix_apply(chain, k, mid) <= target {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    Some(lo)
+}
+
+/// Smallest `x` in `declared` with `prefix(x) >= target`, assuming the
+/// prefix is monotone non-decreasing.
+fn preimage_ge(
+    chain: &TransformChain,
+    k: usize,
+    declared: RankRange,
+    target: Rank,
+) -> Option<Rank> {
+    if prefix_apply(chain, k, declared.max) < target {
+        return None;
+    }
+    let (mut lo, mut hi) = (declared.min, declared.max);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if prefix_apply(chain, k, mid) >= target {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Some(lo)
+}
+
+fn witness_for(chain: &TransformChain, a: Rank, b: Rank) -> Witness {
+    Witness {
+        input_a: a,
+        output_a: chain.apply(a),
+        input_b: b,
+        output_b: chain.apply(b),
+    }
+}
+
+/// Find a concrete pair `a < b` whose outputs invert (preferred) or
+/// collapse across a misbehaving stride boundary. Returns an inverting
+/// witness when one exists among the probes, else a collapsing one.
+fn inversion_witness(
+    chain: &TransformChain,
+    declared: RankRange,
+    analysis: &ChainAnalysis,
+) -> Option<Witness> {
+    let mut collapse: Option<Witness> = None;
+    // Targeted probe: walk cycle boundaries of the first misbehaving
+    // stride op, pulling each boundary back through the (monotone) prefix.
+    let suspect = analysis
+        .ops
+        .iter()
+        .find(|o| !o.strictly_monotone && matches!(o.op, RankTransform::Stride { .. }));
+    if let Some(op) = suspect {
+        let prefix_monotone = analysis.ops[..op.index].iter().all(|o| o.monotone);
+        if prefix_monotone {
+            if let RankTransform::Stride { width, .. } = op.op {
+                let w = width.max(1);
+                let (ilo, ihi) = (op.input.min, op.input.max);
+                let first_cycle = ilo / w + 1;
+                let last_cycle = ihi / w;
+                let probe = |cycle: u64| -> Option<Witness> {
+                    let boundary = cycle.checked_mul(w)?;
+                    let a = preimage_le(chain, op.index, declared, boundary - 1)?;
+                    let b = preimage_ge(chain, op.index, declared, boundary)?;
+                    if a >= b {
+                        return None;
+                    }
+                    let w = witness_for(chain, a, b);
+                    (w.output_a >= w.output_b).then_some(w)
+                };
+                if last_cycle >= first_cycle {
+                    let probes = (last_cycle - first_cycle)
+                        .saturating_add(1)
+                        .min(BOUNDARY_PROBES);
+                    for i in 0..probes {
+                        for cycle in [first_cycle + i, last_cycle - i] {
+                            if let Some(w) = probe(cycle) {
+                                if w.output_a > w.output_b {
+                                    return Some(w);
+                                }
+                                collapse.get_or_insert(w);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Fallback: sampled scan over the declared range (plus each sample's
+    // successor, so dense boundary effects are not stepped over).
+    let span = declared.max - declared.min;
+    let mut prev: Option<(Rank, Rank)> = None;
+    let points = span.min(SCAN_POINTS);
+    for i in 0..=points {
+        let base = declared.min + ((span as u128 * i as u128) / points.max(1) as u128) as u64;
+        for x in [base, base.saturating_add(1).min(declared.max)] {
+            let y = chain.apply(x);
+            if let Some((px, py)) = prev {
+                if px < x && py > y {
+                    return Some(witness_for(chain, px, x));
+                }
+            }
+            prev = Some((x, y));
+        }
+    }
+    collapse
+}
+
+/// Find two declared inputs that both pin at the saturation ceiling.
+fn saturation_witness(
+    chain: &TransformChain,
+    declared: RankRange,
+    monotone: bool,
+) -> Option<Witness> {
+    let top = chain.apply(declared.max);
+    if monotone {
+        // Binary-search the first input reaching the ceiling value.
+        let mut lo = declared.min;
+        let mut hi = declared.max;
+        if chain.apply(lo) == top {
+            return (lo < hi).then(|| witness_for(chain, lo, hi));
+        }
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if chain.apply(mid) >= top {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        return (lo < declared.max).then(|| witness_for(chain, lo, declared.max));
+    }
+    // Non-monotone chain: sampled scan for any two inputs at the ceiling.
+    let span = declared.max - declared.min;
+    let points = span.min(SCAN_POINTS);
+    let mut first: Option<Rank> = None;
+    for i in 0..=points {
+        let x = declared.min + ((span as u128 * i as u128) / points.max(1) as u128) as u64;
+        if chain.apply(x) == Rank::MAX {
+            match first {
+                Some(a) if a < x => return Some(witness_for(chain, a, x)),
+                None => first = Some(x),
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Concrete `(input, output)` pairs attaining the smallest and largest
+/// observed outputs. Exact for monotone chains (the endpoints); a sampled
+/// scan otherwise.
+fn observed_extremes(
+    chain: &TransformChain,
+    declared: RankRange,
+    monotone: bool,
+) -> ((Rank, Rank), (Rank, Rank)) {
+    if monotone {
+        return (
+            (declared.min, chain.apply(declared.min)),
+            (declared.max, chain.apply(declared.max)),
+        );
+    }
+    let span = declared.max - declared.min;
+    let points = span.min(SCAN_POINTS);
+    let mut min = (declared.min, chain.apply(declared.min));
+    let mut max = min;
+    for i in 0..=points {
+        let x = declared.min + ((span as u128 * i as u128) / points.max(1) as u128) as u64;
+        let y = chain.apply(x);
+        if y < min.1 {
+            min = (x, y);
+        }
+        if y > max.1 {
+            max = (x, y);
+        }
+    }
+    (min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn norm(min: u64, max: u64, levels: u64) -> RankTransform {
+        RankTransform::Normalize {
+            input: RankRange::new(min, max),
+            levels,
+        }
+    }
+
+    #[test]
+    fn clean_chain_has_no_findings() {
+        let chain =
+            TransformChain::from_ops(vec![norm(7, 9, 3), RankTransform::Shift { offset: 1 }]);
+        let check = check_chain(&chain, RankRange::new(7, 9), "tenants.0", "tenant 'T1'");
+        assert!(check.diagnostics.is_empty());
+        assert!(check.proved_order_preserving);
+        assert_eq!(check.observed_min, (7, 1));
+        assert_eq!(check.observed_max, (9, 3));
+    }
+
+    #[test]
+    fn quantization_reported_as_info_with_bound() {
+        let chain = TransformChain::from_ops(vec![norm(0, 2000, 512)]);
+        let check = check_chain(&chain, RankRange::new(0, 2000), "tenants.0", "tenant 'T1'");
+        assert_eq!(check.diagnostics.len(), 1);
+        let d = &check.diagnostics[0];
+        assert_eq!(d.code, DiagCode::QuantCollision);
+        assert_eq!(d.severity, Severity::Info);
+        assert!(d.message.contains("up to 4"), "{}", d.message);
+        assert!(check.proved_order_preserving);
+    }
+
+    #[test]
+    fn non_monotone_stride_yields_verified_inversion_witness() {
+        let chain = TransformChain::from_ops(vec![RankTransform::Stride {
+            every: 1,
+            width: 4,
+            offset: 0,
+        }]);
+        let check = check_chain(&chain, RankRange::new(0, 63), "tenants.0", "tenant 'T1'");
+        let d = check
+            .diagnostics
+            .iter()
+            .find(|d| d.code == DiagCode::NonMonotone)
+            .expect("inversion reported");
+        assert_eq!(d.severity, Severity::Error);
+        let w = d.witness.expect("witness attached");
+        assert!(w.input_a < w.input_b);
+        assert!(w.output_a > w.output_b, "witness must invert: {w}");
+        assert_eq!(chain.apply(w.input_a), w.output_a);
+        assert_eq!(chain.apply(w.input_b), w.output_b);
+        assert!(!check.proved_order_preserving);
+    }
+
+    #[test]
+    fn non_monotone_behind_prefix_still_witnessed() {
+        // Normalize first, then the bad stride: witness search must pull
+        // boundaries back through the prefix.
+        let chain = TransformChain::from_ops(vec![
+            norm(0, 100_000, 64),
+            RankTransform::Stride {
+                every: 2,
+                width: 8,
+                offset: 0,
+            },
+        ]);
+        let check = check_chain(
+            &chain,
+            RankRange::new(0, 100_000),
+            "tenants.0",
+            "tenant 'T1'",
+        );
+        let d = check
+            .diagnostics
+            .iter()
+            .find(|d| d.code == DiagCode::NonMonotone)
+            .expect("inversion reported");
+        let w = d.witness.expect("witness attached");
+        assert!(w.input_a < w.input_b && w.output_a > w.output_b);
+    }
+
+    #[test]
+    fn cycle_glue_reported_as_collapse() {
+        // every == width - 1: monotone but glues cycle tops to bottoms.
+        let chain = TransformChain::from_ops(vec![RankTransform::Stride {
+            every: 3,
+            width: 4,
+            offset: 0,
+        }]);
+        let check = check_chain(&chain, RankRange::new(0, 63), "tenants.0", "tenant 'T1'");
+        let d = check
+            .diagnostics
+            .iter()
+            .find(|d| d.code == DiagCode::OrderCollapse)
+            .expect("collapse reported");
+        assert_eq!(d.severity, Severity::Error);
+        let w = d.witness.expect("witness attached");
+        assert!(w.input_a < w.input_b);
+        assert_eq!(w.output_a, w.output_b, "collapse witness collides: {w}");
+    }
+
+    #[test]
+    fn unreachable_violation_downgraded_to_warning() {
+        // The bad stride boundary sits outside what the declared range can
+        // reach: range [10, 20] stays inside one 100-wide cycle.
+        let chain = TransformChain::from_ops(vec![RankTransform::Stride {
+            every: 1,
+            width: 100,
+            offset: 0,
+        }]);
+        let check = check_chain(&chain, RankRange::new(10, 20), "tenants.0", "tenant 'T1'");
+        // Inside one cycle the op is strict: no findings at all.
+        assert!(check.diagnostics.is_empty());
+        assert!(check.proved_order_preserving);
+    }
+
+    #[test]
+    fn saturating_shift_yields_collapse_witness() {
+        let chain = TransformChain::from_ops(vec![RankTransform::Shift {
+            offset: Rank::MAX - 10,
+        }]);
+        let check = check_chain(&chain, RankRange::new(0, 100), "tenants.0", "tenant 'T1'");
+        let d = check
+            .diagnostics
+            .iter()
+            .find(|d| d.code == DiagCode::Overflow)
+            .expect("overflow reported");
+        assert_eq!(d.severity, Severity::Error);
+        let w = d.witness.expect("witness attached");
+        assert!(w.input_a < w.input_b);
+        assert_eq!(w.output_a, Rank::MAX);
+        assert_eq!(w.output_b, Rank::MAX);
+        // Saturation keeps order (ties only): still order-preserving.
+        assert!(check.proved_order_preserving);
+    }
+
+    #[test]
+    fn clamp_into_declared_range_warns() {
+        let chain = TransformChain::from_ops(vec![RankTransform::Clamp {
+            range: RankRange::new(10, 20),
+        }]);
+        let check = check_chain(&chain, RankRange::new(0, 100), "tenants.0", "tenant 'T1'");
+        let d = check
+            .diagnostics
+            .iter()
+            .find(|d| d.code == DiagCode::ClampEngaged)
+            .expect("clamp reported");
+        assert_eq!(d.severity, Severity::Warning);
+    }
+}

@@ -14,7 +14,10 @@ use super::ScenarioError;
 use crate::config::{PreprocScope, QvisorSetup, SchedulerKind, SimConfig};
 use crate::report::SimReport;
 use crate::sim::Simulation;
-use qvisor_core::{MonitorConfig, SynthConfig, TenantSpec, UnknownTenantAction, ViolationAction};
+use qvisor_core::{
+    synthesize, verify, MonitorConfig, Policy, SpecPaths, SynthConfig, TenantSpec,
+    UnknownTenantAction, VerifyReport, ViolationAction,
+};
 use qvisor_ranking::RankRange;
 use qvisor_scheduler::Capacity;
 use qvisor_sim::{json::Value, EventCore, Nanos, NodeId, SimRng, TenantId};
@@ -34,6 +37,7 @@ pub struct Engine {
     telemetry: Telemetry,
     tracer: Tracer,
     event_core: EventCore,
+    deny_warnings: bool,
 }
 
 impl Engine {
@@ -60,11 +64,45 @@ impl Engine {
         self
     }
 
+    /// Treat verifier warnings as build failures (errors always fail).
+    pub fn with_deny_warnings(mut self, deny: bool) -> Engine {
+        self.deny_warnings = deny;
+        self
+    }
+
+    /// Statically verify `spec`'s QVISOR policy without building or
+    /// running anything: synthesize the joint policy and prove (or refute,
+    /// with witnesses) overflow-freedom, order preservation, and
+    /// cross-tenant isolation. Scenarios without a `qvisor` block verify
+    /// trivially.
+    pub fn check(&self, spec: &ScenarioSpec) -> Result<VerifyReport, ScenarioError> {
+        self.check_with_paths(spec, &SpecPaths::scenario())
+    }
+
+    /// Like [`Engine::check`], but roots diagnostic spans at `paths` —
+    /// e.g. `SpecPaths::with_prefix("base.qvisor.")` when the scenario is
+    /// the `base` of a sweep document.
+    pub fn check_with_paths(
+        &self,
+        spec: &ScenarioSpec,
+        paths: &SpecPaths,
+    ) -> Result<VerifyReport, ScenarioError> {
+        spec.validate()?;
+        verify_qvisor(spec, paths)
+    }
+
     /// Materialize `spec` into a ready-to-run simulation: topology built,
     /// QVISOR synthesized and deployed, rank functions registered, and all
     /// traffic loaded.
     pub fn build(&self, spec: &ScenarioSpec) -> Result<Simulation, ScenarioError> {
         spec.validate()?;
+        // Mandatory pre-deployment gate: refuse to materialize a policy
+        // the verifier refutes (warn-by-default; `with_deny_warnings`
+        // promotes warnings to failures).
+        let report = verify_qvisor(spec, &SpecPaths::scenario())?;
+        if report.gate_fails(self.deny_warnings) {
+            return Err(ScenarioError::Verify(Box::new(report)));
+        }
         let (topology, hosts) = build_topology(spec);
 
         // Phase 1: generate Poisson flows (each workload on its own RNG
@@ -229,6 +267,19 @@ impl Engine {
     pub fn run(&self, spec: &ScenarioSpec) -> Result<SimReport, ScenarioError> {
         Ok(self.build(spec)?.run())
     }
+}
+
+/// Synthesize the scenario's QVISOR policy and run the static verifier
+/// over it. Diagnostic spans point into the scenario document
+/// (`qvisor.tenants.N`, `qvisor.policy`, ...).
+fn verify_qvisor(spec: &ScenarioSpec, paths: &SpecPaths) -> Result<VerifyReport, ScenarioError> {
+    let Some(q) = spec.qvisor.as_ref() else {
+        return Ok(VerifyReport::empty());
+    };
+    let setup = build_qvisor(q);
+    let policy = Policy::parse(&setup.policy).map_err(ScenarioError::Build)?;
+    let joint = synthesize(&setup.specs, &policy, setup.synth).map_err(ScenarioError::Build)?;
+    Ok(verify(&joint, paths))
 }
 
 fn build_topology(spec: &ScenarioSpec) -> (Topology, Vec<NodeId>) {

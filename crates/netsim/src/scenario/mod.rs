@@ -47,6 +47,9 @@ pub enum ScenarioError {
     Json(qvisor_sim::json::ParseError),
     /// Materializing the scenario into a simulation failed.
     Build(qvisor_core::QvisorError),
+    /// The static policy verifier refuted a guarantee (or found warnings
+    /// under `--deny-warnings`). Carries the full report.
+    Verify(Box<qvisor_core::VerifyReport>),
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -55,6 +58,9 @@ impl std::fmt::Display for ScenarioError {
             ScenarioError::Field { path, msg } => write!(f, "scenario field `{path}`: {msg}"),
             ScenarioError::Json(e) => write!(f, "scenario JSON: {e}"),
             ScenarioError::Build(e) => write!(f, "scenario build: {e}"),
+            ScenarioError::Verify(report) => {
+                write!(f, "scenario verification failed\n{}", report.render_text())
+            }
         }
     }
 }
@@ -65,6 +71,7 @@ impl std::error::Error for ScenarioError {
             ScenarioError::Field { .. } => None,
             ScenarioError::Json(e) => Some(e),
             ScenarioError::Build(e) => Some(e),
+            ScenarioError::Verify(_) => None,
         }
     }
 }

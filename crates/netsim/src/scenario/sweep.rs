@@ -224,11 +224,13 @@ pub fn sanitize_export(jsonl: &str) -> String {
 /// per-scenario seeded RNG) and merge results in grid order. Output is
 /// byte-identical at any `jobs` level. With `with_telemetry`, each point
 /// runs under its own enabled registry and returns a sanitized JSONL
-/// snapshot.
+/// snapshot. Every point passes through the static policy verifier
+/// before running; `deny_warnings` promotes its warnings to failures.
 pub fn run_sweep(
     spec: &SweepSpec,
     jobs: usize,
     with_telemetry: bool,
+    deny_warnings: bool,
 ) -> Result<Vec<SweepPointResult>, ScenarioError> {
     let points = spec.points()?;
     if points.is_empty() {
@@ -248,7 +250,7 @@ pub fn run_sweep(
                     break;
                 }
                 let point = &points[idx];
-                let result = run_point(point, with_telemetry);
+                let result = run_point(point, with_telemetry, deny_warnings);
                 if tx.send((idx, result)).is_err() {
                     break;
                 }
@@ -268,7 +270,11 @@ pub fn run_sweep(
     Ok(results)
 }
 
-fn run_point(point: &SweepPoint, with_telemetry: bool) -> Result<SweepPointResult, ScenarioError> {
+fn run_point(
+    point: &SweepPoint,
+    with_telemetry: bool,
+    deny_warnings: bool,
+) -> Result<SweepPointResult, ScenarioError> {
     // Telemetry registries are thread-local by construction (`Rc`-based
     // handles), so each point builds its own inside the worker.
     let (engine, telemetry) = if with_telemetry {
@@ -277,6 +283,7 @@ fn run_point(point: &SweepPoint, with_telemetry: bool) -> Result<SweepPointResul
     } else {
         (Engine::new(), None)
     };
+    let engine = engine.with_deny_warnings(deny_warnings);
     let report = engine.run(&point.spec)?;
     Ok(SweepPointResult {
         index: point.index,

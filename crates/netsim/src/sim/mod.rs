@@ -106,7 +106,9 @@ impl Simulation {
         let (joint, preproc, monitor, adapter) = match &cfg.qvisor {
             Some(setup) => {
                 let policy = Policy::parse(&setup.policy)?;
-                let started = std::time::Instant::now();
+                // determinism: allowed (self-profiler measures host
+                // synthesis cost; stripped from deterministic exports)
+                let started = std::time::Instant::now(); // determinism: allowed
                 let joint = qvisor_core::synthesize(&setup.specs, &policy, setup.synth)?;
                 let synth_ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
                 cfg.telemetry

@@ -55,8 +55,8 @@ const SWEEP: &str = r#"{
 #[test]
 fn sweep_output_is_byte_identical_at_any_jobs_level() {
     let spec = SweepSpec::from_json(SWEEP).unwrap();
-    let serial = run_sweep(&spec, 1, true).unwrap();
-    let parallel = run_sweep(&spec, 8, true).unwrap();
+    let serial = run_sweep(&spec, 1, true, false).unwrap();
+    let parallel = run_sweep(&spec, 8, true, false).unwrap();
     assert_eq!(serial.len(), 4);
 
     // Merged results document: byte-identical.
@@ -92,7 +92,7 @@ fn sweep_output_is_byte_identical_at_any_jobs_level() {
 fn oversubscribed_jobs_clamp_to_the_grid() {
     let spec = SweepSpec::from_json(SWEEP).unwrap();
     // More workers than points: still every point exactly once, in order.
-    let results = run_sweep(&spec, 64, false).unwrap();
+    let results = run_sweep(&spec, 64, false, false).unwrap();
     assert_eq!(results.len(), 4);
     for (i, r) in results.iter().enumerate() {
         assert_eq!(r.index, i);

@@ -4,7 +4,9 @@
 //! wrapper) so every command is unit-testable: each takes parsed inputs
 //! and returns the text it would print.
 
-use qvisor_core::{analyze, compile, DeploymentConfig, HardwareModel, QvisorError};
+use qvisor_core::{
+    analyze, compile, verify, DeploymentConfig, HardwareModel, QvisorError, SpecPaths, VerifyReport,
+};
 use qvisor_netsim::{Engine, ScenarioError, ScenarioSpec, SweepSpec};
 use qvisor_scheduler::Capacity;
 use std::fmt::Write as _;
@@ -29,6 +31,9 @@ pub enum CliError {
         /// The underlying I/O error.
         source: std::io::Error,
     },
+    /// `qvisor check` refuted the policy (or found warnings under
+    /// `--deny-warnings`). Carries the rendered report.
+    Check(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -40,6 +45,7 @@ impl std::fmt::Display for CliError {
             CliError::Telemetry(msg) => write!(f, "invalid telemetry export: {msg}"),
             CliError::Scenario(e) => write!(f, "{e}"),
             CliError::Output { path, source } => write!(f, "cannot write {path}: {source}"),
+            CliError::Check(report) => write!(f, "{report}check: verification FAILED"),
         }
     }
 }
@@ -73,10 +79,12 @@ USAGE:
     qvisor analyze <config.json>                 verify worst-case guarantees
     qvisor compile <config.json> --queues N --rank-bits B
                                                  fit onto constrained hardware
+    qvisor check <file.json>                     statically verify a policy
+               [--deny-warnings] [--jsonl]       (config, scenario, or sweep)
     qvisor run <scenario.json>                   run a declarative scenario
-               [--telemetry PATH] [--trace PATH]
+               [--telemetry PATH] [--trace PATH] [--deny-warnings]
     qvisor sweep <sweep.json> [--jobs N]         run a scenario grid in parallel
-               [--out PATH] [--telemetry PREFIX]
+               [--out PATH] [--telemetry PREFIX] [--deny-warnings]
     qvisor telemetry report <export.jsonl>       render a telemetry export
     qvisor trace report <trace.jsonl>            latency breakdown + inversions
     qvisor trace export <trace.jsonl>            convert to Chrome/Perfetto JSON
@@ -88,6 +96,12 @@ Scenario files describe a full simulation declaratively (topology, workloads,
 schedulers, QVISOR deployment); see examples/scenarios/. Sweep files add a
 grid of overrides on top of a base scenario; see examples/sweeps/. Sweep
 output is byte-identical at any --jobs level.
+
+`check` proves (or refutes, with concrete witness rank pairs) that the
+synthesized policy is overflow-free, order-preserving, and isolating —
+without running a simulation. It auto-detects the file kind and checks every
+grid point of a sweep. The same verifier gates `run` and `sweep`: errors
+always refuse to build; --deny-warnings also refuses on warnings.
 
 The config file is the Fig. 1 Configuration API as JSON:
     { \"tenants\": [ {\"id\": 1, \"name\": \"T1\", \"algorithm\": \"pFabric\",
@@ -117,6 +131,13 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .ok_or_else(|| CliError::Usage("compile needs a config file".into()))?;
             let (queues, rank_bits) = parse_compile_flags(&args[2..])?;
             cmd_compile(&std::fs::read_to_string(path)?, queues, rank_bits)
+        }
+        Some("check") => {
+            let path = args.get(1).ok_or_else(|| {
+                CliError::Usage("check needs a config, scenario, or sweep file".into())
+            })?;
+            let opts = parse_check_flags(&args[2..])?;
+            cmd_check(&std::fs::read_to_string(path)?, &opts)
         }
         Some("run") => {
             let path = args
@@ -202,6 +223,8 @@ pub struct RunOpts {
     pub telemetry: Option<String>,
     /// Write the packet-lifecycle trace snapshot (JSONL) here.
     pub trace: Option<String>,
+    /// Refuse to run when the verifier finds warnings (errors always refuse).
+    pub deny_warnings: bool,
 }
 
 fn parse_run_flags(args: &[String]) -> Result<RunOpts, CliError> {
@@ -225,6 +248,38 @@ fn parse_run_flags(args: &[String]) -> Result<RunOpts, CliError> {
                 );
                 i += 2;
             }
+            "--deny-warnings" => {
+                opts.deny_warnings = true;
+                i += 1;
+            }
+            other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
+        }
+    }
+    Ok(opts)
+}
+
+/// Options for `qvisor check`.
+#[derive(Debug, Default)]
+pub struct CheckOpts {
+    /// Fail on warnings too (errors always fail).
+    pub deny_warnings: bool,
+    /// Emit machine-readable JSONL instead of the text report.
+    pub jsonl: bool,
+}
+
+fn parse_check_flags(args: &[String]) -> Result<CheckOpts, CliError> {
+    let mut opts = CheckOpts::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--deny-warnings" => {
+                opts.deny_warnings = true;
+                i += 1;
+            }
+            "--jsonl" => {
+                opts.jsonl = true;
+                i += 1;
+            }
             other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
         }
     }
@@ -240,6 +295,8 @@ pub struct SweepOpts {
     pub out: Option<String>,
     /// Write per-point telemetry snapshots as `PREFIX.point<i>.telemetry.jsonl`.
     pub telemetry: Option<String>,
+    /// Refuse to run when the verifier finds warnings (errors always refuse).
+    pub deny_warnings: bool,
 }
 
 impl Default for SweepOpts {
@@ -248,6 +305,7 @@ impl Default for SweepOpts {
             jobs: 1,
             out: None,
             telemetry: None,
+            deny_warnings: false,
         }
     }
 }
@@ -281,6 +339,10 @@ fn parse_sweep_flags(args: &[String]) -> Result<SweepOpts, CliError> {
                 );
                 i += 2;
             }
+            "--deny-warnings" => {
+                opts.deny_warnings = true;
+                i += 1;
+            }
             other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
         }
     }
@@ -296,8 +358,84 @@ fn write_output(path: &str, contents: &str) -> Result<(), CliError> {
     })
 }
 
+/// `qvisor check`: statically verify a policy without running anything.
+/// Auto-detects the document kind — a sweep (has `base`; every grid point
+/// is checked), a scenario (has `topology`/`workloads`), or a raw
+/// deployment config (`tenants` + `policy`).
+pub fn cmd_check(json: &str, opts: &CheckOpts) -> Result<String, CliError> {
+    use qvisor_sim::json::Value;
+    let v = Value::parse(json).map_err(|e| CliError::Scenario(ScenarioError::Json(e)))?;
+    // `(label, report)` pairs: sweeps produce one per grid point, the
+    // other kinds a single unlabeled report.
+    let reports: Vec<(String, VerifyReport)> = if v.get("base").is_some() {
+        let sweep = SweepSpec::from_value(&v)?;
+        let engine = Engine::new();
+        let paths = SpecPaths::with_prefix("base.qvisor.");
+        let mut out = Vec::new();
+        for point in sweep.points()? {
+            let label = if point.label.is_empty() {
+                format!("point {}", point.index)
+            } else {
+                point.label.clone()
+            };
+            out.push((label, engine.check_with_paths(&point.spec, &paths)?));
+        }
+        out
+    } else if v.get("topology").is_some() || v.get("workloads").is_some() {
+        let spec = ScenarioSpec::from_value(&v)?;
+        vec![(String::new(), Engine::new().check(&spec)?)]
+    } else {
+        let config = DeploymentConfig::from_json(json)?;
+        let joint = config.synthesize()?;
+        vec![(String::new(), verify(&joint, &SpecPaths::config()))]
+    };
+
+    let mut out = String::new();
+    for (label, report) in &reports {
+        if opts.jsonl {
+            if !label.is_empty() {
+                let line = Value::object()
+                    .set("type", "point")
+                    .set("label", label.as_str());
+                out.push_str(&line.to_compact());
+                out.push('\n');
+            }
+            out.push_str(&report.to_jsonl());
+        } else {
+            if !label.is_empty() {
+                writeln!(out, "== {label} ==").unwrap();
+            }
+            out.push_str(&report.render_text());
+        }
+    }
+    if reports
+        .iter()
+        .any(|(_, r)| r.gate_fails(opts.deny_warnings))
+    {
+        return Err(CliError::Check(out));
+    }
+    if !opts.jsonl {
+        out.push_str("check: OK\n");
+    }
+    Ok(out)
+}
+
+/// The `verify:` banner for a scenario: one line per warning-or-worse
+/// verifier finding. Printed to stderr by `cmd_run` so stdout stays pure
+/// report JSON.
+fn verify_banner(engine: &Engine, spec: &ScenarioSpec) -> Result<String, CliError> {
+    let mut banner = String::new();
+    for d in engine.check(spec)?.gate_findings() {
+        writeln!(banner, "verify: {d}").unwrap();
+    }
+    Ok(banner)
+}
+
 /// `qvisor run`: materialize and execute one declarative scenario, printing
-/// the deterministic report JSON.
+/// the deterministic report JSON to stdout. Verifier findings at warning
+/// level or above are surfaced first, one `verify:` line each on stderr
+/// (the engine refuses to build on errors, or on warnings under
+/// `--deny-warnings`).
 pub fn cmd_run(scenario_json: &str, opts: &RunOpts) -> Result<String, CliError> {
     use qvisor_telemetry::{Telemetry, TraceConfig, Tracer};
     let spec = ScenarioSpec::from_json(scenario_json)?;
@@ -311,20 +449,26 @@ pub fn cmd_run(scenario_json: &str, opts: &RunOpts) -> Result<String, CliError> 
     } else {
         Tracer::disabled()
     };
-    let report = Engine::new()
+    let engine = Engine::new()
         .with_telemetry(&telemetry)
         .with_tracer(&tracer)
-        .run(&spec)?;
+        .with_deny_warnings(opts.deny_warnings);
+    eprint!("{}", verify_banner(&engine, &spec)?);
+    let mut out = String::new();
+    let report = engine.run(&spec)?;
     if let Some(path) = &opts.telemetry {
         write_output(path, &telemetry.export_jsonl())?;
     }
     if let Some(path) = &opts.trace {
         write_output(path, &tracer.snapshot().to_jsonl())?;
     }
-    Ok(format!(
-        "{}\n",
+    writeln!(
+        out,
+        "{}",
         qvisor_netsim::scenario::report_json(&report).to_pretty()
-    ))
+    )
+    .unwrap();
+    Ok(out)
 }
 
 /// `qvisor sweep`: run a scenario grid across worker threads and emit the
@@ -332,7 +476,12 @@ pub fn cmd_run(scenario_json: &str, opts: &RunOpts) -> Result<String, CliError> 
 pub fn cmd_sweep(sweep_json: &str, opts: &SweepOpts) -> Result<String, CliError> {
     use qvisor_netsim::scenario::{merged_value, run_sweep};
     let spec = SweepSpec::from_json(sweep_json)?;
-    let results = run_sweep(&spec, opts.jobs, opts.telemetry.is_some())?;
+    let results = run_sweep(
+        &spec,
+        opts.jobs,
+        opts.telemetry.is_some(),
+        opts.deny_warnings,
+    )?;
     let mut out = String::new();
     if let Some(prefix) = &opts.telemetry {
         for r in &results {
@@ -671,6 +820,7 @@ mod tests {
         let opts = RunOpts {
             telemetry: Some(tpath.to_str().unwrap().to_string()),
             trace: Some(rpath.to_str().unwrap().to_string()),
+            ..RunOpts::default()
         };
         cmd_run(SCENARIO, &opts).unwrap();
         let telemetry = std::fs::read_to_string(&tpath).unwrap();
@@ -682,7 +832,7 @@ mod tests {
         // A bad output path reports the path instead of panicking.
         let opts = RunOpts {
             telemetry: Some("/nonexistent_dir_qvisor/deep/t.jsonl".into()),
-            trace: None,
+            ..RunOpts::default()
         };
         let err = cmd_run(SCENARIO, &opts).unwrap_err();
         assert!(err
@@ -744,6 +894,130 @@ mod tests {
             parse_run_flags(&args(&["--wat"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    /// A scenario carrying a QVISOR deployment (two tenants, strict policy).
+    const QSCENARIO: &str = r#"{
+        "name": "cli-check-test",
+        "seed": 1,
+        "topology": { "dumbbell": { "pairs": 1, "edge_bps": 1000000000,
+                                    "bottleneck_bps": 1000000000, "delay_ns": 1000 } },
+        "sim": { "horizon": { "at_ns": 10000000 } },
+        "qvisor": {
+            "tenants": [
+                { "id": 1, "name": "pFabric", "algorithm": "pFabric",
+                  "rank_min": 0, "rank_max": 2000, "levels": 512 },
+                { "id": 2, "name": "EDF", "algorithm": "EDF",
+                  "rank_min": 0, "rank_max": 2, "levels": 64 }
+            ],
+            "policy": "EDF >> pFabric"
+        },
+        "workloads": [ { "flows": { "list": [
+            { "tenant": 1, "src_host": 0, "dst_host": 1, "size": 100000, "start_ns": 0 }
+        ] } } ]
+    }"#;
+
+    #[test]
+    fn check_passes_the_example_config() {
+        let out = cmd_check(&example_json(), &CheckOpts::default()).unwrap();
+        assert!(out.contains("QVISOR policy verification"));
+        assert!(out.contains("check: OK"));
+        // Quantization findings are info-level: deny-warnings still passes.
+        let strict = CheckOpts {
+            deny_warnings: true,
+            jsonl: false,
+        };
+        assert!(cmd_check(&example_json(), &strict).is_ok());
+    }
+
+    #[test]
+    fn check_refutes_a_saturating_config_with_witness() {
+        // first_rank = u64::MAX - 5 pins every band at the rank ceiling.
+        let bad = r#"{
+            "tenants": [
+                { "id": 1, "name": "T1", "algorithm": "x",
+                  "rank_min": 0, "rank_max": 1000 },
+                { "id": 2, "name": "T2", "algorithm": "y",
+                  "rank_min": 0, "rank_max": 1000 }
+            ],
+            "policy": "T1 >> T2",
+            "synth": { "first_rank": 18446744073709551610 }
+        }"#;
+        let err = cmd_check(bad, &CheckOpts::default()).unwrap_err();
+        assert!(matches!(err, CliError::Check(_)));
+        let text = err.to_string();
+        assert!(text.contains("QV-OVERFLOW"));
+        assert!(text.contains("witness"));
+        assert!(text.contains("verification FAILED"));
+    }
+
+    #[test]
+    fn check_handles_scenario_and_sweep_documents() {
+        // No qvisor block: trivially clean.
+        let out = cmd_check(SCENARIO, &CheckOpts::default()).unwrap();
+        assert!(out.contains("check: OK"));
+        // A scenario with a deployment verifies every tenant.
+        let out = cmd_check(QSCENARIO, &CheckOpts::default()).unwrap();
+        assert!(out.contains("qvisor.tenants.0"));
+        assert!(out.contains("check: OK"));
+        // A sweep checks every grid point, labeled.
+        let sweep = format!(
+            r#"{{ "base": {QSCENARIO}, "axes": [ {{ "path": "seed", "values": [1, 2] }} ] }}"#
+        );
+        let out = cmd_check(&sweep, &CheckOpts::default()).unwrap();
+        assert!(out.contains("== seed=1 =="));
+        assert!(out.contains("== seed=2 =="));
+        assert!(out.contains("check: OK"));
+    }
+
+    #[test]
+    fn check_jsonl_roots_sweep_paths_under_base() {
+        let sweep = format!(r#"{{ "base": {QSCENARIO}, "axes": [] }}"#);
+        let opts = CheckOpts {
+            deny_warnings: false,
+            jsonl: true,
+        };
+        let out = cmd_check(&sweep, &opts).unwrap();
+        for line in out.lines() {
+            qvisor_sim::json::Value::parse(line).expect("every line is JSON");
+        }
+        assert!(out.contains("base.qvisor.tenants.0"));
+        assert!(out.contains("\"type\":\"verify_summary\""));
+        assert!(out.contains("\"label\":\"point 0\""));
+    }
+
+    #[test]
+    fn check_dispatches_through_cli_with_flags() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(matches!(run(&args(&["check"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&args(&["check", "x.json", "--wat"])),
+            Err(CliError::Usage(_))
+        ));
+        let path = std::env::temp_dir().join("qvisor_cli_test_check.json");
+        std::fs::write(&path, example_json()).unwrap();
+        let out = run(&args(&["check", path.to_str().unwrap(), "--deny-warnings"])).unwrap();
+        assert!(out.contains("check: OK"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn run_refuses_a_refuted_scenario() {
+        // An unscheduled tenant is warning-level: fine by default, fatal
+        // under --deny-warnings.
+        let warned = QSCENARIO.replace("\"policy\": \"EDF >> pFabric\"", "\"policy\": \"EDF\"");
+        let spec = ScenarioSpec::from_json(&warned).unwrap();
+        let banner = verify_banner(&Engine::new(), &spec).unwrap();
+        assert!(banner.contains("verify: warning QV-UNSCHEDULED"));
+        // The warning goes to stderr; stdout stays pure report JSON.
+        let out = cmd_run(&warned, &RunOpts::default()).unwrap();
+        assert!(out.starts_with('{') && out.contains("\"end_time_ns\""));
+        let strict = RunOpts {
+            deny_warnings: true,
+            ..RunOpts::default()
+        };
+        let err = cmd_run(&warned, &strict).unwrap_err();
+        assert!(err.to_string().contains("QV-UNSCHEDULED"));
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Seeded-mutation tests for the static policy verifier.
+//!
+//! Baseline: every checked-in example (scenario, sweep, and config alike)
+//! verifies clean even under `--deny-warnings` semantics. Then each test
+//! corrupts one spec field of a known-good example — through the same
+//! dotted-path patch mechanism the sweep runner uses — and asserts the
+//! verifier reports the *expected diagnostic code at the expected spec
+//! path*, not merely "something failed". Violation classes that the
+//! synthesizer can never emit from scenario JSON (a compressing stride, an
+//! engaged clamp) are injected at the chain level via `check_chain`.
+
+use qvisor_core::verify::check_chain;
+use qvisor_core::{DiagCode, RankTransform, Severity, SpecPaths, TransformChain, VerifyReport};
+use qvisor_netsim::scenario::{Engine, ScenarioSpec, SweepSpec};
+use qvisor_ranking::RankRange;
+use qvisor_sim::json::Value;
+use std::path::Path;
+
+/// A `first_rank` close enough to `Rank::MAX` that every synthesized
+/// band is glued to the rank ceiling: each tenant's shift saturates and
+/// the strict levels can no longer be disjoint.
+const SATURATING_FIRST_RANK: u64 = u64::MAX - 1;
+
+fn example(rel: &str) -> Value {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples")
+        .join(rel);
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    Value::parse(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()))
+}
+
+/// Patch `value` into `scenario` at dotted `path` via the sweep-runner's
+/// own patch mechanism (a one-axis, one-value sweep), then strictly
+/// re-parse the result.
+fn mutate(scenario: &Value, path: &str, value: Value) -> ScenarioSpec {
+    let axis = Value::object()
+        .set("path", path)
+        .set("values", Value::from(vec![value]));
+    let sweep = Value::object()
+        .set("base", scenario.clone())
+        .set("axes", Value::from(vec![axis]));
+    let spec = SweepSpec::from_value(&sweep).unwrap_or_else(|e| panic!("wrap {path}: {e}"));
+    let mut points = spec
+        .points()
+        .unwrap_or_else(|e| panic!("patch {path}: {e}"));
+    assert_eq!(points.len(), 1);
+    points.remove(0).spec
+}
+
+fn verify_scenario(spec: &ScenarioSpec) -> VerifyReport {
+    Engine::new().check(spec).expect("spec must stay valid")
+}
+
+fn find<'r>(report: &'r VerifyReport, code: DiagCode, span: &str) -> &'r qvisor_core::Diagnostic {
+    report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == code && d.span == span)
+        .unwrap_or_else(|| panic!("no {code:?} at '{span}' in:\n{}", report.render_text()))
+}
+
+#[test]
+fn checked_in_examples_verify_clean() {
+    for rel in [
+        "scenarios/fig4_point.json",
+        "scenarios/fault_injection.json",
+        "scenarios/weighted_share.json",
+        "scenarios/incast.json",
+        "scenarios/fairtree_bound.json",
+    ] {
+        let spec = ScenarioSpec::from_value(&example(rel)).unwrap_or_else(|e| panic!("{rel}: {e}"));
+        let report = verify_scenario(&spec);
+        assert!(
+            !report.gate_fails(true),
+            "{rel} must verify clean under deny-warnings:\n{}",
+            report.render_text()
+        );
+    }
+    let sweep = SweepSpec::from_value(&example("sweeps/fig4_grid.json")).unwrap();
+    for point in sweep.points().unwrap() {
+        let report = verify_scenario(&point.spec);
+        assert!(
+            !report.gate_fails(true),
+            "fig4_grid point '{}' must verify clean:\n{}",
+            point.label,
+            report.render_text()
+        );
+    }
+}
+
+/// A saturating `first_rank` pushes every tenant band against the rank
+/// ceiling: each chain overflows (with a collapsing witness) and the
+/// strict levels can no longer be disjoint.
+#[test]
+fn saturating_synth_mutant_refutes_overflow_and_isolation() {
+    let synth = Value::object()
+        .set("default_levels", 8u64)
+        .set("first_rank", SATURATING_FIRST_RANK)
+        .set("pref_bias_divisor", 2u64);
+    let spec = mutate(&example("scenarios/fig4_point.json"), "qvisor.synth", synth);
+    let report = verify_scenario(&spec);
+    assert!(report.has_errors() && report.gate_fails(false));
+
+    // Both tenants' chains saturate, and the error carries a concrete
+    // collapsing pair.
+    for tenant in ["qvisor.tenants.0", "qvisor.tenants.1"] {
+        let d = find(&report, DiagCode::Overflow, tenant);
+        assert_eq!(d.severity, Severity::Error);
+        let w = d.witness.expect("overflow error must carry a witness");
+        assert!(w.input_a < w.input_b && w.output_a == w.output_b);
+    }
+
+    // With every band glued to the ceiling the strict levels overlap,
+    // with a concrete cross-tenant pair colliding at Rank::MAX.
+    let d = find(&report, DiagCode::StrictOverlap, "qvisor.policy");
+    assert_eq!(d.severity, Severity::Error);
+    let w = d.witness.expect("overlap error must carry a witness");
+    assert_eq!(w.output_a, w.output_b);
+}
+
+/// Removing a tenant from the policy string leaves its spec unscheduled:
+/// a warning at that tenant's path, fatal only under deny-warnings.
+#[test]
+fn policy_dropping_a_tenant_warns_unscheduled() {
+    let spec = mutate(
+        &example("scenarios/fig4_point.json"),
+        "qvisor.policy",
+        Value::from("EDF"),
+    );
+    let report = verify_scenario(&spec);
+    let d = find(&report, DiagCode::Unscheduled, "qvisor.tenants.0");
+    assert_eq!(d.severity, Severity::Warning);
+    assert!(d.message.contains("pFabric"));
+    assert!(!report.gate_fails(false) && report.gate_fails(true));
+}
+
+/// Collapsing a tenant's levels to 2 is legal but lossy: the verifier
+/// reports the exact quantization collision bound at the tenant's path.
+#[test]
+fn coarse_quantization_mutant_reports_collision_bound() {
+    let spec = mutate(
+        &example("scenarios/fault_injection.json"),
+        "qvisor.tenants.0.levels",
+        Value::from(2u64),
+    );
+    let report = verify_scenario(&spec);
+    let d = find(&report, DiagCode::QuantCollision, "qvisor.tenants.0");
+    assert_eq!(d.severity, Severity::Info);
+    // Declared [0, 2000] over 2 levels: at least ~1000 distinct inputs
+    // per bucket, and the message embeds the tenant's computed bound.
+    let row = report
+        .tenants
+        .iter()
+        .find(|t| t.path == "qvisor.tenants.0")
+        .expect("tenant row present");
+    assert!(row.collision_bound >= 1001, "bound {}", row.collision_bound);
+    assert!(
+        d.message
+            .contains(&format!("up to {}", row.collision_bound)),
+        "message '{}' must embed bound {}",
+        d.message,
+        row.collision_bound
+    );
+    // Info never gates, even under deny-warnings.
+    assert!(!report.gate_fails(true));
+}
+
+/// The same mutation applied through a sweep document roots diagnostics
+/// under `base.qvisor.` so they point into the sweep file, not the
+/// resolved point.
+#[test]
+fn sweep_point_mutants_root_diagnostics_under_base() {
+    let grid = example("sweeps/fig4_grid.json");
+    let synth = Value::object()
+        .set("default_levels", 8u64)
+        .set("first_rank", SATURATING_FIRST_RANK)
+        .set("pref_bias_divisor", 2u64);
+    let axis = Value::object()
+        .set("path", "qvisor.synth")
+        .set("values", Value::from(vec![synth]));
+    let sweep = Value::object()
+        .set("base", grid.get("base").expect("sweep has a base").clone())
+        .set("axes", Value::from(vec![axis]));
+    let spec = SweepSpec::from_value(&sweep).unwrap();
+    let points = spec.points().unwrap();
+    assert_eq!(points.len(), 1);
+    for point in points {
+        let report = Engine::new()
+            .check_with_paths(&point.spec, &SpecPaths::with_prefix("base.qvisor."))
+            .unwrap();
+        let d = find(&report, DiagCode::Overflow, "base.qvisor.tenants.0");
+        assert_eq!(d.severity, Severity::Error);
+        let d = find(&report, DiagCode::StrictOverlap, "base.qvisor.policy");
+        assert_eq!(d.severity, Severity::Error);
+    }
+}
+
+/// Scenario JSON can never synthesize a compressing stride or an engaged
+/// clamp, so those violation classes are injected at the chain level.
+#[test]
+fn chain_level_mutants_are_caught_with_witnesses() {
+    let declared = RankRange::new(0, 1000);
+
+    // Stride with `every < width` wraps outputs and inverts input order.
+    let compressing = TransformChain::from_ops(vec![RankTransform::Stride {
+        every: 3,
+        width: 10,
+        offset: 0,
+    }]);
+    let check = check_chain(&compressing, declared, "tenants.0", "tenant 'M'");
+    assert!(!check.proved_order_preserving);
+    let d = check
+        .diagnostics
+        .iter()
+        .find(|d| d.code == DiagCode::NonMonotone && d.severity == Severity::Error)
+        .expect("compressing stride must refute as non-monotone");
+    let w = d.witness.expect("refutation carries an inverting witness");
+    assert!(w.input_a < w.input_b && w.output_a > w.output_b);
+    assert_eq!(compressing.apply(w.input_a), w.output_a);
+    assert_eq!(compressing.apply(w.input_b), w.output_b);
+
+    // A clamp that truncates the declared range loses order granularity.
+    let clamped = TransformChain::from_ops(vec![RankTransform::Clamp {
+        range: RankRange::new(0, 10),
+    }]);
+    let check = check_chain(&clamped, declared, "tenants.1", "tenant 'C'");
+    let d = check
+        .diagnostics
+        .iter()
+        .find(|d| d.code == DiagCode::ClampEngaged)
+        .expect("engaged clamp must warn");
+    assert_eq!(d.severity, Severity::Warning);
+}

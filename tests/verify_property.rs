@@ -1,0 +1,205 @@
+//! Property tests tying the static verifier to the exact PIFO:
+//!
+//! - A chain the verifier *proves* order-preserving produces zero
+//!   intra-tenant inversions when its outputs schedule real packets on an
+//!   exact PIFO — out-of-input-order pops happen only at equal output
+//!   ranks (quantization ties), and no output bucket exceeds the computed
+//!   collision bound.
+//! - Every error-severity refutation carries a witness pair that
+//!   *actually* misbehaves: the outputs re-check through
+//!   `TransformChain::apply`, and an inverting pair demonstrably inverts
+//!   on a real PIFO.
+
+use qvisor_core::verify::check_chain;
+use qvisor_core::{DiagCode, RankTransform, Severity, TransformChain};
+use qvisor_ranking::RankRange;
+use qvisor_scheduler::{Capacity, Enqueue, PacketQueue, PifoQueue};
+use qvisor_sim::{FlowId, Nanos, NodeId, Packet, Rank, SimRng, TenantId};
+use std::collections::{BTreeMap, BTreeSet};
+
+const CHAINS: usize = 300;
+const PACKETS: u64 = 64;
+
+/// A packet whose scheduler-visible rank is `out` and whose tenant-intent
+/// rank is `input`.
+fn packet(seq: u64, input: Rank, out: Rank) -> Packet {
+    let mut p = Packet::data(
+        FlowId(1),
+        TenantId(1),
+        seq,
+        100,
+        NodeId(0),
+        NodeId(1),
+        input,
+        Nanos::ZERO,
+    );
+    p.txf_rank = out;
+    p
+}
+
+/// A random chain over a random declared range. Parameters are drawn so
+/// the population mixes healthy chains (normalize/shift, strides with
+/// `every >= width`) with broken ones (compressing strides, huge shifts).
+fn random_chain(rng: &mut SimRng) -> (TransformChain, RankRange) {
+    let lo = rng.below(10_000);
+    let declared = RankRange::new(lo, lo + 1 + rng.below(100_000));
+    let mut ops = Vec::new();
+    let mut cur = declared;
+    for _ in 0..=rng.below(2) {
+        match rng.below(4) {
+            0 => {
+                let levels = 2 + rng.below(1024);
+                ops.push(RankTransform::Normalize { input: cur, levels });
+                cur = RankRange::new(0, levels - 1);
+            }
+            1 => {
+                // Occasionally an offset large enough to saturate.
+                let offset = if rng.below(8) == 0 {
+                    Rank::MAX - rng.below(1000)
+                } else {
+                    rng.below(1 << 20)
+                };
+                ops.push(RankTransform::Shift { offset });
+                cur = RankRange::new(
+                    cur.min.saturating_add(offset),
+                    cur.max.saturating_add(offset),
+                );
+            }
+            2 => {
+                let width = 1 + rng.below(64);
+                // Half the time a healthy stride, half a compressing one.
+                let every = if rng.below(2) == 0 {
+                    width + rng.below(64)
+                } else {
+                    1 + rng.below(width)
+                };
+                ops.push(RankTransform::Stride {
+                    every,
+                    width,
+                    offset: rng.below(1000),
+                });
+                cur = RankRange::new(0, cur.max.saturating_mul(2));
+            }
+            _ => {
+                let a = rng.below(1 << 20);
+                let b = a + rng.below(1 << 20);
+                ops.push(RankTransform::Clamp {
+                    range: RankRange::new(a, b),
+                });
+                cur = RankRange::new(cur.min.max(a).min(b), cur.max.max(a).min(b));
+            }
+        }
+    }
+    (TransformChain::from_ops(ops), declared)
+}
+
+#[test]
+fn proved_monotone_chains_never_invert_on_an_exact_pifo() {
+    let mut rng = SimRng::seed_from(0xC0FFEE).derive(1);
+    let mut proved = 0usize;
+    for _ in 0..CHAINS {
+        let (chain, declared) = random_chain(&mut rng);
+        let check = check_chain(&chain, declared, "tenants.0", "tenant 'T'");
+        if !check.proved_order_preserving {
+            continue;
+        }
+        proved += 1;
+
+        // Schedule random tenant inputs through the chain on a real PIFO.
+        let mut q = PifoQueue::new(Capacity::bytes(u64::MAX));
+        let span = declared.max - declared.min;
+        // Buckets count *distinct* inputs per output (the sampler may
+        // draw the same input twice; the bound is about distinct ranks).
+        let mut buckets: BTreeMap<Rank, BTreeSet<Rank>> = BTreeMap::new();
+        for seq in 0..PACKETS {
+            let input = declared.min + rng.below(span.saturating_add(1));
+            let out = chain.apply(input);
+            buckets.entry(out).or_default().insert(input);
+            assert!(matches!(
+                q.enqueue(packet(seq, input, out), Nanos::ZERO),
+                Enqueue::Accepted
+            ));
+        }
+
+        // Pop order may only deviate from input order at equal outputs.
+        let mut popped = Vec::new();
+        while let Some(p) = q.dequeue(Nanos::ZERO) {
+            popped.push(p);
+        }
+        for i in 0..popped.len() {
+            for j in (i + 1)..popped.len() {
+                let (a, b) = (&popped[i], &popped[j]);
+                assert!(
+                    a.rank <= b.rank || a.txf_rank == b.txf_rank,
+                    "inversion on a proved-monotone chain: input {} popped \
+                     before input {} with outputs {} vs {} ({chain})",
+                    a.rank,
+                    b.rank,
+                    a.txf_rank,
+                    b.txf_rank,
+                );
+            }
+        }
+
+        // Observed collisions stay within the verifier's bound.
+        let worst = buckets.values().map(|b| b.len() as u64).max().unwrap_or(0);
+        assert!(
+            worst <= check.analysis.collision_bound,
+            "bucket of {worst} exceeds bound {} ({chain})",
+            check.analysis.collision_bound
+        );
+    }
+    assert!(
+        proved >= 50,
+        "only {proved} proved chains; generator drifted"
+    );
+}
+
+#[test]
+fn every_refutation_witness_actually_misbehaves() {
+    let mut rng = SimRng::seed_from(0xC0FFEE).derive(2);
+    let mut inverting = 0usize;
+    let mut collapsing = 0usize;
+    for _ in 0..CHAINS {
+        let (chain, declared) = random_chain(&mut rng);
+        let check = check_chain(&chain, declared, "tenants.0", "tenant 'T'");
+        for d in &check.diagnostics {
+            if d.severity != Severity::Error {
+                continue;
+            }
+            let w = d
+                .witness
+                .unwrap_or_else(|| panic!("error without witness: {d}"));
+            // Witness outputs re-check through the real apply.
+            assert!(w.input_a < w.input_b, "witness inputs ordered: {w}");
+            assert_eq!(chain.apply(w.input_a), w.output_a, "{chain}");
+            assert_eq!(chain.apply(w.input_b), w.output_b, "{chain}");
+            assert!(declared.contains(w.input_a) && declared.contains(w.input_b));
+            match d.code {
+                DiagCode::NonMonotone => {
+                    assert!(w.output_a > w.output_b, "must invert: {w}");
+                    // And it inverts for real: the later, larger input pops
+                    // first on an exact PIFO.
+                    let mut q = PifoQueue::new(Capacity::bytes(u64::MAX));
+                    q.enqueue(packet(0, w.input_a, w.output_a), Nanos::ZERO);
+                    q.enqueue(packet(1, w.input_b, w.output_b), Nanos::ZERO);
+                    let first = q.dequeue(Nanos::ZERO).unwrap();
+                    assert_eq!(
+                        first.rank, w.input_b,
+                        "PIFO must pop the larger input first: {w} ({chain})"
+                    );
+                    inverting += 1;
+                }
+                DiagCode::OrderCollapse | DiagCode::Overflow => {
+                    assert_eq!(w.output_a, w.output_b, "must collapse: {w}");
+                    collapsing += 1;
+                }
+                other => panic!("unexpected error code {other:?} from check_chain"),
+            }
+        }
+    }
+    assert!(
+        inverting >= 10 && collapsing >= 10,
+        "generator drifted: {inverting} inverting, {collapsing} collapsing"
+    );
+}
