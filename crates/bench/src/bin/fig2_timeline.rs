@@ -116,8 +116,8 @@ fn control_plane_timeline() {
     let t1 = Instant::now();
     let new_joint = adapter
         .apply(&proposal)
-        .expect("T3 remains")
-        .expect("re-synthesis succeeds");
+        .expect("re-synthesis succeeds")
+        .expect("T3 remains");
     let resynth = t1.elapsed();
     let report = analyze(&new_joint);
     assert!(report.all_guarantees_hold());

@@ -231,6 +231,35 @@ impl RuntimeAdapter {
         self.version
     }
 
+    /// The tenant specs as the adapter currently sees them (drift
+    /// tightenings and [`RuntimeAdapter::update_spec`] replacements
+    /// applied), in registration order.
+    pub fn specs(&self) -> &[TenantSpec] {
+        &self.specs
+    }
+
+    /// The operator policy the adapter projects onto active tenants.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// Replace the registered spec for `spec.id` (a tenant re-declaring its
+    /// range, algorithm, or quantization — the control-plane daemon's
+    /// submission path). Returns `false` when no spec with that id is
+    /// registered; the population itself is fixed at construction.
+    ///
+    /// The replacement takes effect at the next [`RuntimeAdapter::apply`];
+    /// the currently deployed joint policy is not touched.
+    pub fn update_spec(&mut self, spec: TenantSpec) -> bool {
+        match self.specs.iter_mut().find(|s| s.id == spec.id) {
+            Some(slot) => {
+                *slot = spec;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Compare monitor state against the current deployment and propose an
     /// adaptation, or `None` when nothing changed.
     pub fn propose(&self, monitor: &RuntimeMonitor, now: Nanos) -> Option<Adaptation> {
@@ -259,14 +288,22 @@ impl RuntimeAdapter {
     }
 
     /// Apply an adaptation: re-synthesize over the active tenants with any
-    /// tightened ranges. Returns `None` when no scheduled tenant remains.
+    /// tightened ranges.
+    ///
+    /// * `Ok(Some(joint))` — a new joint policy was synthesized and the
+    ///   transform version bumped; deploy it.
+    /// * `Ok(None)` — no scheduled tenant remains (every active tenant left
+    ///   the policy, or the active set is empty). This is still a new,
+    ///   empty deployment: the version bumps so downstream snapshots stay
+    ///   distinguishable from the previous non-empty one.
+    /// * `Err(_)` — synthesis failed; the version is not bumped.
     ///
     /// Tightened ranges persist into the adapter's view of the specs so the
     /// same drift is not re-proposed every tick. Tightening is a one-way
     /// ratchet: a tenant that later exceeds its tightened range shows up as
     /// monitor violations (clamped/dropped per policy) — the signal to
     /// re-declare, not something the adapter widens silently.
-    pub fn apply(&mut self, adaptation: &Adaptation) -> Option<Result<JointPolicy>> {
+    pub fn apply(&mut self, adaptation: &Adaptation) -> Result<Option<JointPolicy>> {
         let mut specs = self.specs.clone();
         for (tenant, range) in &adaptation.tightened {
             if let Some(s) = specs.iter_mut().find(|s| s.id == *tenant) {
@@ -278,8 +315,16 @@ impl RuntimeAdapter {
             .filter(|s| adaptation.active.contains(&s.id))
             .map(|s| s.name.as_str())
             .collect();
-        let policy = retain_tenants(&self.policy, &keep)?;
         self.current_active = adaptation.active.clone();
+        let Some(policy) = retain_tenants(&self.policy, &keep) else {
+            // Empty deployment: the departure still reconfigures the data
+            // plane (all bands reclaimed), so it gets its own version.
+            self.specs = specs;
+            self.recompiles.inc();
+            self.version += 1;
+            self.version_gauge.set(self.version as i64);
+            return Ok(None);
+        };
         let active_specs: Vec<TenantSpec> = specs
             .iter()
             .filter(|s| adaptation.active.contains(&s.id))
@@ -294,11 +339,10 @@ impl RuntimeAdapter {
         self.synth_ns.record(elapsed);
         self.resynth_prof.record_ns(elapsed);
         self.recompiles.inc();
-        if result.is_ok() {
-            self.version += 1;
-            self.version_gauge.set(self.version as i64);
-        }
-        Some(result)
+        let joint = result?;
+        self.version += 1;
+        self.version_gauge.set(self.version as i64);
+        Ok(Some(joint))
     }
 }
 
@@ -526,5 +570,100 @@ mod tests {
         assert!(retain_tenants(&policy, &[]).is_none());
         let same = retain_tenants(&policy, &["T1", "T2", "T3", "T4", "T5"]).unwrap();
         assert_eq!(same, policy);
+    }
+
+    #[test]
+    fn retain_tenants_empty_keep_set_on_every_shape() {
+        for text in ["T1", "T1 + T2", "T1 > T2", "T1 >> T2", "T1 >> T2 + T3 > T4"] {
+            let policy = Policy::parse(text).unwrap();
+            assert!(retain_tenants(&policy, &[]).is_none(), "policy {text}");
+        }
+    }
+
+    #[test]
+    fn retain_tenants_identity_preserves_weights_and_nesting() {
+        let policy = Policy::parse("T1:3 + T2 > T3 >> T4:2 + T5").unwrap();
+        let same = retain_tenants(&policy, &["T1", "T2", "T3", "T4", "T5"]).unwrap();
+        assert_eq!(same, policy);
+        assert_eq!(same.to_string(), "T1:3 + T2 > T3 >> T4:2 + T5");
+    }
+
+    #[test]
+    fn retain_tenants_prunes_nested_share_and_strict_structure() {
+        let policy = Policy::parse("T1 + T2 >> T3 + T4 > T5 >> T6").unwrap();
+        // Dropping one share-group member keeps the group (and its weight).
+        let kept = retain_tenants(&policy, &["T1", "T3", "T4", "T6"]).unwrap();
+        assert_eq!(kept.to_string(), "T1 >> T3 + T4 >> T6");
+        // Dropping a whole group collapses the preference chain around it.
+        let kept = retain_tenants(&policy, &["T1", "T2", "T5", "T6"]).unwrap();
+        assert_eq!(kept.to_string(), "T1 + T2 >> T5 >> T6");
+        // Dropping a whole strict level removes the level entirely.
+        let kept = retain_tenants(&policy, &["T1", "T6"]).unwrap();
+        assert_eq!(kept.to_string(), "T1 >> T6");
+        // A single survivor keeps only its own (single-level) policy.
+        let kept = retain_tenants(&policy, &["T5"]).unwrap();
+        assert_eq!(kept.to_string(), "T5");
+        // Names not in the policy at all contribute nothing.
+        assert!(retain_tenants(&policy, &["T9"]).is_none());
+    }
+
+    #[test]
+    fn apply_empty_active_set_is_a_versioned_empty_deployment() {
+        let policy = Policy::parse("T1 >> T2 + T3").unwrap();
+        let mut adapter = RuntimeAdapter::new(
+            specs(),
+            policy,
+            SynthConfig::default(),
+            MonitorConfig::default(),
+        );
+        assert_eq!(adapter.transform_version(), 1);
+        // Everyone departs: no joint policy, but the reconfiguration is
+        // still versioned so snapshots of the empty state are distinct.
+        let empty = Adaptation {
+            active: vec![],
+            tightened: vec![],
+        };
+        assert!(adapter.apply(&empty).unwrap().is_none());
+        assert_eq!(adapter.transform_version(), 2);
+        // A tenant coming back re-synthesizes and bumps again.
+        let back = Adaptation {
+            active: vec![TenantId(3)],
+            tightened: vec![],
+        };
+        let joint = adapter.apply(&back).unwrap().expect("T3 is scheduled");
+        assert!(joint.chain(TenantId(3)).is_some());
+        assert_eq!(adapter.transform_version(), 3);
+    }
+
+    #[test]
+    fn update_spec_feeds_the_next_apply() {
+        let policy = Policy::parse("T1 >> T2 + T3").unwrap();
+        let mut adapter = RuntimeAdapter::new(
+            specs(),
+            policy,
+            SynthConfig::default(),
+            MonitorConfig::default(),
+        );
+        // T3 re-declares a wider range with explicit quantization.
+        let replaced = adapter.update_spec(
+            TenantSpec::new(TenantId(3), "T3", "WFQ", RankRange::new(0, 5000)).with_levels(16),
+        );
+        assert!(replaced);
+        assert_eq!(adapter.specs()[2].algorithm, "WFQ");
+        // Unknown ids are refused, population is fixed.
+        assert!(!adapter.update_spec(TenantSpec::new(
+            TenantId(9),
+            "T9",
+            "x",
+            RankRange::new(0, 1)
+        )));
+        let all = Adaptation {
+            active: vec![TenantId(1), TenantId(2), TenantId(3)],
+            tightened: vec![],
+        };
+        let joint = adapter.apply(&all).unwrap().unwrap();
+        let spec = joint.specs.iter().find(|s| s.id == TenantId(3)).unwrap();
+        assert_eq!(spec.range, RankRange::new(0, 5000));
+        assert_eq!(spec.levels, Some(16));
     }
 }

@@ -218,7 +218,7 @@ impl Simulation {
             return;
         };
         if let Some(proposal) = adapter.propose(monitor, now) {
-            if let Some(Ok(new_joint)) = adapter.apply(&proposal) {
+            if let Ok(Some(new_joint)) = adapter.apply(&proposal) {
                 preproc.reload(&new_joint);
                 self.joint = Some(new_joint);
                 self.report.reconfigurations += 1;

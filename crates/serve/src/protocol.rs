@@ -1,0 +1,196 @@
+//! The daemon's wire protocol: line-delimited JSON over TCP.
+//!
+//! Every request is a single line holding one JSON object with an `"op"`
+//! field; every response is a single line holding one JSON object with an
+//! `"ok"` boolean. Malformed requests produce an error response and leave
+//! the connection open. The full schema is documented in DESIGN.md
+//! ("Control plane").
+
+use qvisor_core::config_api::TenantConfig;
+use qvisor_sim::json::{self, Value};
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Submit (or re-submit) one tenant's policy declaration; runs the
+    /// admission gate and, on acceptance, resynthesizes the joint policy.
+    SubmitPolicy(TenantConfig),
+    /// Withdraw a live tenant by name; its rank space is reclaimed.
+    WithdrawTenant(String),
+    /// Read the published chain for one tenant, or all chains.
+    GetChain(Option<String>),
+    /// Control-plane counters and the current version.
+    Status,
+    /// The full canonical snapshot (used for replay byte-comparison).
+    Snapshot,
+    /// The accepted-mutation log (used for sequential replay).
+    GetLog,
+    /// Turn this connection into a telemetry snapshot stream.
+    SubscribeTelemetry,
+    /// Stop the daemon cleanly.
+    Shutdown,
+}
+
+/// Parse a tenant document (the `submit-policy` body shape). Errors are
+/// client-facing strings.
+pub fn tenant_config_from_value(v: &Value) -> Result<TenantConfig, String> {
+    let err = |e: json::ParseError| format!("invalid tenant document: {}", e.msg);
+    let levels = match v.get("levels") {
+        None => None,
+        Some(l) if l.is_null() => None,
+        Some(l) => Some(
+            l.as_u64()
+                .ok_or("invalid tenant document: field 'levels' must be a non-negative integer")?,
+        ),
+    };
+    let id = json::field_u64(v, "id").map_err(err)?;
+    let id = u16::try_from(id).map_err(|_| "field 'id' does not fit a tenant id (u16)")?;
+    Ok(TenantConfig {
+        id,
+        name: json::field_str(v, "name").map_err(err)?.to_string(),
+        algorithm: json::field_str(v, "algorithm").map_err(err)?.to_string(),
+        rank_min: json::field_u64(v, "rank_min").map_err(err)?,
+        rank_max: json::field_u64(v, "rank_max").map_err(err)?,
+        levels,
+    })
+}
+
+/// Serialize a tenant document (the inverse of the `submit-policy` body).
+pub fn tenant_config_value(t: &TenantConfig) -> Value {
+    let obj = Value::object()
+        .set("id", u64::from(t.id))
+        .set("name", t.name.as_str())
+        .set("algorithm", t.algorithm.as_str())
+        .set("rank_min", t.rank_min)
+        .set("rank_max", t.rank_max);
+    match t.levels {
+        Some(levels) => obj.set("levels", levels),
+        None => obj,
+    }
+}
+
+impl Request {
+    /// Parse one request line. Errors are client-facing strings.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = Value::parse(line).map_err(|e| format!("request is not JSON: {}", e.msg))?;
+        let op = v
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or("request has no string 'op' field")?;
+        match op {
+            "submit-policy" => {
+                let tenant = v
+                    .get("tenant")
+                    .ok_or("submit-policy needs a 'tenant' object")?;
+                Ok(Request::SubmitPolicy(tenant_config_from_value(tenant)?))
+            }
+            "withdraw-tenant" => {
+                let name = v
+                    .get("tenant")
+                    .and_then(Value::as_str)
+                    .ok_or("withdraw-tenant needs a string 'tenant' field")?;
+                Ok(Request::WithdrawTenant(name.to_string()))
+            }
+            "get-chain" => match v.get("tenant") {
+                None => Ok(Request::GetChain(None)),
+                Some(t) => Ok(Request::GetChain(Some(
+                    t.as_str()
+                        .ok_or("get-chain 'tenant' must be a string")?
+                        .to_string(),
+                ))),
+            },
+            "status" => Ok(Request::Status),
+            "snapshot" => Ok(Request::Snapshot),
+            "get-log" => Ok(Request::GetLog),
+            "subscribe-telemetry" => Ok(Request::SubscribeTelemetry),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op '{other}'")),
+        }
+    }
+
+    /// Serialize back to a request line (used by tests and the harness).
+    pub fn to_line(&self) -> String {
+        let v = match self {
+            Request::SubmitPolicy(t) => Value::object()
+                .set("op", "submit-policy")
+                .set("tenant", tenant_config_value(t)),
+            Request::WithdrawTenant(name) => Value::object()
+                .set("op", "withdraw-tenant")
+                .set("tenant", name.as_str()),
+            Request::GetChain(None) => Value::object().set("op", "get-chain"),
+            Request::GetChain(Some(name)) => Value::object()
+                .set("op", "get-chain")
+                .set("tenant", name.as_str()),
+            Request::Status => Value::object().set("op", "status"),
+            Request::Snapshot => Value::object().set("op", "snapshot"),
+            Request::GetLog => Value::object().set("op", "get-log"),
+            Request::SubscribeTelemetry => Value::object().set("op", "subscribe-telemetry"),
+            Request::Shutdown => Value::object().set("op", "shutdown"),
+        };
+        v.to_compact()
+    }
+}
+
+/// Build an `{"ok":false,"error":…}` response line value.
+pub fn error_response(msg: &str) -> Value {
+    Value::object().set("ok", false).set("error", msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_roundtrip() {
+        let reqs = [
+            Request::SubmitPolicy(TenantConfig {
+                id: 3,
+                name: "gold".into(),
+                algorithm: "pFabric".into(),
+                rank_min: 0,
+                rank_max: 999,
+                levels: Some(16),
+            }),
+            Request::WithdrawTenant("gold".into()),
+            Request::GetChain(None),
+            Request::GetChain(Some("gold".into())),
+            Request::Status,
+            Request::Snapshot,
+            Request::GetLog,
+            Request::SubscribeTelemetry,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            assert_eq!(Request::parse(&req.to_line()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn levels_is_optional() {
+        let req = Request::parse(
+            r#"{"op":"submit-policy","tenant":{"id":1,"name":"a","algorithm":"x","rank_min":0,"rank_max":9}}"#,
+        )
+        .unwrap();
+        match req {
+            Request::SubmitPolicy(t) => assert_eq!(t.levels, None),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_client_errors() {
+        assert!(Request::parse("{oops").unwrap_err().contains("not JSON"));
+        assert!(Request::parse("{}").unwrap_err().contains("'op'"));
+        assert!(Request::parse(r#"{"op":"fly"}"#)
+            .unwrap_err()
+            .contains("unknown op"));
+        assert!(Request::parse(r#"{"op":"submit-policy"}"#)
+            .unwrap_err()
+            .contains("tenant"));
+        assert!(Request::parse(
+            r#"{"op":"submit-policy","tenant":{"id":99999,"name":"a","algorithm":"x","rank_min":0,"rank_max":9}}"#
+        )
+        .unwrap_err()
+        .contains("u16"));
+    }
+}

@@ -36,11 +36,13 @@ pub mod journal;
 pub mod perfetto;
 pub mod profile;
 pub mod report;
+pub mod stream;
 pub mod trace;
 
 pub use hist::{Bucket, LogHistogram, SUB_BITS};
 pub use journal::{Journal, JournalEvent};
 pub use profile::{ProfileSpan, ProfileStat, Profiler};
+pub use stream::SnapshotBus;
 pub use trace::{TraceConfig, TraceData, TraceKind, TraceRecord, Tracer};
 
 #[cfg(feature = "enabled")]

@@ -1,0 +1,118 @@
+//! Fan-out snapshot streaming for long-running processes.
+//!
+//! The control-plane daemon publishes a telemetry snapshot after every
+//! committed reconfiguration; any number of subscribers (TCP sessions
+//! serving `subscribe-telemetry`) receive each published line. The bus is
+//! deliberately minimal and thread-safe without any feature gating — it
+//! carries already-serialised JSON lines, so it works identically whether
+//! the `enabled` telemetry feature is on (real snapshots) or off (empty
+//! exports).
+//!
+//! Delivery is at-most-once per subscriber and never blocks the publisher:
+//! each subscriber owns an unbounded channel, and subscribers that have
+//! hung up are pruned on the next publish.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Mutex;
+
+/// A broadcast bus for serialized telemetry snapshot lines.
+///
+/// Cloneless by design: share it behind an `Arc`. Publishing walks the
+/// subscriber list under a short mutex; sends are non-blocking.
+#[derive(Debug, Default)]
+pub struct SnapshotBus {
+    subscribers: Mutex<Vec<Sender<String>>>,
+}
+
+impl SnapshotBus {
+    /// Create an empty bus with no subscribers.
+    pub fn new() -> SnapshotBus {
+        SnapshotBus::default()
+    }
+
+    /// Register a new subscriber; every subsequent [`publish`](Self::publish)
+    /// delivers one `String` per call to the returned receiver. Dropping the
+    /// receiver unsubscribes (the sender is pruned on the next publish).
+    pub fn subscribe(&self) -> Receiver<String> {
+        let (tx, rx) = channel();
+        self.subscribers
+            .lock()
+            .expect("snapshot bus poisoned")
+            .push(tx);
+        rx
+    }
+
+    /// Deliver `line` to every live subscriber, pruning closed ones.
+    /// Returns the number of subscribers that received the line.
+    pub fn publish(&self, line: &str) -> usize {
+        let mut subs = self.subscribers.lock().expect("snapshot bus poisoned");
+        subs.retain(|tx| tx.send(line.to_string()).is_ok());
+        subs.len()
+    }
+
+    /// Number of currently registered subscribers (including any that have
+    /// hung up but have not yet been pruned by a publish).
+    pub fn len(&self) -> usize {
+        self.subscribers
+            .lock()
+            .expect("snapshot bus poisoned")
+            .len()
+    }
+
+    /// True when no subscribers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_reaches_every_subscriber() {
+        let bus = SnapshotBus::new();
+        let a = bus.subscribe();
+        let b = bus.subscribe();
+        assert_eq!(bus.publish("snap-1"), 2);
+        assert_eq!(a.recv().unwrap(), "snap-1");
+        assert_eq!(b.recv().unwrap(), "snap-1");
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let bus = SnapshotBus::new();
+        let a = bus.subscribe();
+        let b = bus.subscribe();
+        drop(b);
+        assert_eq!(bus.publish("snap"), 1);
+        assert_eq!(a.recv().unwrap(), "snap");
+        assert_eq!(bus.len(), 1);
+    }
+
+    #[test]
+    fn publish_without_subscribers_is_fine() {
+        let bus = SnapshotBus::new();
+        assert!(bus.is_empty());
+        assert_eq!(bus.publish("snap"), 0);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        use std::sync::Arc;
+        let bus = Arc::new(SnapshotBus::new());
+        let rx = bus.subscribe();
+        let publisher = {
+            let bus = Arc::clone(&bus);
+            std::thread::spawn(move || {
+                for i in 0..10u32 {
+                    bus.publish(&format!("line-{i}"));
+                }
+            })
+        };
+        publisher.join().unwrap();
+        let got: Vec<String> = rx.try_iter().collect();
+        assert_eq!(got.len(), 10);
+        assert_eq!(got[9], "line-9");
+    }
+}

@@ -32,6 +32,7 @@ const LINT_ROOTS: &[&str] = &[
     "crates/netsim/src",
     "crates/scheduler/src",
     "crates/core/src",
+    "crates/serve/src",
 ];
 
 /// Inline waiver marker: a finding on a line carrying this comment is

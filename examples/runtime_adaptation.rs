@@ -93,8 +93,8 @@ fn main() {
             }
             let new_joint = adapter
                 .apply(&adaptation)
-                .expect("active set is non-empty")
-                .expect("re-synthesis succeeds");
+                .expect("re-synthesis succeeds")
+                .expect("active set is non-empty");
             pre.reload(&new_joint);
             println!("\n=== re-synthesized deployment ===");
             println!("{}", analyze(&new_joint));

@@ -34,6 +34,8 @@ pub enum CliError {
     /// `qvisor check` refuted the policy (or found warnings under
     /// `--deny-warnings`). Carries the rendered report.
     Check(String),
+    /// The control-plane daemon failed to start or run.
+    Serve(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -46,6 +48,7 @@ impl std::fmt::Display for CliError {
             CliError::Scenario(e) => write!(f, "{e}"),
             CliError::Output { path, source } => write!(f, "cannot write {path}: {source}"),
             CliError::Check(report) => write!(f, "{report}check: verification FAILED"),
+            CliError::Serve(msg) => write!(f, "serve error: {msg}"),
         }
     }
 }
@@ -85,10 +88,13 @@ USAGE:
                [--telemetry PATH] [--trace PATH] [--deny-warnings]
     qvisor sweep <sweep.json> [--jobs N]         run a scenario grid in parallel
                [--out PATH] [--telemetry PREFIX] [--deny-warnings]
+    qvisor serve <config.json>                   run the control-plane daemon
+               [--listen ADDR] [--deny-warnings] (line-delimited JSON over TCP)
     qvisor telemetry report <export.jsonl>       render a telemetry export
     qvisor trace report <trace.jsonl>            latency breakdown + inversions
     qvisor trace export <trace.jsonl>            convert to Chrome/Perfetto JSON
     qvisor example                               print a starter config
+    qvisor help                                  show this help (also --help, -h)
 
 Report commands accept '-' in place of a file to read from stdin.
 
@@ -183,7 +189,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             ))),
             None => Err(CliError::Usage("trace needs a subcommand".into())),
         },
+        Some("serve") => {
+            let path = args
+                .get(1)
+                .ok_or_else(|| CliError::Usage("serve needs a daemon config file".into()))?;
+            let opts = parse_serve_flags(&args[2..])?;
+            cmd_serve(&std::fs::read_to_string(path)?, &opts)
+        }
         Some("example") => Ok(example_config()),
+        Some("help" | "--help" | "-h") => Ok(USAGE.to_string()),
         Some(other) => Err(CliError::Usage(format!("unknown command '{other}'"))),
         None => Err(CliError::Usage("no command given".into())),
     }
@@ -214,6 +228,64 @@ fn parse_compile_flags(args: &[String]) -> Result<(usize, u32), CliError> {
         }
     }
     Ok((queues, rank_bits))
+}
+
+/// Options for `qvisor serve`.
+#[derive(Clone, Debug)]
+pub struct ServeOpts {
+    /// Listen address (`host:port`; port 0 picks an ephemeral port).
+    pub listen: String,
+    /// Reject submissions whose verification reports warnings.
+    pub deny_warnings: bool,
+}
+
+impl Default for ServeOpts {
+    fn default() -> ServeOpts {
+        ServeOpts {
+            listen: "127.0.0.1:4733".to_string(),
+            deny_warnings: false,
+        }
+    }
+}
+
+fn parse_serve_flags(args: &[String]) -> Result<ServeOpts, CliError> {
+    let mut opts = ServeOpts::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => {
+                opts.listen = args
+                    .get(i + 1)
+                    .ok_or_else(|| CliError::Usage("--listen needs an address".into()))?
+                    .clone();
+                i += 2;
+            }
+            "--deny-warnings" => {
+                opts.deny_warnings = true;
+                i += 1;
+            }
+            other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
+        }
+    }
+    Ok(opts)
+}
+
+/// `qvisor serve`: run the control-plane daemon until a client sends
+/// `{"op":"shutdown"}`. The bound address is announced on stderr (so
+/// scripts using `--listen 127.0.0.1:0` can discover the port) and the
+/// run summary is returned for stdout.
+fn cmd_serve(config_text: &str, opts: &ServeOpts) -> Result<String, CliError> {
+    let config = DeploymentConfig::from_json(config_text)?;
+    let daemon = qvisor_serve::Daemon::start(
+        config,
+        qvisor_serve::ServeOptions {
+            listen: opts.listen.clone(),
+            deny_warnings: opts.deny_warnings,
+        },
+    )
+    .map_err(CliError::Serve)?;
+    eprintln!("serve: listening on {}", daemon.local_addr());
+    Ok(daemon.wait())
 }
 
 /// Options for `qvisor run`.
@@ -665,6 +737,51 @@ mod tests {
         let err = cmd_synth("{nope").unwrap_err();
         assert!(matches!(err, CliError::Qvisor(QvisorError::Parse { .. })));
         assert!(err.to_string().contains("configuration JSON"));
+    }
+
+    #[test]
+    fn help_lists_every_subcommand() {
+        for invocation in ["help", "--help", "-h"] {
+            let out = run(&[invocation.to_string()]).unwrap();
+            for cmd in [
+                "synth",
+                "analyze",
+                "compile",
+                "check",
+                "run",
+                "sweep",
+                "serve",
+                "telemetry",
+                "trace",
+                "example",
+                "help",
+            ] {
+                assert!(
+                    out.contains(&format!("qvisor {cmd}")),
+                    "{invocation}: {cmd}"
+                );
+            }
+        }
+        // `help` succeeds, unlike a bare or unknown invocation.
+        assert!(run(&[]).is_err());
+        assert!(run(&["frobnicate".to_string()]).is_err());
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let opts = parse_serve_flags(&[]).unwrap();
+        assert_eq!(opts.listen, "127.0.0.1:4733");
+        assert!(!opts.deny_warnings);
+        let opts = parse_serve_flags(&[
+            "--listen".to_string(),
+            "127.0.0.1:0".to_string(),
+            "--deny-warnings".to_string(),
+        ])
+        .unwrap();
+        assert_eq!(opts.listen, "127.0.0.1:0");
+        assert!(opts.deny_warnings);
+        assert!(parse_serve_flags(&["--port".to_string()]).is_err());
+        assert!(parse_serve_flags(&["--listen".to_string()]).is_err());
     }
 
     #[test]
