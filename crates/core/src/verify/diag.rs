@@ -63,6 +63,22 @@ pub enum DiagCode {
 }
 
 impl DiagCode {
+    /// Every diagnostic code, in declaration order. Lets tooling (the
+    /// fuzz corpus naming contract, doc generators) enumerate the stable
+    /// code strings without hand-maintaining a parallel list.
+    pub const ALL: [DiagCode; 10] = [
+        DiagCode::Overflow,
+        DiagCode::ClampEngaged,
+        DiagCode::NonMonotone,
+        DiagCode::OrderCollapse,
+        DiagCode::QuantCollision,
+        DiagCode::StrictOverlap,
+        DiagCode::StrictOrder,
+        DiagCode::ShareBand,
+        DiagCode::PreferDegenerate,
+        DiagCode::Unscheduled,
+    ];
+
     /// The stable code string.
     pub fn as_str(&self) -> &'static str {
         match self {

@@ -1,0 +1,199 @@
+//! Self-contained fuzz corpus documents.
+//!
+//! A corpus document freezes one (usually minimized) deployment together
+//! with the verdict the harness expects of it:
+//!
+//! ```json
+//! {
+//!   "fuzz": {"seed": 61637, "case": 42},
+//!   "config": { "tenants": [...], "policy": "...", "synth": {...} },
+//!   "expect": {"verdict": "errors", "codes": ["QV-OVERFLOW"], "cross_inversions": 0}
+//! }
+//! ```
+//!
+//! `config` is a complete `DeploymentConfig`; `expect.verdict` is the
+//! verifier verdict class (`clean` / `warnings` / `errors`),
+//! `expect.codes` the sorted distinct QV-* codes, and
+//! `expect.cross_inversions` the queue oracle's cross-tenant
+//! strict-level inversion count. `qvisor check` recognizes these
+//! documents and replays them (exact verdict, codes, inversion count,
+//! witness replays, zero disagreements), as does
+//! `tests/fuzz_regressions.rs` — so every fuzz-found bug stays a
+//! regression test forever.
+
+use qvisor_core::{verify, DeploymentConfig, SpecPaths, VerifyReport};
+use qvisor_sim::json::Value;
+
+use crate::gen::FuzzCase;
+use crate::oracle::{run_case_with, CaseOutcome, Verdict};
+
+/// Does this parsed JSON document look like a fuzz corpus entry?
+pub fn is_corpus_doc(v: &Value) -> bool {
+    v.get("config").is_some() && v.get("expect").is_some()
+}
+
+/// Render a case + its observed outcome as a corpus document.
+pub fn corpus_value(case: &FuzzCase, outcome: &CaseOutcome) -> Value {
+    let codes: Vec<Value> = outcome
+        .codes
+        .iter()
+        .map(|c| Value::from(c.as_str()))
+        .collect();
+    let config = Value::parse(&case.config.to_json()).expect("config JSON is well-formed");
+    Value::object()
+        .set(
+            "fuzz",
+            Value::object()
+                .set("seed", case.seed)
+                .set("case", case.index),
+        )
+        .set("config", config)
+        .set(
+            "expect",
+            Value::object()
+                .set("verdict", outcome.verdict.as_str())
+                .set("codes", Value::from(codes))
+                .set("cross_inversions", outcome.cross_inversions),
+        )
+}
+
+/// A successful corpus replay: the recomputed verifier report and the
+/// oracle outcome that matched the recorded expectation.
+#[derive(Clone, Debug)]
+pub struct ReplayOutcome {
+    /// The verifier report recomputed from the stored config.
+    pub report: VerifyReport,
+    /// The oracle outcome (verdict, codes, inversions, disagreements).
+    pub outcome: CaseOutcome,
+}
+
+fn expect_str<'v>(v: &'v Value, key: &str) -> Result<&'v str, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("corpus document: expect.{key} missing or not a string"))
+}
+
+/// Replay a corpus document: re-verify the stored config, re-run the
+/// witness and queue oracles, and compare against the recorded
+/// expectation. Returns an error describing the first mismatch.
+pub fn replay_corpus(text: &str) -> Result<ReplayOutcome, String> {
+    let doc = Value::parse(text).map_err(|e| format!("corpus document is not JSON: {e}"))?;
+    if !is_corpus_doc(&doc) {
+        return Err("not a corpus document (missing `config` or `expect`)".into());
+    }
+    let config_value = doc.get("config").expect("checked above");
+    let config = DeploymentConfig::from_json(&config_value.to_pretty())
+        .map_err(|e| format!("corpus config: {e}"))?;
+    let (seed, index) = match doc.get("fuzz") {
+        Some(f) => (
+            f.get("seed").and_then(Value::as_u64).unwrap_or(0),
+            f.get("case").and_then(Value::as_u64).unwrap_or(0),
+        ),
+        None => (0, 0),
+    };
+    let expect = doc.get("expect").expect("checked above");
+    let want_verdict = Verdict::parse(expect_str(expect, "verdict")?)
+        .ok_or_else(|| "corpus document: unknown expect.verdict".to_string())?;
+    let want_codes: Vec<String> = expect
+        .get("codes")
+        .and_then(Value::as_array)
+        .ok_or("corpus document: expect.codes missing or not an array")?
+        .iter()
+        .map(|c| {
+            c.as_str()
+                .map(str::to_string)
+                .ok_or("corpus document: expect.codes entry is not a string".to_string())
+        })
+        .collect::<Result<_, _>>()?;
+    let want_inversions = expect
+        .get("cross_inversions")
+        .and_then(Value::as_u64)
+        .ok_or("corpus document: expect.cross_inversions missing")?;
+
+    let case = FuzzCase {
+        seed,
+        index,
+        config,
+        rank_fns: Vec::new(),
+    };
+    let outcome = run_case_with(&case, false);
+    if !outcome.disagreements.is_empty() {
+        return Err(format!(
+            "replay found verifier-vs-simulation disagreements: {}",
+            outcome.disagreements.join("; ")
+        ));
+    }
+    if outcome.verdict != want_verdict {
+        return Err(format!(
+            "verdict drifted: recorded {}, verifier now says {}",
+            want_verdict.as_str(),
+            outcome.verdict.as_str()
+        ));
+    }
+    if outcome.codes != want_codes {
+        return Err(format!(
+            "diagnostic codes drifted: recorded [{}], verifier now emits [{}]",
+            want_codes.join(", "),
+            outcome.codes.join(", ")
+        ));
+    }
+    if outcome.cross_inversions != want_inversions {
+        return Err(format!(
+            "queue oracle drifted: recorded {want_inversions} cross-tenant inversions, now {}",
+            outcome.cross_inversions
+        ));
+    }
+    let joint = case
+        .config
+        .synthesize()
+        .map_err(|e| format!("corpus config no longer synthesizes: {e}"))?;
+    let report = verify(&joint, &SpecPaths::config());
+    Ok(ReplayOutcome { report, outcome })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate_case;
+
+    #[test]
+    fn a_fresh_outcome_round_trips_through_its_corpus_document() {
+        let case = generate_case(crate::DEFAULT_SEED, 5);
+        let outcome = run_case_with(&case, false);
+        assert!(
+            outcome.disagreements.is_empty(),
+            "{:?}",
+            outcome.disagreements
+        );
+        let doc = corpus_value(&case, &outcome).to_pretty();
+        let replay = replay_corpus(&doc).expect("replay must match its own recording");
+        assert_eq!(replay.outcome.verdict, outcome.verdict);
+        assert_eq!(replay.outcome.codes, outcome.codes);
+        assert_eq!(replay.outcome.cross_inversions, outcome.cross_inversions);
+    }
+
+    #[test]
+    fn a_drifted_expectation_is_rejected_with_a_mismatch_message() {
+        let case = generate_case(crate::DEFAULT_SEED, 5);
+        let outcome = run_case_with(&case, false);
+        let doc = corpus_value(&case, &outcome).to_pretty();
+        let wrong = doc.replace(
+            &format!("\"verdict\": \"{}\"", outcome.verdict.as_str()),
+            if outcome.verdict == Verdict::Errors {
+                "\"verdict\": \"clean\""
+            } else {
+                "\"verdict\": \"errors\""
+            },
+        );
+        assert_ne!(wrong, doc, "fixture must actually change the verdict");
+        let err = replay_corpus(&wrong).unwrap_err();
+        assert!(err.contains("verdict drifted"), "{err}");
+    }
+
+    #[test]
+    fn non_corpus_documents_are_detected() {
+        let v = Value::parse("{\"tenants\": []}").unwrap();
+        assert!(!is_corpus_doc(&v));
+        assert!(replay_corpus("{\"tenants\": []}").is_err());
+    }
+}

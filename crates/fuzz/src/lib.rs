@@ -1,0 +1,62 @@
+#![deny(missing_docs)]
+
+//! # qvisor-fuzz — policy fuzzing + differential conformance harness
+//!
+//! The static verifier (`qvisor-core::verify`) is the admission gate for
+//! `qvisor run`, `qvisor sweep`, and the serve daemon. This crate closes
+//! the loop at scale: it generates random operator deployments over the
+//! full `>>`/`>`/`+` grammar and *differentially* checks every verifier
+//! verdict against what actually happens on an exact PIFO.
+//!
+//! The pipeline, per generated case ([`run_case`]):
+//!
+//! 1. **Generate** ([`gen`]): a random [`DeploymentConfig`] — tenant
+//!    count, rank ranges (wide/narrow/degenerate/huge), per-tenant level
+//!    overrides, a random policy string with weights and share groups,
+//!    adversarial synthesizer options (`first_rank` near `u64::MAX`
+//!    forces saturation) — plus a random rank-function mix. All
+//!    randomness flows from `SimRng::seed_from(seed).derive(case)`;
+//!    there is no ambient RNG anywhere, so a campaign is a pure function
+//!    of `(seed, cases)`.
+//! 2. **Verify**: the case is synthesized and run through the static
+//!    verifier exactly like `qvisor check` would.
+//! 3. **Replay witnesses** ([`oracle`]): every diagnostic that carries a
+//!    concrete [`Witness`] is re-executed through the real
+//!    `TransformChain::apply`; error-severity refutations must reproduce
+//!    the claimed misbehavior (non-monotone pairs must actually invert on
+//!    a PIFO, collapse/overflow pairs must actually collide, cross-tenant
+//!    overlap pairs must actually misorder).
+//! 4. **Queue oracle**: sampled tenant traffic is pushed through an
+//!    `InstrumentedQueue<PifoQueue>` (the exact-PIFO inversion mirror)
+//!    and the drain order is re-checked for cross-tenant strict-level
+//!    inversions. A policy the verifier proved clean must show zero.
+//! 5. **Scenario oracle**: for non-error verdicts the deployment is
+//!    materialized into a dumbbell [`ScenarioSpec`] and run end-to-end
+//!    through the scenario `Engine` with the flight recorder on; the
+//!    trace is scanned for cross-tenant strict-level inversions.
+//!
+//! Any disagreement is auto-[minimized](minimize::minimize) — tenants
+//! dropped, levels merged, weights and transform parameters pushed toward
+//! identity — while preserving the disagreement, and emitted as a
+//! self-contained JSON document (see [`corpus`]) that `qvisor check` and
+//! the `tests/fuzz_regressions.rs` suite can replay bit-for-bit.
+//!
+//! Campaigns ([`campaign`]) fan cases over OS threads with the sweep
+//! runner's atomic work-index pattern and merge results in case order, so
+//! the summary report is byte-identical at any `--jobs`.
+//!
+//! [`DeploymentConfig`]: qvisor_core::DeploymentConfig
+//! [`Witness`]: qvisor_core::Witness
+//! [`ScenarioSpec`]: qvisor_netsim::ScenarioSpec
+
+pub mod campaign;
+pub mod corpus;
+pub mod gen;
+pub mod minimize;
+pub mod oracle;
+
+pub use campaign::{run_campaign, CampaignOpts, CampaignReport, CaseFailure};
+pub use corpus::{corpus_value, is_corpus_doc, replay_corpus, ReplayOutcome};
+pub use gen::{generate_case, FuzzCase, DEFAULT_SEED};
+pub use minimize::minimize;
+pub use oracle::{run_case, run_case_with, CaseOutcome, Verdict};

@@ -1,0 +1,310 @@
+//! Deterministic greedy minimization of a failing case.
+//!
+//! Given a case and a predicate (normally "the differential oracle still
+//! disagrees"), [`minimize`] repeatedly tries a fixed, ordered list of
+//! shrinking edits — drop a tenant, merge strict levels, merge preference
+//! groups, reset share weights, drop level overrides, shift and halve
+//! rank ranges, push synthesizer options toward their defaults — and
+//! keeps the first edit that preserves the predicate. Every candidate
+//! strictly decreases a well-founded measure (tenant count, policy node
+//! count, weight sum, range magnitudes, non-default synth options), so
+//! the greedy fixpoint terminates; the edit list is fixed and the
+//! predicate is pure, so the result is a deterministic function of the
+//! input case.
+
+use qvisor_core::{Policy, SynthOptions};
+
+use crate::gen::FuzzCase;
+
+/// Replace the case's policy with `ast` rendered canonically.
+fn with_policy(case: &FuzzCase, ast: &Policy) -> FuzzCase {
+    let mut next = case.clone();
+    next.config.policy = ast.to_string();
+    next
+}
+
+/// Remove `name` from the policy, dropping groups and levels it empties.
+/// Returns `None` when the policy would become empty.
+fn policy_without(ast: &Policy, name: &str) -> Option<Policy> {
+    let mut next = ast.clone();
+    for level in &mut next.levels {
+        for group in &mut level.groups {
+            group.members.retain(|m| m.name != name);
+        }
+        level.groups.retain(|g| !g.members.is_empty());
+    }
+    next.levels.retain(|l| !l.groups.is_empty());
+    if next.levels.is_empty() {
+        None
+    } else {
+        Some(next)
+    }
+}
+
+/// All shrinking candidates of `case`, in the fixed order they are tried.
+fn candidates(case: &FuzzCase) -> Vec<FuzzCase> {
+    let mut out = Vec::new();
+    let Ok(ast) = Policy::parse(&case.config.policy) else {
+        return out;
+    };
+
+    // 1. Drop a tenant entirely (spec, rank fn, and policy mention).
+    if case.config.tenants.len() > 1 {
+        for drop in 0..case.config.tenants.len() {
+            let name = &case.config.tenants[drop].name;
+            let Some(next_ast) = (if ast.tenant_names().contains(&name.as_str()) {
+                policy_without(&ast, name)
+            } else {
+                Some(ast.clone())
+            }) else {
+                continue;
+            };
+            let id = case.config.tenants[drop].id;
+            let mut next = with_policy(case, &next_ast);
+            next.config.tenants.remove(drop);
+            next.rank_fns.retain(|(t, _)| *t != id);
+            out.push(next);
+        }
+    }
+
+    // 2. Merge a strict level into its predecessor (shrink `>>` nesting).
+    for li in 1..ast.levels.len() {
+        let mut next_ast = ast.clone();
+        let moved = next_ast.levels.remove(li);
+        next_ast.levels[li - 1].groups.extend(moved.groups);
+        out.push(with_policy(case, &next_ast));
+    }
+
+    // 3. Merge a preference group into its predecessor (shrink `>`).
+    for (li, level) in ast.levels.iter().enumerate() {
+        for gi in 1..level.groups.len() {
+            let mut next_ast = ast.clone();
+            let moved = next_ast.levels[li].groups.remove(gi);
+            next_ast.levels[li].groups[gi - 1]
+                .members
+                .extend(moved.members);
+            out.push(with_policy(case, &next_ast));
+        }
+    }
+
+    // 4. Reset a share weight to 1.
+    for (li, level) in ast.levels.iter().enumerate() {
+        for (gi, group) in level.groups.iter().enumerate() {
+            for (mi, member) in group.members.iter().enumerate() {
+                if member.weight != 1 {
+                    let mut next_ast = ast.clone();
+                    next_ast.levels[li].groups[gi].members[mi].weight = 1;
+                    out.push(with_policy(case, &next_ast));
+                }
+            }
+        }
+    }
+
+    // 5. Per-tenant parameters toward identity.
+    for ti in 0..case.config.tenants.len() {
+        let t = &case.config.tenants[ti];
+        if t.levels.is_some() {
+            let mut next = case.clone();
+            next.config.tenants[ti].levels = None;
+            out.push(next);
+        }
+        if t.rank_min > 0 {
+            // Shift the range to zero, preserving its span.
+            let mut next = case.clone();
+            next.config.tenants[ti].rank_min = 0;
+            next.config.tenants[ti].rank_max = t.rank_max - t.rank_min;
+            out.push(next);
+        }
+        if t.rank_max > t.rank_min {
+            let mut next = case.clone();
+            next.config.tenants[ti].rank_max = t.rank_min + (t.rank_max - t.rank_min) / 2;
+            out.push(next);
+        }
+    }
+
+    // 6. Synthesizer options toward identity/defaults.
+    let synth = &case.config.synth;
+    let defaults = SynthOptions::default();
+    if synth.first_rank > 0 {
+        let mut next = case.clone();
+        next.config.synth.first_rank = 0;
+        out.push(next);
+        let mut next = case.clone();
+        next.config.synth.first_rank = synth.first_rank / 2;
+        out.push(next);
+    }
+    if synth.default_levels != defaults.default_levels {
+        let mut next = case.clone();
+        next.config.synth.default_levels = defaults.default_levels;
+        out.push(next);
+    }
+    if synth.pref_bias_divisor != defaults.pref_bias_divisor {
+        let mut next = case.clone();
+        next.config.synth.pref_bias_divisor = defaults.pref_bias_divisor;
+        out.push(next);
+    }
+
+    out
+}
+
+/// Greedily shrink `case` while `keep` stays true.
+///
+/// `keep(case)` must hold on entry (otherwise the case is returned
+/// unchanged). The result still satisfies `keep`, and no single further
+/// candidate edit can shrink it.
+pub fn minimize(case: &FuzzCase, keep: impl Fn(&FuzzCase) -> bool) -> FuzzCase {
+    if !keep(case) {
+        return case.clone();
+    }
+    let mut current = case.clone();
+    // Every accepted edit strictly decreases the well-founded measure
+    // below, so this fixpoint terminates; the bound is a safety net.
+    for _ in 0..100_000 {
+        let Some(next) = candidates(&current).into_iter().find(|c| keep(c)) else {
+            return current;
+        };
+        debug_assert!(measure(&next) < measure(&current), "edit did not shrink");
+        current = next;
+    }
+    current
+}
+
+/// Well-founded shrink measure: strictly decreases under every candidate
+/// edit. (Used by debug assertions and the minimizer tests.)
+fn measure(case: &FuzzCase) -> u128 {
+    let policy_nodes = Policy::parse(&case.config.policy)
+        .map(|ast| {
+            let levels = ast.levels.len() as u128;
+            let groups: u128 = ast.levels.iter().map(|l| l.groups.len() as u128).sum();
+            let weight_excess: u128 = ast
+                .levels
+                .iter()
+                .flat_map(|l| &l.groups)
+                .flat_map(|g| &g.members)
+                .map(|m| u128::from(m.weight) - 1)
+                .sum();
+            levels + groups + weight_excess
+        })
+        .unwrap_or(0);
+    let tenant_mag: u128 = case
+        .config
+        .tenants
+        .iter()
+        .map(|t| {
+            u128::from(t.levels.is_some())
+                + u128::from(t.rank_min)
+                + u128::from(t.rank_max - t.rank_min)
+        })
+        .sum();
+    let defaults = SynthOptions::default();
+    let synth = &case.config.synth;
+    let synth_mag = u128::from(synth.first_rank)
+        + u128::from(synth.default_levels != defaults.default_levels)
+        + u128::from(synth.pref_bias_divisor != defaults.pref_bias_divisor);
+    (case.config.tenants.len() as u128) * (1u128 << 80)
+        + policy_nodes * (1u128 << 70)
+        + tenant_mag
+        + synth_mag
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate_case;
+    use crate::oracle::{run_case_with, Verdict};
+    use qvisor_core::DeploymentConfig;
+
+    fn overflow_case() -> FuzzCase {
+        FuzzCase {
+            seed: 3,
+            index: 0,
+            config: DeploymentConfig::from_json(
+                r#"{
+                  "tenants": [
+                    {"id": 1, "name": "A", "algorithm": "pFabric", "rank_min": 5, "rank_max": 2000, "levels": 64},
+                    {"id": 2, "name": "B", "algorithm": "EDF", "rank_min": 0, "rank_max": 900},
+                    {"id": 3, "name": "C", "algorithm": "STFQ", "rank_min": 10, "rank_max": 500},
+                    {"id": 4, "name": "D", "algorithm": "FQ", "rank_min": 0, "rank_max": 100}
+                  ],
+                  "policy": "A >> B:3 + C > D",
+                  "synth": {"first_rank": 18446744073709551610, "default_levels": 32, "pref_bias_divisor": 5}
+                }"#,
+            )
+            .unwrap(),
+            rank_fns: Vec::new(),
+        }
+    }
+
+    fn has_overflow_error(case: &FuzzCase) -> bool {
+        let out = run_case_with(case, false);
+        out.verdict == Verdict::Errors && out.codes.iter().any(|c| c == "QV-OVERFLOW")
+    }
+
+    #[test]
+    fn minimization_preserves_the_predicate_and_shrinks_hard() {
+        let case = overflow_case();
+        assert!(has_overflow_error(&case));
+        let min = minimize(&case, has_overflow_error);
+        assert!(
+            has_overflow_error(&min),
+            "predicate lost: {}",
+            min.config.to_json()
+        );
+        // A single saturating tenant suffices to witness QV-OVERFLOW.
+        assert_eq!(min.config.tenants.len(), 1, "{}", min.config.to_json());
+        let ast = Policy::parse(&min.config.policy).unwrap();
+        assert_eq!(ast.levels.len(), 1);
+        assert!(ast
+            .levels
+            .iter()
+            .flat_map(|l| &l.groups)
+            .flat_map(|g| &g.members)
+            .all(|m| m.weight == 1));
+        assert!(measure(&min) < measure(&case));
+    }
+
+    #[test]
+    fn minimization_is_deterministic() {
+        let case = overflow_case();
+        let a = minimize(&case, has_overflow_error);
+        let b = minimize(&case, has_overflow_error);
+        assert_eq!(a.config.to_json(), b.config.to_json());
+        assert_eq!(a.rank_fns, b.rank_fns);
+    }
+
+    #[test]
+    fn a_case_failing_the_predicate_is_returned_unchanged() {
+        let case = overflow_case();
+        let out = minimize(&case, |_| false);
+        assert_eq!(out.config.to_json(), case.config.to_json());
+    }
+
+    #[test]
+    fn every_candidate_edit_strictly_decreases_the_measure() {
+        for index in 0..64 {
+            let case = generate_case(crate::DEFAULT_SEED, index);
+            let m = measure(&case);
+            for cand in candidates(&case) {
+                assert!(
+                    measure(&cand) < m,
+                    "case {index} produced a non-shrinking edit"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minimization_terminates_on_generated_cases() {
+        // Any predicate that keeps accepting must still hit a fixpoint.
+        for index in 0..8 {
+            let case = generate_case(crate::DEFAULT_SEED, index);
+            let min = minimize(&case, |c| c.config.synthesize().is_ok());
+            if case.config.synthesize().is_ok() {
+                assert!(min.config.synthesize().is_ok());
+                assert!(candidates(&min)
+                    .iter()
+                    .all(|c| c.config.synthesize().is_err() || measure(c) < measure(&min)));
+            }
+        }
+    }
+}

@@ -257,6 +257,60 @@ mod tests {
             .contains("torn"));
     }
 
+    /// A reference snapshot with every field populated, shared by the
+    /// exhaustive-corruption and fingerprint-stability tests below.
+    fn reference_snapshot() -> ChainSnapshot {
+        ChainSnapshot::build(
+            7,
+            "A >> B".into(),
+            vec!["A".into(), "B".into()],
+            3,
+            vec![ChainEntry {
+                id: 1,
+                name: "A".into(),
+                algorithm: "SJF".into(),
+                chain: "shift+1".into(),
+                output_min: 1,
+                output_max: 9,
+            }],
+        )
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_rejected() {
+        let snap = reference_snapshot();
+        ChainSnapshot::verify_canonical(&snap.canonical).unwrap();
+        // Flip one bit of every byte in turn: whatever a torn read (or a
+        // corrupted transport) does to a single byte, verification must
+        // refuse — either the JSON no longer parses, a required field
+        // vanished, or the recomputed FNV-1a hash disagrees.
+        for pos in 0..snap.canonical.len() {
+            let mut bytes = snap.canonical.clone().into_bytes();
+            bytes[pos] ^= 0x01;
+            let Ok(corrupt) = String::from_utf8(bytes) else {
+                continue; // non-UTF-8 can never reach the verifier
+            };
+            assert!(
+                ChainSnapshot::verify_canonical(&corrupt).is_err(),
+                "byte {pos} flipped ({:?} -> {:?}) was accepted",
+                &snap.canonical[pos..=pos],
+                &corrupt[pos..=pos],
+            );
+        }
+    }
+
+    #[test]
+    fn the_fingerprint_algorithm_is_pinned() {
+        // Clients recompute this hash from received bytes, so the FNV-1a
+        // parameters and the canonical field order are wire contracts. If
+        // this snapshot test fails, you changed the protocol: bump the
+        // serve protocol docs and every stored fingerprint, or revert.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(format!("{:016x}", fnv1a(b"qvisor")), "12da56763934b6af");
+        let snap = reference_snapshot();
+        assert_eq!(snap.fingerprint, "565de8ebb4e063bf");
+    }
+
     #[test]
     fn builds_are_deterministic() {
         let a = ChainSnapshot::build(2, "A".into(), vec!["A".into()], 1, vec![]);

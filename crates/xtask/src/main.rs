@@ -33,6 +33,7 @@ const LINT_ROOTS: &[&str] = &[
     "crates/scheduler/src",
     "crates/core/src",
     "crates/serve/src",
+    "crates/fuzz/src",
 ];
 
 /// Inline waiver marker: a finding on a line carrying this comment is

@@ -2,6 +2,9 @@
 //! multi-tenant scheduling policies from JSON configuration files.
 //!
 //! See `qvisor::cli::USAGE` (printed on any usage error) and the README.
+//! Exit codes are scripting-stable: 0 = success, 2 = `check` failed with
+//! error-severity findings, 3 = `check` failed only via `--deny-warnings`
+//! promotion, 1 = any other error.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -9,7 +12,7 @@ fn main() {
         Ok(text) => print!("{text}"),
         Err(e) => {
             eprintln!("{e}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code());
         }
     }
 }

@@ -32,10 +32,35 @@ pub enum CliError {
         source: std::io::Error,
     },
     /// `qvisor check` refuted the policy (or found warnings under
-    /// `--deny-warnings`). Carries the rendered report.
-    Check(String),
+    /// `--deny-warnings`). Carries the rendered report and whether any
+    /// error-severity finding exists (vs a pure warning promotion).
+    Check {
+        /// The rendered report text/JSONL.
+        report: String,
+        /// True when some report contains error-severity findings; false
+        /// when the gate failed only via `--deny-warnings` promotion.
+        errors: bool,
+    },
     /// The control-plane daemon failed to start or run.
     Serve(String),
+    /// `qvisor fuzz` found verifier-vs-simulation disagreements. Carries
+    /// the campaign summary (including the minimized cases).
+    Fuzz(String),
+}
+
+impl CliError {
+    /// Process exit code for scripting: `0` is success, `2` a `check`
+    /// gate failure with error-severity findings, `3` a `check` failure
+    /// caused purely by `--deny-warnings` promotion, and `1` everything
+    /// else (usage, I/O, parse errors, fuzz disagreements, ...). The
+    /// serve daemon's admission scripts rely on this distinction.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Check { errors: true, .. } => 2,
+            CliError::Check { errors: false, .. } => 3,
+            _ => 1,
+        }
+    }
 }
 
 impl std::fmt::Display for CliError {
@@ -47,8 +72,9 @@ impl std::fmt::Display for CliError {
             CliError::Telemetry(msg) => write!(f, "invalid telemetry export: {msg}"),
             CliError::Scenario(e) => write!(f, "{e}"),
             CliError::Output { path, source } => write!(f, "cannot write {path}: {source}"),
-            CliError::Check(report) => write!(f, "{report}check: verification FAILED"),
+            CliError::Check { report, .. } => write!(f, "{report}check: verification FAILED"),
             CliError::Serve(msg) => write!(f, "serve error: {msg}"),
+            CliError::Fuzz(summary) => write!(f, "{summary}fuzz: conformance FAILED"),
         }
     }
 }
@@ -90,6 +116,10 @@ USAGE:
                [--out PATH] [--telemetry PREFIX] [--deny-warnings]
     qvisor serve <config.json>                   run the control-plane daemon
                [--listen ADDR] [--deny-warnings] (line-delimited JSON over TCP)
+    qvisor fuzz [--seed N] [--cases N]           differential fuzz campaign:
+               [--jobs N] [--out DIR]            verifier verdicts vs exact-PIFO
+                                                 simulation; summary is
+                                                 byte-identical at any --jobs
     qvisor telemetry report <export.jsonl>       render a telemetry export
     qvisor trace report <trace.jsonl>            latency breakdown + inversions
     qvisor trace export <trace.jsonl>            convert to Chrome/Perfetto JSON
@@ -107,7 +137,15 @@ output is byte-identical at any --jobs level.
 synthesized policy is overflow-free, order-preserving, and isolating —
 without running a simulation. It auto-detects the file kind and checks every
 grid point of a sweep. The same verifier gates `run` and `sweep`: errors
-always refuse to build; --deny-warnings also refuses on warnings.
+always refuse to build; --deny-warnings also refuses on warnings. `check`
+also replays fuzz corpus documents (objects with `config` + `expect`).
+Exit codes: 0 = gate passed, 2 = check failed with errors, 3 = check failed
+only via --deny-warnings promotion, 1 = any other error.
+
+`fuzz` generates random deployments over the full `>>`/`>`/`+` grammar,
+verifies each, and differentially replays witnesses and schedules on an
+exact PIFO; disagreements are minimized into replayable corpus documents
+(written to --out DIR when given). Reproduce any case with the same --seed.
 
 The config file is the Fig. 1 Configuration API as JSON:
     { \"tenants\": [ {\"id\": 1, \"name\": \"T1\", \"algorithm\": \"pFabric\",
@@ -195,6 +233,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
                 .ok_or_else(|| CliError::Usage("serve needs a daemon config file".into()))?;
             let opts = parse_serve_flags(&args[2..])?;
             cmd_serve(&std::fs::read_to_string(path)?, &opts)
+        }
+        Some("fuzz") => {
+            let opts = parse_fuzz_flags(&args[1..])?;
+            cmd_fuzz(&opts)
         }
         Some("example") => Ok(example_config()),
         Some("help" | "--help" | "-h") => Ok(USAGE.to_string()),
@@ -358,6 +400,100 @@ fn parse_check_flags(args: &[String]) -> Result<CheckOpts, CliError> {
     Ok(opts)
 }
 
+/// Options for `qvisor fuzz`.
+#[derive(Clone, Debug)]
+pub struct FuzzOpts {
+    /// Campaign seed (every case is a pure function of `(seed, index)`).
+    pub seed: u64,
+    /// Number of generated deployments to check.
+    pub cases: u64,
+    /// Worker threads (the summary is byte-identical at any value).
+    pub jobs: usize,
+    /// Directory to write minimized disagreement corpus documents into.
+    pub out: Option<String>,
+}
+
+impl Default for FuzzOpts {
+    fn default() -> FuzzOpts {
+        FuzzOpts {
+            seed: qvisor_fuzz::DEFAULT_SEED,
+            cases: 1000,
+            jobs: 1,
+            out: None,
+        }
+    }
+}
+
+fn parse_fuzz_flags(args: &[String]) -> Result<FuzzOpts, CliError> {
+    let mut opts = FuzzOpts::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                opts.seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| CliError::Usage("--seed needs a number".into()))?;
+                i += 2;
+            }
+            "--cases" => {
+                opts.cases = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&c| c >= 1)
+                    .ok_or_else(|| CliError::Usage("--cases needs a positive number".into()))?;
+                i += 2;
+            }
+            "--jobs" => {
+                opts.jobs = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&j| j >= 1)
+                    .ok_or_else(|| CliError::Usage("--jobs needs a positive number".into()))?;
+                i += 2;
+            }
+            "--out" => {
+                opts.out = Some(
+                    args.get(i + 1)
+                        .ok_or_else(|| CliError::Usage("--out needs a directory".into()))?
+                        .clone(),
+                );
+                i += 2;
+            }
+            other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
+        }
+    }
+    Ok(opts)
+}
+
+/// `qvisor fuzz`: run a differential fuzz campaign — generated policies,
+/// verifier verdicts, witness replays, and exact-PIFO schedule oracles —
+/// and print the deterministic summary. Disagreements fail the command;
+/// their minimized corpus documents are written under `--out` when given.
+pub fn cmd_fuzz(opts: &FuzzOpts) -> Result<String, CliError> {
+    let report = qvisor_fuzz::run_campaign(&qvisor_fuzz::CampaignOpts {
+        seed: opts.seed,
+        cases: opts.cases,
+        jobs: opts.jobs,
+    });
+    let mut out = report.summary();
+    if !report.conformant() {
+        if let Some(dir) = &opts.out {
+            std::fs::create_dir_all(dir).map_err(|source| CliError::Output {
+                path: dir.clone(),
+                source,
+            })?;
+            for f in &report.failures {
+                let path = format!("{dir}/fuzz_seed{}_case{}.json", opts.seed, f.index);
+                write_output(&path, &format!("{}\n", f.minimized.to_pretty()))?;
+                out.push_str(&format!("wrote {path}\n"));
+            }
+        }
+        return Err(CliError::Fuzz(out));
+    }
+    Ok(out)
+}
+
 /// Options for `qvisor sweep`.
 #[derive(Debug)]
 pub struct SweepOpts {
@@ -432,11 +568,15 @@ fn write_output(path: &str, contents: &str) -> Result<(), CliError> {
 
 /// `qvisor check`: statically verify a policy without running anything.
 /// Auto-detects the document kind — a sweep (has `base`; every grid point
-/// is checked), a scenario (has `topology`/`workloads`), or a raw
-/// deployment config (`tenants` + `policy`).
+/// is checked), a scenario (has `topology`/`workloads`), a fuzz corpus
+/// document (has `config` + `expect`; replayed against its recorded
+/// verdict), or a raw deployment config (`tenants` + `policy`).
 pub fn cmd_check(json: &str, opts: &CheckOpts) -> Result<String, CliError> {
     use qvisor_sim::json::Value;
     let v = Value::parse(json).map_err(|e| CliError::Scenario(ScenarioError::Json(e)))?;
+    if qvisor_fuzz::is_corpus_doc(&v) {
+        return cmd_check_corpus(json, opts);
+    }
     // `(label, report)` pairs: sweeps produce one per grid point, the
     // other kinds a single unlabeled report.
     let reports: Vec<(String, VerifyReport)> = if v.get("base").is_some() {
@@ -484,12 +624,53 @@ pub fn cmd_check(json: &str, opts: &CheckOpts) -> Result<String, CliError> {
         .iter()
         .any(|(_, r)| r.gate_fails(opts.deny_warnings))
     {
-        return Err(CliError::Check(out));
+        let errors = reports.iter().any(|(_, r)| r.has_errors());
+        return Err(CliError::Check {
+            report: out,
+            errors,
+        });
     }
     if !opts.jsonl {
         out.push_str("check: OK\n");
     }
     Ok(out)
+}
+
+/// `qvisor check` on a fuzz corpus document: re-verify the stored config,
+/// re-run the witness and queue oracles, and require the recorded verdict
+/// to reproduce exactly. A drift (or any verifier-vs-simulation
+/// disagreement) fails like an error-severity check.
+fn cmd_check_corpus(json: &str, opts: &CheckOpts) -> Result<String, CliError> {
+    use qvisor_sim::json::Value;
+    match qvisor_fuzz::replay_corpus(json) {
+        Ok(replay) => {
+            let mut out = String::new();
+            if opts.jsonl {
+                out.push_str(&replay.report.to_jsonl());
+                let line = Value::object()
+                    .set("type", "fuzz_replay")
+                    .set("verdict", replay.outcome.verdict.as_str())
+                    .set("cross_inversions", replay.outcome.cross_inversions);
+                out.push_str(&line.to_compact());
+                out.push('\n');
+            } else {
+                out.push_str(&replay.report.render_text());
+                writeln!(
+                    out,
+                    "fuzz replay: recorded verdict '{}' reproduced ({} cross-tenant inversions)",
+                    replay.outcome.verdict.as_str(),
+                    replay.outcome.cross_inversions
+                )
+                .unwrap();
+                out.push_str("check: OK\n");
+            }
+            Ok(out)
+        }
+        Err(msg) => Err(CliError::Check {
+            report: format!("fuzz replay: {msg}\n"),
+            errors: true,
+        }),
+    }
 }
 
 /// The `verify:` banner for a scenario: one line per warning-or-worse
@@ -751,6 +932,7 @@ mod tests {
                 "run",
                 "sweep",
                 "serve",
+                "fuzz",
                 "telemetry",
                 "trace",
                 "example",
@@ -1061,7 +1243,8 @@ mod tests {
             "synth": { "first_rank": 18446744073709551610 }
         }"#;
         let err = cmd_check(bad, &CheckOpts::default()).unwrap_err();
-        assert!(matches!(err, CliError::Check(_)));
+        assert!(matches!(err, CliError::Check { errors: true, .. }));
+        assert_eq!(err.exit_code(), 2);
         let text = err.to_string();
         assert!(text.contains("QV-OVERFLOW"));
         assert!(text.contains("witness"));
@@ -1154,5 +1337,68 @@ mod tests {
         ));
         let (q, b) = parse_compile_flags(&args(&[])).unwrap();
         assert_eq!((q, b), (8, 16));
+    }
+
+    #[test]
+    fn fuzz_flags_parse_and_validate() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let opts = parse_fuzz_flags(&args(&[])).unwrap();
+        assert_eq!(opts.seed, qvisor_fuzz::DEFAULT_SEED);
+        assert_eq!(opts.cases, 1000);
+        assert_eq!(opts.jobs, 1);
+        assert!(opts.out.is_none());
+        let opts = parse_fuzz_flags(&args(&[
+            "--seed", "7", "--cases", "12", "--jobs", "3", "--out", "/tmp/x",
+        ]))
+        .unwrap();
+        assert_eq!((opts.seed, opts.cases, opts.jobs), (7, 12, 3));
+        assert_eq!(opts.out.as_deref(), Some("/tmp/x"));
+        assert!(matches!(
+            parse_fuzz_flags(&args(&["--cases", "0"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_fuzz_flags(&args(&["--jobs", "0"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            parse_fuzz_flags(&args(&["--wat"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn fuzz_runs_a_small_conformant_campaign_through_the_cli() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let out = run(&args(&["fuzz", "--cases", "8", "--jobs", "2"])).unwrap();
+        assert!(out.contains("qvisor fuzz campaign"), "{out}");
+        assert!(out.contains("cases : 8"), "{out}");
+        assert!(out.contains("result: AGREE"), "{out}");
+    }
+
+    #[test]
+    fn check_replays_a_corpus_document() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus/overflow.json");
+        let out = run(&args(&["check", path])).unwrap();
+        assert!(
+            out.contains("fuzz replay: recorded verdict 'errors'"),
+            "{out}"
+        );
+        assert!(out.contains("check: OK"), "{out}");
+        // JSONL rendering carries a structured replay line after the diags.
+        let out = run(&args(&["check", path, "--jsonl"])).unwrap();
+        assert!(out.contains("\"type\":\"fuzz_replay\""), "{out}");
+        // A drifted expectation is an error-severity gate failure.
+        let text = std::fs::read_to_string(path).unwrap();
+        let drifted = text.replace("\"verdict\": \"errors\"", "\"verdict\": \"clean\"");
+        assert_ne!(drifted, text);
+        let tmp = std::env::temp_dir().join("qvisor_cli_test_drifted_corpus.json");
+        std::fs::write(&tmp, drifted).unwrap();
+        let err = run(&args(&["check", tmp.to_str().unwrap()])).unwrap_err();
+        assert!(matches!(err, CliError::Check { errors: true, .. }), "{err}");
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("verdict drifted"), "{err}");
+        std::fs::remove_file(&tmp).ok();
     }
 }

@@ -1,0 +1,101 @@
+//! Pins the scripting-stable process exit codes of the `qvisor` binary.
+//!
+//! The contract (documented in `qvisor --help` and the binary's crate
+//! docs): `0` = success, `2` = `check` failed with error-severity
+//! findings, `3` = `check` failed only because `--deny-warnings`
+//! promoted warnings, `1` = any other error (usage mistakes included).
+//! CI scripts branch on these values, so a change here is a breaking
+//! interface change — update the docs if you update this test.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Write `text` to a unique temp file and return its path.
+fn temp_config(name: &str, text: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("qvisor_exit_{}_{name}.json", std::process::id()));
+    std::fs::write(&path, text).expect("temp config is writable");
+    path
+}
+
+fn qvisor(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_qvisor"))
+        .args(args)
+        .output()
+        .expect("qvisor binary runs")
+}
+
+/// Single scheduled tenant, one level over a wide range: verdict clean
+/// (the quantization finding is info-level and never gates).
+const CLEAN: &str = r#"{
+  "tenants": [
+    {"id": 1, "name": "bulk", "algorithm": "STFQ", "rank_min": 0, "rank_max": 1000, "levels": 1}
+  ],
+  "policy": "bulk",
+  "synth": {"default_levels": 8, "first_rank": 0, "pref_bias_divisor": 2}
+}"#;
+
+/// Two point-range tenants sharing a band: QV-SHARE-BAND warnings, no
+/// errors — gates only under `--deny-warnings`.
+const WARNINGS: &str = r#"{
+  "tenants": [
+    {"id": 1, "name": "A", "algorithm": "EDF", "rank_min": 0, "rank_max": 0},
+    {"id": 2, "name": "B", "algorithm": "FQ", "rank_min": 0, "rank_max": 0}
+  ],
+  "policy": "A + B",
+  "synth": {"default_levels": 8, "first_rank": 0, "pref_bias_divisor": 2}
+}"#;
+
+/// `first_rank` near `u64::MAX` saturates the chain: witnessed
+/// QV-OVERFLOW at error severity.
+const ERRORS: &str = r#"{
+  "tenants": [
+    {"id": 1, "name": "A", "algorithm": "EDF", "rank_min": 0, "rank_max": 519, "levels": 933}
+  ],
+  "policy": "A",
+  "synth": {"default_levels": 8, "first_rank": 18446744073709551155, "pref_bias_divisor": 2}
+}"#;
+
+#[test]
+fn a_clean_config_exits_zero() {
+    let path = temp_config("clean", CLEAN);
+    let out = qvisor(&["check", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn warnings_pass_by_default_but_deny_warnings_exits_three() {
+    let path = temp_config("warnings", WARNINGS);
+    let lenient = qvisor(&["check", path.to_str().unwrap()]);
+    assert_eq!(lenient.status.code(), Some(0), "{:?}", lenient);
+    let strict = qvisor(&["check", path.to_str().unwrap(), "--deny-warnings"]);
+    assert_eq!(strict.status.code(), Some(3), "{:?}", strict);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn error_severity_findings_exit_two_regardless_of_strictness() {
+    let path = temp_config("errors", ERRORS);
+    let lenient = qvisor(&["check", path.to_str().unwrap()]);
+    assert_eq!(lenient.status.code(), Some(2), "{:?}", lenient);
+    let strict = qvisor(&["check", path.to_str().unwrap(), "--deny-warnings"]);
+    assert_eq!(strict.status.code(), Some(2), "{:?}", strict);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn usage_errors_exit_one() {
+    let unknown = qvisor(&["definitely-not-a-subcommand"]);
+    assert_eq!(unknown.status.code(), Some(1), "{:?}", unknown);
+    let missing_file = qvisor(&["check"]);
+    assert_eq!(missing_file.status.code(), Some(1), "{:?}", missing_file);
+}
+
+#[test]
+fn a_matching_fuzz_corpus_document_exits_zero() {
+    let corpus = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/overflow.json");
+    let out = qvisor(&["check", corpus.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{:?}", out);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fuzz replay"), "{stdout}");
+}
