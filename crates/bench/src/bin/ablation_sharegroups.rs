@@ -83,6 +83,7 @@ fn scenario(n: usize, qvisor: bool) -> ScenarioSpec {
                 })
                 .collect(),
         }],
+        alerts: Vec::new(),
     }
 }
 

@@ -262,6 +262,7 @@ fn in_network_timeline() {
             },
             WorkloadSpec::Flows { list: t3_flows },
         ],
+        alerts: Vec::new(),
     };
 
     let r = run_one(&spec, None, "fig2");

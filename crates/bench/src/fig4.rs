@@ -303,6 +303,7 @@ pub fn scenario(scheme: Scheme, load: f64, cfg: &Fig4Config) -> ScenarioSpec {
             ),
         ],
         workloads,
+        alerts: Vec::new(),
     }
 }
 

@@ -189,6 +189,7 @@ pub fn ablation_scenario(
                 rng_stream: 2,
             },
         ],
+        alerts: Vec::new(),
     }
 }
 

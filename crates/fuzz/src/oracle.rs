@@ -473,6 +473,7 @@ fn scenario_spec(case: &FuzzCase) -> ScenarioSpec {
         }),
         rank_fns: case.rank_fns.clone(),
         workloads: vec![WorkloadSpec::Flows { list: flows }],
+        alerts: Vec::new(),
     }
 }
 

@@ -4,7 +4,7 @@ use qvisor_core::{MonitorConfig, SynthConfig, TenantSpec, UnknownTenantAction};
 use qvisor_ranking::RankRange;
 use qvisor_scheduler::Capacity;
 use qvisor_sim::{EventCore, Nanos};
-use qvisor_telemetry::{Telemetry, Tracer};
+use qvisor_telemetry::{SloMonitor, Telemetry, Tracer};
 
 /// Which scheduler model runs at every output port.
 #[derive(Clone, Copy, Debug)]
@@ -153,6 +153,13 @@ pub struct SimConfig {
     /// flows without ever influencing simulation behaviour. Keep a clone
     /// and snapshot after [`crate::Simulation::run`].
     pub tracer: Tracer,
+    /// Streaming SLO monitor. Like `telemetry`, the default (disabled)
+    /// handle records nothing; an enabled one is fed per-tenant dequeues,
+    /// deliveries, drops, and flow completions, evaluating its alert rules
+    /// on sliding sim-time windows without ever influencing simulation
+    /// behaviour — reports and telemetry exports are byte-identical either
+    /// way. Keep a clone and export after [`crate::Simulation::run`].
+    pub monitor: SloMonitor,
 }
 
 impl Default for SimConfig {
@@ -176,6 +183,7 @@ impl Default for SimConfig {
             event_core: EventCore::default(),
             telemetry: Telemetry::disabled(),
             tracer: Tracer::disabled(),
+            monitor: SloMonitor::disabled(),
         }
     }
 }

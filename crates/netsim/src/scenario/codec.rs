@@ -7,8 +7,9 @@
 //! default made explicit), so parse → serialize → parse is the identity.
 
 use super::spec::{
-    ArrivalSpec, CbrDecl, FlowDecl, MonitorSpec, QvisorSpec, ScenarioSpec, SchedulerSpec, SimSpec,
-    SizeDistSpec, SynthSpec, TenantDecl, TimeRef, TopologySpec, ViolationSpec, WorkloadSpec,
+    AlertSpec, ArrivalSpec, CbrDecl, FlowDecl, MonitorSpec, QvisorSpec, ScenarioSpec,
+    SchedulerSpec, SimSpec, SizeDistSpec, SynthSpec, TenantDecl, TimeRef, TopologySpec,
+    ViolationSpec, WorkloadSpec,
 };
 use super::{field_err, ScenarioError, ScopeSpec};
 use qvisor_ranking::RankFnSpec;
@@ -826,6 +827,24 @@ fn workload_from(v: &Value, path: &str) -> Result<WorkloadSpec, ScenarioError> {
     })
 }
 
+fn alert_value(a: &AlertSpec) -> Value {
+    Value::object()
+        .set("metric", a.metric.as_str())
+        .set("tenant", a.tenant)
+        .set("window_ns", a.window_ns)
+        .set("threshold", a.threshold)
+}
+
+fn alert_from(v: &Value, path: &str) -> Result<AlertSpec, ScenarioError> {
+    check_keys(v, path, &["metric", "tenant", "window_ns", "threshold"])?;
+    Ok(AlertSpec {
+        metric: get_str(v, path, "metric")?.to_string(),
+        tenant: get_u16(v, path, "tenant")?,
+        window_ns: get_u64(v, path, "window_ns")?,
+        threshold: get_f64(v, path, "threshold")?,
+    })
+}
+
 impl ScenarioSpec {
     /// Render as a JSON value (full form: every default explicit).
     pub fn to_value(&self) -> Value {
@@ -851,8 +870,14 @@ impl ScenarioSpec {
         if let Some(q) = &self.qvisor {
             v = v.set("qvisor", qvisor_value(q));
         }
-        v.set("rank_fns", Value::from(rank_fns))
-            .set("workloads", Value::from(workloads))
+        v = v
+            .set("rank_fns", Value::from(rank_fns))
+            .set("workloads", Value::from(workloads));
+        if !self.alerts.is_empty() {
+            let alerts: Vec<Value> = self.alerts.iter().map(alert_value).collect();
+            v = v.set("alerts", Value::from(alerts));
+        }
+        v
     }
 
     /// Parse from a JSON value; strict about unknown keys and validates
@@ -871,6 +896,7 @@ impl ScenarioSpec {
                 "qvisor",
                 "rank_fns",
                 "workloads",
+                "alerts",
             ],
         )?;
         let topology = topology_from(
@@ -921,6 +947,15 @@ impl ScenarioSpec {
                 workloads.push(workload_from(item, &format!("workloads.{i}"))?);
             }
         }
+        let mut alerts = Vec::new();
+        if let Some(list) = v.get("alerts") {
+            let items = list
+                .as_array()
+                .ok_or_else(|| field_err("alerts", "must be an array"))?;
+            for (i, item) in items.iter().enumerate() {
+                alerts.push(alert_from(item, &format!("alerts.{i}"))?);
+            }
+        }
         let spec = ScenarioSpec {
             name: match v.get("name") {
                 Some(n) => n
@@ -940,6 +975,7 @@ impl ScenarioSpec {
             qvisor,
             rank_fns,
             workloads,
+            alerts,
         };
         spec.validate()?;
         Ok(spec)

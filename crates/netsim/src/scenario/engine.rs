@@ -21,7 +21,7 @@ use qvisor_core::{
 use qvisor_ranking::RankRange;
 use qvisor_scheduler::Capacity;
 use qvisor_sim::{json::Value, EventCore, Nanos, NodeId, SimRng, TenantId};
-use qvisor_telemetry::{Telemetry, Tracer};
+use qvisor_telemetry::{SloMonitor, Telemetry, Tracer};
 use qvisor_topology::{Dumbbell, FatTree, LeafSpine, LeafSpineConfig, Topology};
 use qvisor_transport::SizeBucket;
 use qvisor_workloads::{
@@ -36,6 +36,7 @@ use qvisor_workloads::{
 pub struct Engine {
     telemetry: Telemetry,
     tracer: Tracer,
+    monitor: SloMonitor,
     event_core: EventCore,
     deny_warnings: bool,
 }
@@ -55,6 +56,14 @@ impl Engine {
     /// Wire a packet flight recorder into built simulations.
     pub fn with_tracer(mut self, tracer: &Tracer) -> Engine {
         self.tracer = tracer.clone();
+        self
+    }
+
+    /// Wire a streaming SLO monitor into built simulations. Build it from
+    /// the scenario's declared rules ([`ScenarioSpec::alert_rules`]), keep
+    /// a clone, and export after the run.
+    pub fn with_monitor(mut self, monitor: &SloMonitor) -> Engine {
+        self.monitor = monitor.clone();
         self
     }
 
@@ -214,6 +223,7 @@ impl Engine {
             event_core: self.event_core,
             telemetry: self.telemetry.clone(),
             tracer: self.tracer.clone(),
+            monitor: self.monitor.clone(),
         };
         let mut sim = Simulation::new(topology, cfg).map_err(ScenarioError::Build)?;
         for (tenant, rank_fn) in &spec.rank_fns {

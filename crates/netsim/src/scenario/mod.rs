@@ -25,9 +25,9 @@ mod sweep;
 
 pub use engine::{report_json, Engine};
 pub use spec::{
-    ArrivalSpec, CbrDecl, FlowDecl, MonitorSpec, QvisorSpec, ScenarioSpec, SchedulerSpec,
-    ScopeSpec, SimSpec, SizeDistSpec, SynthSpec, TenantDecl, TimeRef, TopologySpec, ViolationSpec,
-    WorkloadSpec,
+    AlertSpec, ArrivalSpec, CbrDecl, FlowDecl, MonitorSpec, QvisorSpec, ScenarioSpec,
+    SchedulerSpec, ScopeSpec, SimSpec, SizeDistSpec, SynthSpec, TenantDecl, TimeRef, TopologySpec,
+    ViolationSpec, WorkloadSpec,
 };
 pub use sweep::{
     merged_value, run_sweep, sanitize_export, SweepAxis, SweepPoint, SweepPointResult, SweepSpec,

@@ -4,6 +4,7 @@
 
 use super::{field_err, ScenarioError};
 use qvisor_ranking::RankFnSpec;
+use qvisor_telemetry::{AlertMetric, AlertRule, ALERT_METRICS};
 
 /// A simulation time reference used where experiments traditionally write
 /// "two seconds past the last flow arrival".
@@ -236,6 +237,24 @@ pub struct QvisorSpec {
     pub synth: Option<SynthSpec>,
 }
 
+/// One declarative SLO alert rule for the streaming monitor (mirrors
+/// `qvisor_telemetry::AlertRule`). Rules watch one tenant's sliding
+/// sim-time window and fire edge-triggered `alert_fired` /
+/// `alert_resolved` journal events.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlertSpec {
+    /// Watched metric: one of `drop_rate`, `inversion_rate`,
+    /// `queue_delay_p50`/`p90`/`p99`, or `fct_p50`/`p90`/`p99`.
+    pub metric: String,
+    /// Tenant id the rule watches.
+    pub tenant: u16,
+    /// Sliding window length, sim-time nanoseconds.
+    pub window_ns: u64,
+    /// Firing threshold: a fraction in `[0, 1]` for rate metrics,
+    /// nanoseconds for latency quantiles.
+    pub threshold: f64,
+}
+
 /// Where the pre-processor runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ScopeSpec {
@@ -395,6 +414,8 @@ pub struct ScenarioSpec {
     pub rank_fns: Vec<(u16, RankFnSpec)>,
     /// The traffic mix, materialized in order.
     pub workloads: Vec<WorkloadSpec>,
+    /// Streaming SLO alert rules, evaluated when a monitor is attached.
+    pub alerts: Vec<AlertSpec>,
 }
 
 fn check_scheduler(s: &SchedulerSpec, path: &str, buffer_bytes: u64) -> Result<(), ScenarioError> {
@@ -620,7 +641,49 @@ impl ScenarioSpec {
         for (w, workload) in self.workloads.iter().enumerate() {
             self.check_workload(w, workload, hosts)?;
         }
+        for (i, a) in self.alerts.iter().enumerate() {
+            if AlertMetric::parse(&a.metric).is_none() {
+                let allowed: Vec<&str> = ALERT_METRICS.iter().map(|m| m.name()).collect();
+                return Err(field_err(
+                    format!("alerts.{i}.metric"),
+                    format!(
+                        "unknown metric '{}' (allowed: {})",
+                        a.metric,
+                        allowed.join(", ")
+                    ),
+                ));
+            }
+            if a.window_ns == 0 {
+                return Err(field_err(
+                    format!("alerts.{i}.window_ns"),
+                    "must be positive",
+                ));
+            }
+            if !a.threshold.is_finite() || a.threshold < 0.0 {
+                return Err(field_err(
+                    format!("alerts.{i}.threshold"),
+                    "must be finite and >= 0",
+                ));
+            }
+        }
         Ok(())
+    }
+
+    /// The scenario's alert rules in monitor form. [`ScenarioSpec::validate`]
+    /// guarantees every metric name parses, so unknown names are skipped
+    /// rather than panicking when called on an unvalidated spec.
+    pub fn alert_rules(&self) -> Vec<AlertRule> {
+        self.alerts
+            .iter()
+            .filter_map(|a| {
+                Some(AlertRule {
+                    metric: AlertMetric::parse(&a.metric)?,
+                    tenant: a.tenant,
+                    window_ns: a.window_ns,
+                    threshold: a.threshold,
+                })
+            })
+            .collect()
     }
 
     fn check_workload(

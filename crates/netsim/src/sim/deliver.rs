@@ -68,6 +68,7 @@ impl Simulation {
                     let m = self.metrics(p.tenant);
                     m.delivered_pkts.inc();
                     m.delivered_bytes.add(payload as u64);
+                    self.cfg.monitor.on_delivered(now, p.tenant.0);
                 }
                 // Always ACK (sender dedupes).
                 let ack = p.ack_for(self.cfg.ack_bytes, now);
@@ -96,6 +97,7 @@ impl Simulation {
                     });
                     let fct = now.saturating_sub(def.start);
                     self.metrics(def.tenant).fct_ns.record(fct.as_nanos());
+                    self.cfg.monitor.on_fct(now, def.tenant.0, fct.as_nanos());
                     self.cfg.telemetry.event(
                         now,
                         "flow_complete",
@@ -133,6 +135,7 @@ impl Simulation {
                 let m = self.metrics(p.tenant);
                 m.delivered_pkts.inc();
                 m.delivered_bytes.add(payload as u64);
+                self.cfg.monitor.on_delivered(now, p.tenant.0);
             }
         }
     }

@@ -18,7 +18,7 @@ impl Simulation {
                     self.report.monitor_violations += 1;
                     if action == ViolationAction::Drop {
                         self.trace_pkt(&p, now, TraceKind::Drop { rank: p.txf_rank });
-                        self.drop_packet(&p, at);
+                        self.drop_packet(&p, at, now);
                         return;
                     }
                 }
@@ -45,7 +45,7 @@ impl Simulation {
                 if pre.process(&mut p) == Verdict::Drop {
                     self.report.preproc_dropped += 1;
                     self.trace_pkt(&p, now, TraceKind::Drop { rank: p.txf_rank });
-                    self.drop_packet(&p, at);
+                    self.drop_packet(&p, at, now);
                     return;
                 }
                 self.trace_pkt(
@@ -62,18 +62,19 @@ impl Simulation {
         let port = self.port_of[at.index()][&next.0];
         let outcome = self.ports[at.index()][port].queue.enqueue(p, now);
         for victim in outcome.dropped() {
-            self.drop_packet(&victim, at);
+            self.drop_packet(&victim, at, now);
         }
         self.try_transmit(at, port, now);
     }
 
-    pub(in crate::sim) fn drop_packet(&mut self, p: &Packet, at: NodeId) {
+    pub(in crate::sim) fn drop_packet(&mut self, p: &Packet, at: NodeId, now: Nanos) {
         debug_assert!(self.in_flight > 0);
         self.in_flight -= 1;
         *self.report.node_drops.entry(at).or_insert(0) += 1;
         if p.is_payload() {
             self.tenant_mut(p.tenant).dropped_pkts += 1;
             self.metrics(p.tenant).dropped_pkts.inc();
+            self.cfg.monitor.on_drop(now, p.tenant.0);
         }
     }
 
@@ -131,7 +132,7 @@ impl Simulation {
         if self.cfg.random_loss > 0.0 && self.rng.uniform() < self.cfg.random_loss {
             self.report.random_losses += 1;
             self.trace_pkt(&p, now, TraceKind::Drop { rank: p.txf_rank });
-            self.drop_packet(&p, node);
+            self.drop_packet(&p, node, now);
             return;
         }
         if node == p.dst {

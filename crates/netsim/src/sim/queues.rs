@@ -60,17 +60,16 @@ pub(in crate::sim) fn build_ports(
         for link in topo.out_links(node.id) {
             let label = format!("n{}.p{}", node.id.0, node_ports.len());
             let base = make_queue_of(kind, cfg, joint)?;
-            let queue: Box<dyn PacketQueue> =
-                if cfg.telemetry.is_enabled() || cfg.tracer.is_enabled() {
-                    Box::new(InstrumentedQueue::with_tracer(
-                        base,
-                        &cfg.telemetry,
-                        &cfg.tracer,
-                        &label,
-                    ))
-                } else {
-                    base
-                };
+            let instrument =
+                cfg.telemetry.is_enabled() || cfg.tracer.is_enabled() || cfg.monitor.is_enabled();
+            let queue: Box<dyn PacketQueue> = if instrument {
+                Box::new(
+                    InstrumentedQueue::with_tracer(base, &cfg.telemetry, &cfg.tracer, &label)
+                        .with_monitor(&cfg.monitor),
+                )
+            } else {
+                base
+            };
             let link_labels = [("link", label.as_str())];
             map.insert(link.to.0, node_ports.len());
             node_ports.push(Port {

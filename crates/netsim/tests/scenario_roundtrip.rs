@@ -60,6 +60,12 @@ const FULL: &str = r#"{
               "rate_bps": 50000000, "pkt_size": 1500, "start_ns": 0,
               "stop": { "at_ns": 20000000 }, "deadline_offset_ns": 400000 }
         ] } }
+    ],
+    "alerts": [
+        { "metric": "drop_rate", "tenant": 2,
+          "window_ns": 2000000, "threshold": 0.05 },
+        { "metric": "fct_p99", "tenant": 1,
+          "window_ns": 10000000, "threshold": 5000000.0 }
     ]
 }"#;
 
@@ -151,6 +157,17 @@ fn out_of_range_values_are_rejected_with_the_field_name() {
     // Host indices must exist in the topology (8 hosts here).
     let text = err_text(&patched("\"dst_host\": 4", "\"dst_host\": 8"));
     assert!(text.contains("dst_host"), "got: {text}");
+
+    // Alert rules name a known metric and a positive window; the
+    // rejection lists the vocabulary.
+    let text = err_text(&patched(
+        "\"metric\": \"drop_rate\"",
+        "\"metric\": \"drop_rat\"",
+    ));
+    assert!(text.contains("alerts.0.metric"), "got: {text}");
+    assert!(text.contains("drop_rate"), "got: {text}");
+    let text = err_text(&patched("\"window_ns\": 2000000", "\"window_ns\": 0"));
+    assert!(text.contains("window_ns"), "got: {text}");
 }
 
 #[test]

@@ -19,7 +19,7 @@
 use crate::queue::{Enqueue, PacketQueue};
 use qvisor_sim::{Nanos, Packet, PacketKind, Rank};
 use qvisor_telemetry::{
-    Counter, Gauge, Histogram, Profiler, Telemetry, TraceKind, TraceRecord, Tracer,
+    Counter, Gauge, Histogram, Profiler, SloMonitor, Telemetry, TraceKind, TraceRecord, Tracer,
 };
 use std::collections::BTreeMap;
 
@@ -59,6 +59,9 @@ pub struct InstrumentedQueue<Q: PacketQueue> {
     /// Empty when disabled.
     ranks: BTreeMap<Rank, Vec<Resident>>,
     tracer: Tracer,
+    /// Streaming SLO monitor fed per-tenant dequeue waits and inversions
+    /// (disabled by default; attach with [`Self::with_monitor`]).
+    monitor: SloMonitor,
     trace_label: u32,
     offered: Counter,
     admitted: Counter,
@@ -93,6 +96,7 @@ impl<Q: PacketQueue> InstrumentedQueue<Q> {
             enabled: telemetry.is_enabled() || tracer.is_enabled(),
             ranks: BTreeMap::new(),
             tracer: tracer.clone(),
+            monitor: SloMonitor::disabled(),
             trace_label: tracer.intern(queue_label),
             offered: telemetry.counter("sched_offered_pkts", &labels),
             admitted: telemetry.counter("sched_admitted_pkts", &labels),
@@ -106,6 +110,16 @@ impl<Q: PacketQueue> InstrumentedQueue<Q> {
             deq_prof: telemetry.profiler("sched_dequeue"),
             inner,
         }
+    }
+
+    /// Attach a streaming SLO monitor: every dequeue feeds the packet's
+    /// tenant, its queueing delay, and whether the dequeue was a
+    /// cross-tenant rank inversion. An enabled monitor activates the
+    /// wrapper even when telemetry and tracing are both disabled.
+    pub fn with_monitor(mut self, monitor: &SloMonitor) -> InstrumentedQueue<Q> {
+        self.enabled = self.enabled || monitor.is_enabled();
+        self.monitor = monitor.clone();
+        self
     }
 
     /// The wrapped queue.
@@ -212,8 +226,10 @@ impl<Q: PacketQueue> PacketQueue for InstrumentedQueue<Q> {
                 wait_ns: wait,
             },
         );
+        let mut inverted = false;
         if let Some((&best, ids)) = self.ranks.first_key_value() {
             if best < p.txf_rank {
+                inverted = true;
                 self.inversions.inc();
                 // The overtaken packet: oldest resident at the best rank.
                 if let Some(&(loser_flow, loser_seq, _)) = ids.first() {
@@ -230,6 +246,7 @@ impl<Q: PacketQueue> PacketQueue for InstrumentedQueue<Q> {
                 }
             }
         }
+        self.monitor.on_dequeue(now, p.tenant.0, wait, inverted);
         self.sojourn_ns.record(wait);
         self.update_depth();
         Some(p)
@@ -331,6 +348,27 @@ mod tests {
         // Mirror stays consistent: drain without panic.
         while q.dequeue(Nanos::ZERO).is_some() {}
         assert_eq!(counter(&t, "sched_dequeued_pkts", "q0", "pifo"), 2);
+    }
+
+    #[test]
+    fn monitor_feed_sees_waits_and_inversions() {
+        use qvisor_telemetry::{AlertMetric, AlertRule};
+        let t = Telemetry::disabled();
+        let monitor = SloMonitor::enabled(vec![AlertRule {
+            metric: AlertMetric::InversionRate,
+            tenant: 0,
+            window_ns: 1_000,
+            threshold: 0.4,
+        }]);
+        let mut q = InstrumentedQueue::new(FifoQueue::new(Capacity::UNBOUNDED), &t, "q0")
+            .with_monitor(&monitor);
+        q.enqueue(pkt(0, 9), Nanos::ZERO);
+        q.enqueue(pkt(1, 1), Nanos::ZERO);
+        q.dequeue(Nanos(500)); // rank 9 leaves while rank 1 waits: inversion
+        assert_eq!(monitor.alerts_fired(), 1, "1/1 inversions over 0.4");
+        let export = monitor.export_jsonl();
+        assert!(export.contains("slo_rank_inversions"), "{export}");
+        assert!(export.contains("slo_queue_delay_p50_ns"), "{export}");
     }
 
     #[test]

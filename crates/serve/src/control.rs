@@ -306,6 +306,13 @@ impl ControlPlane {
             .set("rejected", self.rejected)
     }
 
+    /// The adapter registry's raw JSONL export (empty when the telemetry
+    /// feature is compiled out). The `metrics` exposition renders this
+    /// plus the daemon's own request/admission stats.
+    pub fn telemetry_export(&self) -> String {
+        self.telemetry.export_jsonl()
+    }
+
     /// One telemetry-stream line: the current registry export wrapped as a
     /// single JSON object (each exported JSONL line becomes one record).
     pub fn telemetry_line(&self) -> String {

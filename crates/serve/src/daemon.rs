@@ -35,6 +35,7 @@ use qvisor_telemetry::SnapshotBus;
 use crate::control::ControlPlane;
 use crate::protocol::{error_response, Request};
 use crate::registry::SnapshotCell;
+use crate::stats::ServeStats;
 
 /// Stream line announcing the end of a telemetry subscription.
 pub const STREAM_END: &str = r#"{"type":"stream_end"}"#;
@@ -64,12 +65,14 @@ enum Command {
     Withdraw(String, Sender<Value>),
     GetLog(Sender<Value>),
     Status(Sender<Value>),
+    Metrics(Sender<Value>),
     Shutdown(Sender<Value>),
 }
 
 struct Shared {
     cell: Arc<SnapshotCell>,
     bus: Arc<SnapshotBus>,
+    stats: ServeStats,
     stop: AtomicBool,
     conns: Mutex<BTreeMap<u64, TcpStream>>,
     next_conn: AtomicU64,
@@ -127,6 +130,7 @@ impl Daemon {
         let shared = Arc::new(Shared {
             cell: Arc::new(SnapshotCell::default()),
             bus: Arc::new(SnapshotBus::new()),
+            stats: ServeStats::default(),
             stop: AtomicBool::new(false),
             conns: Mutex::new(BTreeMap::new()),
             next_conn: AtomicU64::new(0),
@@ -154,18 +158,35 @@ impl Daemon {
                 while let Ok(cmd) = control_rx.recv() {
                     match cmd {
                         Command::Submit(tenant, reply) => {
+                            // Commit latency is a daemon health metric,
+                            // never simulation state.
+                            let started = std::time::Instant::now(); // determinism: allowed (daemon health metric)
                             let response = plane.submit(tenant);
                             let committed =
                                 response.get("ok").and_then(Value::as_bool) == Some(true);
+                            shared.stats.record_admission(&response);
+                            if committed {
+                                shared
+                                    .stats
+                                    .record_commit_latency_ns(duration_ns(started.elapsed()));
+                            }
                             let _ = reply.send(response);
                             if committed && !shared.bus.is_empty() {
                                 shared.bus.publish(&plane.telemetry_line());
                             }
                         }
                         Command::Withdraw(name, reply) => {
+                            // Commit latency is a daemon health metric,
+                            // never simulation state.
+                            let started = std::time::Instant::now(); // determinism: allowed (daemon health metric)
                             let response = plane.withdraw(&name);
                             let committed =
                                 response.get("ok").and_then(Value::as_bool) == Some(true);
+                            if committed {
+                                shared
+                                    .stats
+                                    .record_commit_latency_ns(duration_ns(started.elapsed()));
+                            }
                             let _ = reply.send(response);
                             if committed && !shared.bus.is_empty() {
                                 shared.bus.publish(&plane.telemetry_line());
@@ -175,7 +196,27 @@ impl Daemon {
                             let _ = reply.send(plane.log_value());
                         }
                         Command::Status(reply) => {
-                            let _ = reply.send(plane.status_value());
+                            let status = shared
+                                .stats
+                                .status_fields(plane.status_value())
+                                .set("bus_lines_dropped", shared.bus.dropped_lines());
+                            let _ = reply.send(status);
+                        }
+                        Command::Metrics(reply) => {
+                            let combined = format!(
+                                "{}{}",
+                                plane.telemetry_export(),
+                                shared.stats.export_jsonl()
+                            );
+                            let response = match qvisor_telemetry::prometheus::render(&combined) {
+                                Ok(body) => Value::object()
+                                    .set("ok", true)
+                                    .set("result", "metrics")
+                                    .set("content_type", "text/plain; version=0.0.4")
+                                    .set("body", body),
+                                Err(e) => error_response(&format!("metrics render failed: {e}")),
+                            };
+                            let _ = reply.send(response);
                         }
                         Command::Shutdown(reply) => {
                             shared.stop.store(true, Ordering::SeqCst);
@@ -300,12 +341,14 @@ fn session(stream: TcpStream, shared: &Shared, control_tx: &Sender<Command>) {
         let request = match Request::parse(line.trim()) {
             Ok(request) => request,
             Err(e) => {
+                shared.stats.record_op("invalid");
                 if write_line(&mut writer, &error_response(&e)).is_err() {
                     break;
                 }
                 continue;
             }
         };
+        shared.stats.record_op(request.op_name());
         let shutting_down = matches!(request, Request::Shutdown);
         let response = match request {
             // Reads: answered from the published snapshot, never queued
@@ -327,6 +370,7 @@ fn session(stream: TcpStream, shared: &Shared, control_tx: &Sender<Command>) {
             }
             Request::GetLog => roundtrip(control_tx, Command::GetLog),
             Request::Status => roundtrip(control_tx, Command::Status),
+            Request::Metrics => roundtrip(control_tx, Command::Metrics),
             Request::Shutdown => roundtrip(control_tx, Command::Shutdown),
             Request::SubscribeTelemetry => {
                 let rx = shared.bus.subscribe();
@@ -356,6 +400,10 @@ fn session(stream: TcpStream, shared: &Shared, control_tx: &Sender<Command>) {
 
 fn write_line(writer: &mut TcpStream, value: &Value) -> std::io::Result<()> {
     writeln!(writer, "{}", value.to_compact())
+}
+
+fn duration_ns(elapsed: std::time::Duration) -> u64 {
+    u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Send a command to the control thread and wait for this request's reply.
@@ -511,6 +559,69 @@ mod tests {
         client.send(r#"{"op":"shutdown"}"#);
         let end = subscriber.read();
         assert_eq!(end.get("type").and_then(Value::as_str), Some("stream_end"));
+        daemon.wait();
+    }
+
+    #[test]
+    fn metrics_and_status_reflect_a_scripted_session() {
+        let daemon = start();
+        let mut client = Client::connect(&daemon);
+
+        // One accept, one structural reject, one gate reject.
+        let r = client.send(
+            r#"{"op":"submit-policy","tenant":{"id":1,"name":"gold","algorithm":"pFabric","rank_min":0,"rank_max":999,"levels":16}}"#,
+        );
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
+        let r = client.send(
+            r#"{"op":"submit-policy","tenant":{"id":9,"name":"ghost","algorithm":"x","rank_min":0,"rank_max":9}}"#,
+        );
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(false));
+        let r = client.send(
+            r#"{"op":"submit-policy","tenant":{"id":2,"name":"silver","algorithm":"EDF","rank_min":0,"rank_max":18446744073709551615,"levels":18446744073709551615}}"#,
+        );
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(false));
+        client.send("not json at all");
+
+        let status = client.send(r#"{"op":"status"}"#);
+        let requests = status.get("requests").unwrap();
+        assert_eq!(
+            requests.get("submit-policy").and_then(Value::as_u64),
+            Some(3)
+        );
+        assert_eq!(requests.get("invalid").and_then(Value::as_u64), Some(1));
+        let admission = status.get("admission").unwrap();
+        assert_eq!(admission.get("accepted").and_then(Value::as_u64), Some(1));
+        assert_eq!(admission.get("rejected").and_then(Value::as_u64), Some(2));
+        let by_code = admission.get("rejected_by_code").unwrap();
+        assert_eq!(
+            by_code
+                .get(crate::stats::STRUCTURAL_CODE)
+                .and_then(Value::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            status.get("bus_lines_dropped").and_then(Value::as_u64),
+            Some(0)
+        );
+
+        let r = client.send(r#"{"op":"metrics"}"#);
+        assert_eq!(r.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(
+            r.get("content_type").and_then(Value::as_str),
+            Some("text/plain; version=0.0.4")
+        );
+        let body = r.get("body").and_then(Value::as_str).unwrap();
+        assert!(
+            body.contains(r#"qvisor_serve_requests{op="submit-policy"} 3"#),
+            "{body}"
+        );
+        assert!(body.contains("qvisor_serve_admission_accepted 1"), "{body}");
+        assert!(
+            body.contains("qvisor_serve_commit_latency_ns_count 1"),
+            "{body}"
+        );
+
+        client.send(r#"{"op":"shutdown"}"#);
         daemon.wait();
     }
 

@@ -10,7 +10,7 @@
 //!
 //! - **Protocol** ([`protocol`]): line-delimited JSON over TCP
 //!   (`std::net` only). Requests: `submit-policy`, `withdraw-tenant`,
-//!   `get-chain`, `status`, `snapshot`, `get-log`,
+//!   `get-chain`, `status`, `metrics`, `snapshot`, `get-log`,
 //!   `subscribe-telemetry`, `shutdown`.
 //! - **Admission gate** ([`control`]): every submission is synthesized
 //!   into a candidate joint policy and run through the static verifier;
@@ -28,6 +28,10 @@
 //! - **Daemon shell** ([`daemon`]): accept thread + per-connection
 //!   session threads + a single control thread that owns the
 //!   [`ControlPlane`] and serializes mutations.
+//! - **Statistics** ([`stats`]): per-op request counters, admission
+//!   accepts/rejects bucketed by QV-* diagnostic code, and a commit
+//!   latency histogram — surfaced both in the `status` response and as a
+//!   Prometheus text exposition via the `metrics` request.
 //!
 //! Run it as `qvisor serve <config.json> [--listen ADDR]`; see DESIGN.md
 //! ("Control plane") for the wire schema and threading model.
@@ -36,10 +40,12 @@ pub mod control;
 pub mod daemon;
 pub mod protocol;
 pub mod registry;
+pub mod stats;
 pub mod store;
 
 pub use control::ControlPlane;
 pub use daemon::{Daemon, ServeOptions, STREAM_END};
 pub use protocol::Request;
 pub use registry::{ChainEntry, ChainSnapshot, SnapshotCell};
+pub use stats::ServeStats;
 pub use store::{LogEntry, PolicyStore};

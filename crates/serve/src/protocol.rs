@@ -21,6 +21,8 @@ pub enum Request {
     GetChain(Option<String>),
     /// Control-plane counters and the current version.
     Status,
+    /// Daemon metrics in Prometheus text exposition format.
+    Metrics,
     /// The full canonical snapshot (used for replay byte-comparison).
     Snapshot,
     /// The accepted-mutation log (used for sequential replay).
@@ -100,6 +102,7 @@ impl Request {
                 ))),
             },
             "status" => Ok(Request::Status),
+            "metrics" => Ok(Request::Metrics),
             "snapshot" => Ok(Request::Snapshot),
             "get-log" => Ok(Request::GetLog),
             "subscribe-telemetry" => Ok(Request::SubscribeTelemetry),
@@ -122,12 +125,28 @@ impl Request {
                 .set("op", "get-chain")
                 .set("tenant", name.as_str()),
             Request::Status => Value::object().set("op", "status"),
+            Request::Metrics => Value::object().set("op", "metrics"),
             Request::Snapshot => Value::object().set("op", "snapshot"),
             Request::GetLog => Value::object().set("op", "get-log"),
             Request::SubscribeTelemetry => Value::object().set("op", "subscribe-telemetry"),
             Request::Shutdown => Value::object().set("op", "shutdown"),
         };
         v.to_compact()
+    }
+
+    /// The wire `op` string (the per-op request counter label).
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::SubmitPolicy(_) => "submit-policy",
+            Request::WithdrawTenant(_) => "withdraw-tenant",
+            Request::GetChain(_) => "get-chain",
+            Request::Status => "status",
+            Request::Metrics => "metrics",
+            Request::Snapshot => "snapshot",
+            Request::GetLog => "get-log",
+            Request::SubscribeTelemetry => "subscribe-telemetry",
+            Request::Shutdown => "shutdown",
+        }
     }
 }
 
@@ -155,6 +174,7 @@ mod tests {
             Request::GetChain(None),
             Request::GetChain(Some("gold".into())),
             Request::Status,
+            Request::Metrics,
             Request::Snapshot,
             Request::GetLog,
             Request::SubscribeTelemetry,

@@ -29,20 +29,27 @@
 //! [`trace`] flight recorder captures per-packet lifecycle spans (exported
 //! to Perfetto via [`perfetto`] or rendered as a latency breakdown), and
 //! the [`profile`] self-profiler aggregates wall-clock scoped timers around
-//! the simulator's own hot paths.
+//! the simulator's own hot paths. The [`monitor`] module layers a streaming
+//! per-tenant SLO view on the same feed points — sliding sim-time-windowed
+//! rates and latency quantiles with declarative alert rules — and
+//! [`prometheus`] renders any JSONL export in Prometheus text exposition
+//! format for standard scrapers.
 
 pub mod hist;
 pub mod journal;
+pub mod monitor;
 pub mod perfetto;
 pub mod profile;
+pub mod prometheus;
 pub mod report;
 pub mod stream;
 pub mod trace;
 
 pub use hist::{Bucket, LogHistogram, SUB_BITS};
 pub use journal::{Journal, JournalEvent};
+pub use monitor::{AlertMetric, AlertRule, QuantileSketch, SloMonitor, ALERT_METRICS};
 pub use profile::{ProfileSpan, ProfileStat, Profiler};
-pub use stream::SnapshotBus;
+pub use stream::{BusReceiver, SnapshotBus, DEFAULT_SUBSCRIBER_CAPACITY};
 pub use trace::{TraceConfig, TraceData, TraceKind, TraceRecord, Tracer};
 
 #[cfg(feature = "enabled")]

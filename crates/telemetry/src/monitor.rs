@@ -1,0 +1,1078 @@
+//! Streaming per-tenant isolation SLO monitor.
+//!
+//! The static verifier proves a policy clean before deployment and the
+//! trace reports explain a run after it ends; this module watches isolation
+//! *while* the simulation runs. It consumes the same feed points the
+//! telemetry counters already use — enqueue/dequeue on instrumented queues,
+//! delivery and flow completion at the destination, end-to-end drops — and
+//! maintains sliding sim-time-windowed per-tenant health:
+//!
+//! * **drop rate** — dropped / (delivered + dropped) over the window,
+//! * **rank-inversion rate** — cross-tenant inversions / dequeues,
+//! * **queueing-delay and FCT quantiles** — via a deterministic streaming
+//!   [`QuantileSketch`] (sparse log-linear buckets, property-tested against
+//!   exact sorted-vec quantiles).
+//!
+//! Declarative [`AlertRule`]s (`{metric, tenant, window_ns, threshold}`)
+//! are evaluated incrementally on every matching feed event. Alerts are
+//! edge-triggered: one `alert_fired` journal event when the windowed value
+//! first exceeds the threshold, one `alert_resolved` when it falls back.
+//! Fired alerts land in the monitor's own bounded [`Journal`] and, when a
+//! [`SnapshotBus`] is attached, are pushed to live subscribers.
+//!
+//! Like the rest of the telemetry subsystem the monitor only *observes*:
+//! it takes no randomness, orders no events, and is keyed by simulated
+//! time, so attaching it cannot change a simulation's outcome. Unlike the
+//! [`Telemetry`](crate::Telemetry) registry it keeps fully separate state
+//! (including its own journal), so a telemetry JSONL export is
+//! byte-identical whether or not a monitor was attached. The determinism
+//! suite enforces both properties.
+
+use crate::journal::{Journal, JournalEvent};
+use crate::report::{Export, HistLine, MetricLine};
+use crate::stream::SnapshotBus;
+use qvisor_sim::json::Value;
+use qvisor_sim::Nanos;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Sub-bucket resolution of the streaming sketch: each power-of-two range
+/// is split into `2^SKETCH_SUB_BITS` linear sub-buckets, so the relative
+/// quantile error is bounded by `2^-SKETCH_SUB_BITS` (6.25%) and the
+/// absolute error by one bucket width.
+pub const SKETCH_SUB_BITS: u32 = 4;
+const SKETCH_SUBS: u64 = 1 << SKETCH_SUB_BITS;
+
+/// Number of ring slices a sliding window is quantized into.
+const SLICES: u64 = 8;
+
+fn sketch_index(v: u64) -> u16 {
+    if v < SKETCH_SUBS {
+        return v as u16;
+    }
+    let exp = 63 - v.leading_zeros(); // >= SKETCH_SUB_BITS
+    let sub = (v >> (exp - SKETCH_SUB_BITS)) & (SKETCH_SUBS - 1);
+    ((exp - SKETCH_SUB_BITS + 1) as u16) * SKETCH_SUBS as u16 + sub as u16
+}
+
+/// The closed `[lo, hi]` range of values mapping to sketch bucket `index`.
+fn sketch_range(index: u16) -> (u64, u64) {
+    let subs = SKETCH_SUBS as u16;
+    if index < subs {
+        return (index as u64, index as u64);
+    }
+    let block = (index / subs) as u32;
+    let sub = (index % subs) as u64;
+    let exp = block + SKETCH_SUB_BITS - 1;
+    let width = 1u64 << (exp - SKETCH_SUB_BITS);
+    let lo = (1u64 << exp) + sub * width;
+    (lo, lo.saturating_add(width - 1))
+}
+
+/// A deterministic streaming quantile sketch over `u64` values.
+///
+/// Same log-linear binning idea as [`LogHistogram`](crate::LogHistogram)
+/// but sparse (a `BTreeMap` of occupied buckets) and *subtractable*, which
+/// is what sliding-window aggregation needs: the window keeps one sketch
+/// per ring slice plus a rolling aggregate, and expiring a slice subtracts
+/// its sketch from the aggregate in O(occupied buckets).
+///
+/// The quantile estimate is the upper bound of the bucket holding the
+/// nearest-rank target, so it never undershoots the exact quantile and
+/// overshoots by less than one bucket width (see
+/// [`bucket_width`](Self::bucket_width)).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QuantileSketch {
+    counts: BTreeMap<u16, u64>,
+    total: u64,
+}
+
+impl QuantileSketch {
+    /// An empty sketch.
+    pub fn new() -> QuantileSketch {
+        QuantileSketch::default()
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        *self.counts.entry(sketch_index(v)).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Nearest-rank `p`-quantile estimate (`p` in `[0, 1]`; `None` if
+    /// empty): the upper bound of the bucket holding the target rank.
+    pub fn quantile(&self, p: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let target = ((p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut acc = 0u64;
+        for (&index, &c) in &self.counts {
+            acc += c;
+            if acc >= target {
+                return Some(sketch_range(index).1);
+            }
+        }
+        // Unreachable when counts sum to total; defensive for safety.
+        self.counts.keys().next_back().map(|&i| sketch_range(i).1)
+    }
+
+    /// Merge another sketch into this one.
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        for (&k, &c) in &other.counts {
+            *self.counts.entry(k).or_insert(0) += c;
+        }
+        self.total += other.total;
+    }
+
+    /// Remove `other`'s counts from this sketch. `other` must be a subset
+    /// of what was merged or recorded here (the sliding-window invariant).
+    pub fn subtract(&mut self, other: &QuantileSketch) {
+        for (&k, &c) in &other.counts {
+            let e = self
+                .counts
+                .get_mut(&k)
+                .expect("subtracting counts never recorded");
+            *e = e.checked_sub(c).expect("sketch subtraction underflow");
+            if *e == 0 {
+                self.counts.remove(&k);
+            }
+        }
+        self.total -= other.total;
+    }
+
+    /// Reset to empty.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+        self.total = 0;
+    }
+
+    /// Width of the bucket that `v` falls in — the quantile error bound at
+    /// that magnitude (exact below `2^SKETCH_SUB_BITS`).
+    pub fn bucket_width(v: u64) -> u64 {
+        let (lo, hi) = sketch_range(sketch_index(v));
+        hi - lo + 1
+    }
+}
+
+/// A count over a sliding sim-time window, quantized into [`SLICES`] ring
+/// slices: O(1) add, O(1) amortized expiry, purely a function of the
+/// event stream's simulated timestamps.
+#[derive(Clone, Debug)]
+struct SlidingCounter {
+    slice_ns: u64,
+    cur: u64,
+    ring: [u64; SLICES as usize],
+    total: u64,
+}
+
+impl SlidingCounter {
+    fn new(window_ns: u64) -> SlidingCounter {
+        SlidingCounter {
+            slice_ns: window_ns.div_ceil(SLICES).max(1),
+            cur: 0,
+            ring: [0; SLICES as usize],
+            total: 0,
+        }
+    }
+
+    fn advance(&mut self, t: u64) {
+        let s = t / self.slice_ns;
+        if s <= self.cur {
+            return;
+        }
+        let steps = (s - self.cur).min(SLICES);
+        for i in 1..=steps {
+            let slot = ((self.cur + i) % SLICES) as usize;
+            self.total -= self.ring[slot];
+            self.ring[slot] = 0;
+        }
+        self.cur = s;
+    }
+
+    fn add(&mut self, t: u64, n: u64) {
+        self.advance(t);
+        self.ring[(self.cur % SLICES) as usize] += n;
+        self.total += n;
+    }
+
+    fn value(&mut self, t: u64) -> u64 {
+        self.advance(t);
+        self.total
+    }
+}
+
+/// A [`QuantileSketch`] over a sliding sim-time window: one sketch per
+/// ring slice plus a rolling aggregate kept current by subtraction.
+#[derive(Clone, Debug)]
+struct SlidingSketch {
+    slice_ns: u64,
+    cur: u64,
+    ring: [QuantileSketch; SLICES as usize],
+    agg: QuantileSketch,
+}
+
+impl SlidingSketch {
+    fn new(window_ns: u64) -> SlidingSketch {
+        SlidingSketch {
+            slice_ns: window_ns.div_ceil(SLICES).max(1),
+            cur: 0,
+            ring: std::array::from_fn(|_| QuantileSketch::new()),
+            agg: QuantileSketch::new(),
+        }
+    }
+
+    fn advance(&mut self, t: u64) {
+        let s = t / self.slice_ns;
+        if s <= self.cur {
+            return;
+        }
+        let steps = (s - self.cur).min(SLICES);
+        for i in 1..=steps {
+            let slot = ((self.cur + i) % SLICES) as usize;
+            if !self.ring[slot].is_empty() {
+                self.agg.subtract(&self.ring[slot]);
+                self.ring[slot].clear();
+            }
+        }
+        self.cur = s;
+    }
+
+    fn record(&mut self, t: u64, v: u64) {
+        self.advance(t);
+        self.ring[(self.cur % SLICES) as usize].record(v);
+        self.agg.record(v);
+    }
+
+    fn quantile(&mut self, t: u64, p: f64) -> Option<u64> {
+        self.advance(t);
+        self.agg.quantile(p)
+    }
+}
+
+/// A per-tenant SLO metric an [`AlertRule`] can watch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AlertMetric {
+    /// Dropped / (delivered + dropped) payload packets over the window.
+    DropRate,
+    /// Cross-tenant rank inversions / dequeues over the window.
+    InversionRate,
+    /// Median queueing delay (ns) over the window.
+    QueueDelayP50,
+    /// 90th-percentile queueing delay (ns) over the window.
+    QueueDelayP90,
+    /// 99th-percentile queueing delay (ns) over the window.
+    QueueDelayP99,
+    /// Median flow completion time (ns) over the window.
+    FctP50,
+    /// 90th-percentile flow completion time (ns) over the window.
+    FctP90,
+    /// 99th-percentile flow completion time (ns) over the window.
+    FctP99,
+}
+
+/// Every metric, for validation error messages and exhaustive tests.
+pub const ALERT_METRICS: &[AlertMetric] = &[
+    AlertMetric::DropRate,
+    AlertMetric::InversionRate,
+    AlertMetric::QueueDelayP50,
+    AlertMetric::QueueDelayP90,
+    AlertMetric::QueueDelayP99,
+    AlertMetric::FctP50,
+    AlertMetric::FctP90,
+    AlertMetric::FctP99,
+];
+
+impl AlertMetric {
+    /// The schema name (`drop_rate`, `queue_delay_p99`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            AlertMetric::DropRate => "drop_rate",
+            AlertMetric::InversionRate => "inversion_rate",
+            AlertMetric::QueueDelayP50 => "queue_delay_p50",
+            AlertMetric::QueueDelayP90 => "queue_delay_p90",
+            AlertMetric::QueueDelayP99 => "queue_delay_p99",
+            AlertMetric::FctP50 => "fct_p50",
+            AlertMetric::FctP90 => "fct_p90",
+            AlertMetric::FctP99 => "fct_p99",
+        }
+    }
+
+    /// Parse a schema name; `None` for unknown metrics.
+    pub fn parse(s: &str) -> Option<AlertMetric> {
+        ALERT_METRICS.iter().copied().find(|m| m.name() == s)
+    }
+
+    /// The quantile a sketch-backed metric reads (`None` for rates).
+    fn quantile(self) -> Option<f64> {
+        match self {
+            AlertMetric::DropRate | AlertMetric::InversionRate => None,
+            AlertMetric::QueueDelayP50 | AlertMetric::FctP50 => Some(0.5),
+            AlertMetric::QueueDelayP90 | AlertMetric::FctP90 => Some(0.9),
+            AlertMetric::QueueDelayP99 | AlertMetric::FctP99 => Some(0.99),
+        }
+    }
+
+    fn uses_fct(self) -> bool {
+        matches!(
+            self,
+            AlertMetric::FctP50 | AlertMetric::FctP90 | AlertMetric::FctP99
+        )
+    }
+}
+
+/// One declarative SLO alert rule: fire while `metric` for `tenant`,
+/// computed over a sliding `window_ns` of simulated time, exceeds
+/// `threshold` (a fraction in `[0, 1]` for rates, nanoseconds for
+/// latency quantiles).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AlertRule {
+    /// The watched metric.
+    pub metric: AlertMetric,
+    /// The watched tenant id.
+    pub tenant: u16,
+    /// Sliding window length in simulated nanoseconds (quantized up to
+    /// eight ring slices).
+    pub window_ns: u64,
+    /// Fire when the windowed value strictly exceeds this.
+    pub threshold: f64,
+}
+
+/// Windowed state backing one rule.
+#[derive(Clone, Debug)]
+enum RuleState {
+    Rate {
+        num: SlidingCounter,
+        den: SlidingCounter,
+    },
+    Quantile {
+        sketch: SlidingSketch,
+        p: f64,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct RuleRt {
+    rule: AlertRule,
+    state: RuleState,
+    firing: bool,
+}
+
+impl RuleRt {
+    fn new(rule: AlertRule) -> RuleRt {
+        let state = match rule.metric.quantile() {
+            None => RuleState::Rate {
+                num: SlidingCounter::new(rule.window_ns),
+                den: SlidingCounter::new(rule.window_ns),
+            },
+            Some(p) => RuleState::Quantile {
+                sketch: SlidingSketch::new(rule.window_ns),
+                p,
+            },
+        };
+        RuleRt {
+            rule,
+            state,
+            firing: false,
+        }
+    }
+
+    /// Current windowed value at sim-time `t`.
+    fn value(&mut self, t: u64) -> f64 {
+        match &mut self.state {
+            RuleState::Rate { num, den } => {
+                let d = den.value(t);
+                if d == 0 {
+                    0.0
+                } else {
+                    num.value(t) as f64 / d as f64
+                }
+            }
+            RuleState::Quantile { sketch, p } => sketch.quantile(t, *p).unwrap_or(0) as f64,
+        }
+    }
+}
+
+/// Cumulative (whole-run) per-tenant health, exported as the monitor's
+/// health table.
+#[derive(Clone, Debug, Default)]
+struct TenantStats {
+    delivered: u64,
+    dropped: u64,
+    dequeues: u64,
+    inversions: u64,
+    queue_delay: QuantileSketch,
+    fct: QuantileSketch,
+}
+
+#[derive(Debug)]
+struct MonitorState {
+    rules: Vec<RuleRt>,
+    tenants: BTreeMap<u16, TenantStats>,
+    journal: Journal,
+    alerts_fired: u64,
+    alerts_resolved: u64,
+    bus: Option<Arc<SnapshotBus>>,
+}
+
+/// Which feed event just happened, for routing to matching rules.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Feed {
+    Drop,
+    Delivered,
+    Dequeue,
+    Fct,
+}
+
+impl MonitorState {
+    fn new(rules: Vec<AlertRule>) -> MonitorState {
+        MonitorState {
+            rules: rules.into_iter().map(RuleRt::new).collect(),
+            tenants: BTreeMap::new(),
+            journal: Journal::default(),
+            alerts_fired: 0,
+            alerts_resolved: 0,
+            bus: None,
+        }
+    }
+
+    /// Route one feed event into every matching rule's window, then
+    /// re-evaluate those rules at sim-time `t` (edge-triggered).
+    fn feed(&mut self, t: Nanos, tenant: u16, feed: Feed, sample: u64, inverted: bool) {
+        let mut transitions: Vec<(usize, f64)> = Vec::new();
+        for (i, rt) in self.rules.iter_mut().enumerate() {
+            if rt.rule.tenant != tenant {
+                continue;
+            }
+            let relevant = match (&mut rt.state, rt.rule.metric) {
+                (RuleState::Rate { num, den }, AlertMetric::DropRate) => match feed {
+                    Feed::Drop => {
+                        num.add(t.0, 1);
+                        den.add(t.0, 1);
+                        true
+                    }
+                    Feed::Delivered => {
+                        den.add(t.0, 1);
+                        true
+                    }
+                    _ => false,
+                },
+                (RuleState::Rate { num, den }, AlertMetric::InversionRate) => match feed {
+                    Feed::Dequeue => {
+                        if inverted {
+                            num.add(t.0, 1);
+                        }
+                        den.add(t.0, 1);
+                        true
+                    }
+                    _ => false,
+                },
+                (RuleState::Quantile { sketch, .. }, m) => {
+                    let wants = if m.uses_fct() {
+                        feed == Feed::Fct
+                    } else {
+                        feed == Feed::Dequeue
+                    };
+                    if wants {
+                        sketch.record(t.0, sample);
+                    }
+                    wants
+                }
+                _ => false,
+            };
+            if !relevant {
+                continue;
+            }
+            let value = rt.value(t.0);
+            if !rt.firing && value > rt.rule.threshold {
+                rt.firing = true;
+                transitions.push((i, value));
+            } else if rt.firing && value <= rt.rule.threshold {
+                rt.firing = false;
+                transitions.push((i, value));
+            }
+        }
+        for (i, value) in transitions {
+            let rt = &self.rules[i];
+            let kind = if rt.firing {
+                "alert_fired"
+            } else {
+                "alert_resolved"
+            };
+            let event = JournalEvent {
+                t,
+                kind: kind.to_string(),
+                fields: vec![
+                    ("metric".to_string(), Value::from(rt.rule.metric.name())),
+                    ("tenant".to_string(), Value::from(rt.rule.tenant)),
+                    ("window_ns".to_string(), Value::from(rt.rule.window_ns)),
+                    ("threshold".to_string(), Value::from(rt.rule.threshold)),
+                    ("value".to_string(), Value::from(value)),
+                ],
+            };
+            if rt.firing {
+                self.alerts_fired += 1;
+            } else {
+                self.alerts_resolved += 1;
+            }
+            if let Some(bus) = &self.bus {
+                bus.publish(&event.to_json().to_compact());
+            }
+            self.journal.push(event);
+        }
+    }
+}
+
+/// Handle to a streaming SLO monitor. Cheap to clone (shared by `Rc`,
+/// mirroring [`Telemetry`](crate::Telemetry)); the default handle is
+/// disabled and every feed call is one branch.
+#[derive(Clone, Debug, Default)]
+pub struct SloMonitor {
+    inner: Option<Rc<RefCell<MonitorState>>>,
+}
+
+impl SloMonitor {
+    /// A disabled monitor: records nothing, exports nothing.
+    pub fn disabled() -> SloMonitor {
+        SloMonitor::default()
+    }
+
+    /// An enabled monitor evaluating `rules` (an empty rule set still
+    /// collects per-tenant health for the export).
+    pub fn enabled(rules: Vec<AlertRule>) -> SloMonitor {
+        SloMonitor {
+            inner: Some(Rc::new(RefCell::new(MonitorState::new(rules)))),
+        }
+    }
+
+    /// Attach a [`SnapshotBus`]; alert transitions are published to it as
+    /// compact JSON event lines. No-op on a disabled monitor.
+    pub fn with_bus(self, bus: &Arc<SnapshotBus>) -> SloMonitor {
+        if let Some(inner) = &self.inner {
+            inner.borrow_mut().bus = Some(Arc::clone(bus));
+        }
+        self
+    }
+
+    /// True when this handle collects.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Feed: an end-to-end payload-packet drop for `tenant` at sim-time `t`.
+    #[inline]
+    pub fn on_drop(&self, t: Nanos, tenant: u16) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner.borrow_mut();
+            st.tenants.entry(tenant).or_default().dropped += 1;
+            st.feed(t, tenant, Feed::Drop, 0, false);
+        }
+    }
+
+    /// Feed: a fresh payload delivery for `tenant` at sim-time `t`.
+    #[inline]
+    pub fn on_delivered(&self, t: Nanos, tenant: u16) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner.borrow_mut();
+            st.tenants.entry(tenant).or_default().delivered += 1;
+            st.feed(t, tenant, Feed::Delivered, 0, false);
+        }
+    }
+
+    /// Feed: a dequeue for `tenant` that waited `wait_ns`; `inverted` marks
+    /// a cross-tenant rank inversion (a lower-ranked packet of another
+    /// tenant was waiting behind this one).
+    #[inline]
+    pub fn on_dequeue(&self, t: Nanos, tenant: u16, wait_ns: u64, inverted: bool) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner.borrow_mut();
+            let ts = st.tenants.entry(tenant).or_default();
+            ts.dequeues += 1;
+            if inverted {
+                ts.inversions += 1;
+            }
+            ts.queue_delay.record(wait_ns);
+            st.feed(t, tenant, Feed::Dequeue, wait_ns, inverted);
+        }
+    }
+
+    /// Feed: a completed flow for `tenant` with completion time `fct_ns`.
+    #[inline]
+    pub fn on_fct(&self, t: Nanos, tenant: u16, fct_ns: u64) {
+        if let Some(inner) = &self.inner {
+            let mut st = inner.borrow_mut();
+            st.tenants.entry(tenant).or_default().fct.record(fct_ns);
+            st.feed(t, tenant, Feed::Fct, fct_ns, false);
+        }
+    }
+
+    /// Total `alert_fired` transitions so far.
+    pub fn alerts_fired(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.borrow().alerts_fired)
+    }
+
+    /// Total `alert_resolved` transitions so far.
+    pub fn alerts_resolved(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.borrow().alerts_resolved)
+    }
+
+    /// All journal events recorded so far (alert transitions), oldest
+    /// first.
+    pub fn alert_events(&self) -> Vec<JournalEvent> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |i| i.borrow().journal.events().cloned().collect())
+    }
+
+    /// Serialise the monitor's state as JSON lines using the telemetry
+    /// export schema (`meta`, `counter`, `gauge`, `event`), so
+    /// [`crate::report::parse`] and [`render_health`] digest it directly.
+    /// Returns the empty string when disabled.
+    pub fn export_jsonl(&self) -> String {
+        let Some(inner) = &self.inner else {
+            return String::new();
+        };
+        let st = inner.borrow();
+        let mut out = String::new();
+        let mut push = |v: Value| {
+            out.push_str(&v.to_compact());
+            out.push('\n');
+        };
+        push(
+            Value::object()
+                .set("type", "meta")
+                .set("schema", crate::SCHEMA_VERSION)
+                .set("monitor", true)
+                .set("rules", st.rules.len())
+                .set("alerts_fired", st.alerts_fired)
+                .set("alerts_resolved", st.alerts_resolved)
+                .set("journal_evicted", st.journal.evicted())
+                .set("journal_capacity", st.journal.capacity()),
+        );
+        let labels = |tenant: u16| Value::object().set("tenant", format!("T{tenant}"));
+        let metric = |kind: &str, name: &str, tenant: u16, value: Value| {
+            Value::object()
+                .set("type", kind)
+                .set("name", name)
+                .set("labels", labels(tenant))
+                .set("value", value)
+        };
+        for (&tenant, s) in &st.tenants {
+            push(metric(
+                "counter",
+                "slo_delivered_pkts",
+                tenant,
+                Value::from(s.delivered),
+            ));
+            push(metric(
+                "counter",
+                "slo_dropped_pkts",
+                tenant,
+                Value::from(s.dropped),
+            ));
+            push(metric(
+                "counter",
+                "slo_dequeues",
+                tenant,
+                Value::from(s.dequeues),
+            ));
+            push(metric(
+                "counter",
+                "slo_rank_inversions",
+                tenant,
+                Value::from(s.inversions),
+            ));
+            let ppm = |num: u64, den: u64| -> Value {
+                if den == 0 {
+                    Value::from(0u64)
+                } else {
+                    Value::from((num as u128 * 1_000_000 / den as u128) as u64)
+                }
+            };
+            push(metric(
+                "gauge",
+                "slo_drop_rate_ppm",
+                tenant,
+                ppm(s.dropped, s.delivered + s.dropped),
+            ));
+            push(metric(
+                "gauge",
+                "slo_inversion_rate_ppm",
+                tenant,
+                ppm(s.inversions, s.dequeues),
+            ));
+            for (name, sketch) in [("slo_queue_delay", &s.queue_delay), ("slo_fct", &s.fct)] {
+                for (suffix, p) in [("p50_ns", 0.5), ("p90_ns", 0.9), ("p99_ns", 0.99)] {
+                    if let Some(q) = sketch.quantile(p) {
+                        push(metric(
+                            "gauge",
+                            &format!("{name}_{suffix}"),
+                            tenant,
+                            Value::from(q),
+                        ));
+                    }
+                }
+            }
+        }
+        for rt in &st.rules {
+            push(
+                Value::object()
+                    .set("type", "gauge")
+                    .set("name", "slo_rule_firing")
+                    .set(
+                        "labels",
+                        Value::object()
+                            .set("metric", rt.rule.metric.name())
+                            .set("tenant", format!("T{}", rt.rule.tenant))
+                            .set("threshold", format!("{}", rt.rule.threshold))
+                            .set("window_ns", format!("{}", rt.rule.window_ns)),
+                    )
+                    .set("value", u64::from(rt.firing)),
+            );
+        }
+        for e in st.journal.events() {
+            push(e.to_json());
+        }
+        out
+    }
+}
+
+fn tenant_sort_key(s: &str) -> (u64, String) {
+    let digits: String = s.chars().filter(|c| c.is_ascii_digit()).collect();
+    (digits.parse().unwrap_or(u64::MAX), s.to_string())
+}
+
+/// Render a parsed export as a deterministic per-tenant health table: one
+/// row per `tenant` label value (numerically ordered), one column per
+/// tenant-labelled counter/gauge (summed across remaining labels) plus a
+/// `<name>_p99` column per tenant-labelled histogram. Returns a note when
+/// no metric carries a tenant label.
+pub fn render_health(export: &Export) -> String {
+    let mut columns: Vec<String> = Vec::new();
+    let mut cells: BTreeMap<(u64, String), BTreeMap<String, i128>> = BTreeMap::new();
+    let mut add = |name: &str, labels: &[(String, String)], value: i128| {
+        let Some((_, tenant)) = labels.iter().find(|(k, _)| k == "tenant") else {
+            return;
+        };
+        if !columns.contains(&name.to_string()) {
+            columns.push(name.to_string());
+        }
+        *cells
+            .entry(tenant_sort_key(tenant))
+            .or_default()
+            .entry(name.to_string())
+            .or_default() += value;
+    };
+    let metrics: Vec<&MetricLine> = export.counters.iter().chain(export.gauges.iter()).collect();
+    for m in metrics {
+        add(&m.name, &m.labels, m.value);
+    }
+    let hists: Vec<&HistLine> = export.histograms.iter().collect();
+    for h in hists {
+        if let Some(p99) = h.p99 {
+            add(&format!("{}_p99", h.name), &h.labels, p99 as i128);
+        }
+    }
+    if cells.is_empty() {
+        return "no tenant-labelled metrics in export\n".to_string();
+    }
+    columns.sort();
+    let mut headers = vec!["tenant".to_string()];
+    headers.extend(columns.iter().cloned());
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|((_, tenant), by_name)| {
+            let mut row = vec![tenant.clone()];
+            row.extend(columns.iter().map(|n| {
+                by_name
+                    .get(n)
+                    .map_or_else(|| "-".to_string(), |v| v.to_string())
+            }));
+            row
+        })
+        .collect();
+    let mut out = String::new();
+    crate::report::render_table(&mut out, &headers, &rows);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qvisor_sim::rng::SimRng;
+
+    fn rule(metric: AlertMetric, tenant: u16, window_ns: u64, threshold: f64) -> AlertRule {
+        AlertRule {
+            metric,
+            tenant,
+            window_ns,
+            threshold,
+        }
+    }
+
+    #[test]
+    fn sketch_ranges_partition_and_contain() {
+        let mut prev_hi: Option<u64> = None;
+        for i in 0..=sketch_index(u64::MAX) {
+            let (lo, hi) = sketch_range(i);
+            assert!(lo <= hi);
+            if let Some(p) = prev_hi {
+                assert_eq!(lo, p + 1, "gap/overlap at sketch bucket {i}");
+            }
+            prev_hi = Some(hi);
+        }
+        assert_eq!(prev_hi, Some(u64::MAX));
+        for v in [0u64, 1, 15, 16, 17, 1000, 1 << 20, u64::MAX / 3, u64::MAX] {
+            let (lo, hi) = sketch_range(sketch_index(v));
+            assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn prop_sketch_quantiles_match_exact_within_pinned_bounds() {
+        // Property: on seeded random streams and on adversarial shapes
+        // (sorted ascending, reversed, constant), the sketch estimate
+        // never undershoots the exact nearest-rank quantile and
+        // overshoots by less than one bucket width at that magnitude.
+        let root = SimRng::seed_from(0x510_a1e7);
+        for case in 0..48u64 {
+            let mut rng = root.derive(case);
+            let n = 1 + rng.below(2_000) as usize;
+            let mut values: Vec<u64> = (0..n)
+                .map(|_| match case % 5 {
+                    0 => rng.below(64),
+                    1 => rng.below(1_000_000_000_000),
+                    2 => rng.exponential(50_000.0) as u64,
+                    3 => 1u64 << rng.below(50),
+                    _ => 42_000, // constant stream
+                })
+                .collect();
+            match case % 3 {
+                0 => values.sort_unstable(),                   // sorted
+                1 => values.sort_unstable_by(|a, b| b.cmp(a)), // reversed
+                _ => {}                                        // as generated
+            }
+            let mut sketch = QuantileSketch::new();
+            for &v in &values {
+                sketch.record(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            for p in [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+                let rank = ((p * n as f64).ceil() as usize).max(1) - 1;
+                let exact = sorted[rank];
+                let est = sketch.quantile(p).unwrap();
+                let width = QuantileSketch::bucket_width(exact);
+                assert!(
+                    est >= exact && est - exact < width,
+                    "case {case} n {n} p={p}: est {est} vs exact {exact}, width {width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sketch_subtract_inverts_merge() {
+        let root = SimRng::seed_from(0xdead_5eed);
+        let mut rng = root.derive(1);
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        for _ in 0..500 {
+            a.record(rng.below(1_000_000));
+            b.record(rng.below(1_000_000));
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 1000);
+        merged.subtract(&b);
+        assert_eq!(merged, a);
+        merged.subtract(&a);
+        assert!(merged.is_empty());
+        assert_eq!(merged.quantile(0.5), None);
+    }
+
+    #[test]
+    fn sliding_counter_expires_by_sim_time() {
+        let mut c = SlidingCounter::new(800); // slice = 100ns, ring covers 800ns
+        c.add(0, 1);
+        c.add(50, 2);
+        assert_eq!(c.value(750), 3, "still inside the window");
+        assert_eq!(c.value(850), 0, "slice 0 expired once t crosses 800ns");
+        c.add(900, 5);
+        assert_eq!(c.value(900), 5);
+        assert_eq!(c.value(1_000_000), 0, "large gap clears the whole ring");
+    }
+
+    #[test]
+    fn sliding_sketch_expires_by_sim_time() {
+        let mut s = SlidingSketch::new(800);
+        s.record(0, 1_000);
+        s.record(50, 2_000);
+        assert!(s.quantile(750, 1.0).unwrap() >= 2_000);
+        assert_eq!(s.quantile(850, 1.0), None, "window drained");
+        s.record(900, 7);
+        assert_eq!(s.quantile(900, 0.5), Some(7));
+    }
+
+    #[test]
+    fn drop_rate_alert_fires_and_resolves_edge_triggered() {
+        let m = SloMonitor::enabled(vec![rule(AlertMetric::DropRate, 1, 1_000, 0.5)]);
+        // Two deliveries, then three drops: rate crosses 0.5 at the 3rd drop.
+        m.on_delivered(Nanos(10), 1);
+        m.on_delivered(Nanos(20), 1);
+        m.on_drop(Nanos(30), 1);
+        m.on_drop(Nanos(40), 1);
+        assert_eq!(m.alerts_fired(), 0, "rate 2/4 is not above 0.5");
+        m.on_drop(Nanos(50), 1);
+        assert_eq!(m.alerts_fired(), 1, "rate 3/5 crossed the threshold");
+        m.on_drop(Nanos(60), 1);
+        assert_eq!(
+            m.alerts_fired(),
+            1,
+            "edge-triggered: no refire while firing"
+        );
+        for t in 0..10u64 {
+            m.on_delivered(Nanos(70 + t), 1);
+        }
+        assert_eq!(m.alerts_resolved(), 1, "rate fell back under the threshold");
+        let events = m.alert_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, "alert_fired");
+        assert_eq!(events[0].t, Nanos(50));
+        assert_eq!(events[1].kind, "alert_resolved");
+    }
+
+    #[test]
+    fn other_tenants_do_not_trip_a_rule() {
+        let m = SloMonitor::enabled(vec![rule(AlertMetric::DropRate, 1, 1_000, 0.0)]);
+        m.on_drop(Nanos(5), 2);
+        assert_eq!(m.alerts_fired(), 0);
+        m.on_drop(Nanos(6), 1);
+        assert_eq!(m.alerts_fired(), 1);
+    }
+
+    #[test]
+    fn latency_quantile_alert_uses_the_sliding_window() {
+        let m = SloMonitor::enabled(vec![rule(AlertMetric::QueueDelayP99, 3, 800, 5_000.0)]);
+        m.on_dequeue(Nanos(10), 3, 100, false);
+        assert_eq!(m.alerts_fired(), 0);
+        m.on_dequeue(Nanos(20), 3, 50_000, false);
+        assert_eq!(m.alerts_fired(), 1);
+        // The slow sample expires out of the window; the next dequeue
+        // re-evaluates and resolves.
+        m.on_dequeue(Nanos(2_000), 3, 10, false);
+        assert_eq!(m.alerts_resolved(), 1);
+    }
+
+    #[test]
+    fn inversion_rate_alert() {
+        let m = SloMonitor::enabled(vec![rule(AlertMetric::InversionRate, 2, 1_000, 0.4)]);
+        m.on_dequeue(Nanos(1), 2, 10, false);
+        m.on_dequeue(Nanos(2), 2, 10, true);
+        assert_eq!(m.alerts_fired(), 1, "1/2 inversions over threshold 0.4");
+    }
+
+    #[test]
+    fn fired_alerts_are_pushed_over_the_bus() {
+        let bus = Arc::new(SnapshotBus::new());
+        let rx = bus.subscribe();
+        let m =
+            SloMonitor::enabled(vec![rule(AlertMetric::DropRate, 1, 1_000, 0.0)]).with_bus(&bus);
+        m.on_drop(Nanos(42), 1);
+        let lines: Vec<String> = rx.try_iter().collect();
+        assert_eq!(lines.len(), 1);
+        let v = Value::parse(&lines[0]).unwrap();
+        assert_eq!(v.get("kind").and_then(Value::as_str), Some("alert_fired"));
+        assert_eq!(v.get("t_ns").and_then(Value::as_u64), Some(42));
+    }
+
+    #[test]
+    fn disabled_monitor_is_inert() {
+        let m = SloMonitor::disabled();
+        assert!(!m.is_enabled());
+        m.on_drop(Nanos(1), 1);
+        m.on_delivered(Nanos(2), 1);
+        m.on_dequeue(Nanos(3), 1, 10, true);
+        m.on_fct(Nanos(4), 1, 100);
+        assert_eq!(m.alerts_fired(), 0);
+        assert_eq!(m.export_jsonl(), "");
+        assert!(m.alert_events().is_empty());
+    }
+
+    #[test]
+    fn export_parses_and_renders_a_health_table() {
+        let m = SloMonitor::enabled(vec![rule(AlertMetric::DropRate, 1, 1_000, 0.0)]);
+        m.on_delivered(Nanos(10), 1);
+        m.on_drop(Nanos(20), 1);
+        m.on_dequeue(Nanos(30), 1, 500, true);
+        m.on_fct(Nanos(40), 1, 9_000);
+        m.on_delivered(Nanos(50), 2);
+        let jsonl = m.export_jsonl();
+        let export = crate::report::parse(&jsonl).unwrap();
+        assert!(export
+            .counters
+            .iter()
+            .any(|c| c.name == "slo_dropped_pkts" && c.value == 1));
+        assert!(export
+            .gauges
+            .iter()
+            .any(|g| g.name == "slo_rule_firing" && g.value == 1));
+        assert_eq!(export.events.len(), 1, "one fired alert journaled");
+        let table = render_health(&export);
+        assert!(table.starts_with("tenant"), "{table}");
+        assert!(table.contains("T1"), "{table}");
+        assert!(table.contains("T2"), "{table}");
+        assert!(table.contains("slo_drop_rate_ppm"), "{table}");
+        // Two runs over the same feed produce identical bytes.
+        let m2 = SloMonitor::enabled(vec![rule(AlertMetric::DropRate, 1, 1_000, 0.0)]);
+        m2.on_delivered(Nanos(10), 1);
+        m2.on_drop(Nanos(20), 1);
+        m2.on_dequeue(Nanos(30), 1, 500, true);
+        m2.on_fct(Nanos(40), 1, 9_000);
+        m2.on_delivered(Nanos(50), 2);
+        assert_eq!(jsonl, m2.export_jsonl());
+    }
+
+    #[test]
+    fn health_table_orders_tenants_numerically() {
+        let jsonl = concat!(
+            r#"{"type":"counter","name":"x","labels":{"tenant":"T2"},"value":2}"#,
+            "\n",
+            r#"{"type":"counter","name":"x","labels":{"tenant":"T10"},"value":10}"#,
+            "\n",
+            r#"{"type":"counter","name":"x","labels":{"tenant":"T1"},"value":1}"#,
+            "\n",
+        );
+        let table = render_health(&crate::report::parse(jsonl).unwrap());
+        let t1 = table.find("T1\n").or_else(|| table.find("T1 ")).unwrap();
+        let t2 = table.find("T2").unwrap();
+        let t10 = table.find("T10").unwrap();
+        assert!(
+            t1 < t2 && t2 < t10,
+            "numeric tenant order expected:\n{table}"
+        );
+    }
+
+    #[test]
+    fn metric_names_roundtrip() {
+        for &m in ALERT_METRICS {
+            assert_eq!(AlertMetric::parse(m.name()), Some(m));
+        }
+        assert_eq!(AlertMetric::parse("nope"), None);
+    }
+}

@@ -38,6 +38,9 @@ pub struct HistLine {
     pub p90: Option<u64>,
     /// 99th-percentile estimate.
     pub p99: Option<u64>,
+    /// Occupied `(lo, hi, count)` buckets in ascending value order, when
+    /// the export carried them (the Prometheus renderer needs the detail).
+    pub buckets: Vec<(u64, u64, u64)>,
 }
 
 /// One exported wall-clock profile line.
@@ -141,6 +144,23 @@ pub fn parse(jsonl: &str) -> Result<Export, String> {
                 p50: value.get("p50").and_then(Value::as_u64),
                 p90: value.get("p90").and_then(Value::as_u64),
                 p99: value.get("p99").and_then(Value::as_u64),
+                buckets: value
+                    .get("buckets")
+                    .and_then(Value::as_array)
+                    .map(|items| {
+                        items
+                            .iter()
+                            .filter_map(|b| {
+                                let b = b.as_array()?;
+                                Some((
+                                    b.first()?.as_u64()?,
+                                    b.get(1)?.as_u64()?,
+                                    b.get(2)?.as_u64()?,
+                                ))
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default(),
             }),
             "profile" => {
                 let u = |key: &str| value.get(key).and_then(Value::as_u64).unwrap_or(0);
@@ -395,6 +415,7 @@ mod tests {
         assert_eq!(export.events.len(), 1);
         assert_eq!(export.gauges[0].value, -1);
         assert_eq!(export.histograms[0].p90, Some(9));
+        assert_eq!(export.histograms[0].buckets, vec![(5, 5, 1), (9, 9, 1)]);
     }
 
     #[test]

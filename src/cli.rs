@@ -111,11 +111,15 @@ USAGE:
     qvisor check <file.json>                     statically verify a policy
                [--deny-warnings] [--jsonl]       (config, scenario, or sweep)
     qvisor run <scenario.json>                   run a declarative scenario
-               [--telemetry PATH] [--trace PATH] [--deny-warnings]
+               [--telemetry PATH] [--trace PATH] [--monitor PATH]
+               [--deny-warnings]
     qvisor sweep <sweep.json> [--jobs N]         run a scenario grid in parallel
                [--out PATH] [--telemetry PREFIX] [--deny-warnings]
     qvisor serve <config.json>                   run the control-plane daemon
                [--listen ADDR] [--deny-warnings] (line-delimited JSON over TCP)
+    qvisor monitor <addr|export.jsonl|->         live per-tenant SLO health view
+                                                 (subscribes to a daemon, or
+                                                 renders a JSONL export offline)
     qvisor fuzz [--seed N] [--cases N]           differential fuzz campaign:
                [--jobs N] [--out DIR]            verifier verdicts vs exact-PIFO
                                                  simulation; summary is
@@ -132,6 +136,13 @@ Scenario files describe a full simulation declaratively (topology, workloads,
 schedulers, QVISOR deployment); see examples/scenarios/. Sweep files add a
 grid of overrides on top of a base scenario; see examples/sweeps/. Sweep
 output is byte-identical at any --jobs level.
+
+Scenarios may declare `alerts` rules ({metric, tenant, window_ns, threshold});
+`run --monitor PATH` evaluates them over sliding sim-time windows and writes
+the SLO monitor export (per-tenant health plus fired/resolved alert events)
+as JSONL. `monitor` renders that export — or a telemetry export, or a live
+daemon's stream — as a per-tenant health table. Alert sim-times are
+deterministic: identical across runs and at any --jobs level.
 
 `check` proves (or refutes, with concrete witness rank pairs) that the
 synthesized policy is overflow-free, order-preserving, and isolating —
@@ -238,6 +249,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             let opts = parse_fuzz_flags(&args[1..])?;
             cmd_fuzz(&opts)
         }
+        Some("monitor") => {
+            let target = args.get(1).ok_or_else(|| {
+                CliError::Usage("monitor needs a daemon address, an export file, or '-'".into())
+            })?;
+            cmd_monitor(target)
+        }
         Some("example") => Ok(example_config()),
         Some("help" | "--help" | "-h") => Ok(USAGE.to_string()),
         Some(other) => Err(CliError::Usage(format!("unknown command '{other}'"))),
@@ -337,6 +354,9 @@ pub struct RunOpts {
     pub telemetry: Option<String>,
     /// Write the packet-lifecycle trace snapshot (JSONL) here.
     pub trace: Option<String>,
+    /// Write the SLO monitor export (JSONL) here; enables the streaming
+    /// monitor and evaluates the scenario's declared alert rules.
+    pub monitor: Option<String>,
     /// Refuse to run when the verifier finds warnings (errors always refuse).
     pub deny_warnings: bool,
 }
@@ -358,6 +378,14 @@ fn parse_run_flags(args: &[String]) -> Result<RunOpts, CliError> {
                 opts.trace = Some(
                     args.get(i + 1)
                         .ok_or_else(|| CliError::Usage("--trace needs a path".into()))?
+                        .clone(),
+                );
+                i += 2;
+            }
+            "--monitor" => {
+                opts.monitor = Some(
+                    args.get(i + 1)
+                        .ok_or_else(|| CliError::Usage("--monitor needs a path".into()))?
                         .clone(),
                 );
                 i += 2;
@@ -690,7 +718,7 @@ fn verify_banner(engine: &Engine, spec: &ScenarioSpec) -> Result<String, CliErro
 /// (the engine refuses to build on errors, or on warnings under
 /// `--deny-warnings`).
 pub fn cmd_run(scenario_json: &str, opts: &RunOpts) -> Result<String, CliError> {
-    use qvisor_telemetry::{Telemetry, TraceConfig, Tracer};
+    use qvisor_telemetry::{SloMonitor, Telemetry, TraceConfig, Tracer};
     let spec = ScenarioSpec::from_json(scenario_json)?;
     let telemetry = if opts.telemetry.is_some() {
         Telemetry::enabled()
@@ -702,9 +730,15 @@ pub fn cmd_run(scenario_json: &str, opts: &RunOpts) -> Result<String, CliError> 
     } else {
         Tracer::disabled()
     };
+    let monitor = if opts.monitor.is_some() {
+        SloMonitor::enabled(spec.alert_rules())
+    } else {
+        SloMonitor::disabled()
+    };
     let engine = Engine::new()
         .with_telemetry(&telemetry)
         .with_tracer(&tracer)
+        .with_monitor(&monitor)
         .with_deny_warnings(opts.deny_warnings);
     eprint!("{}", verify_banner(&engine, &spec)?);
     let mut out = String::new();
@@ -714,6 +748,9 @@ pub fn cmd_run(scenario_json: &str, opts: &RunOpts) -> Result<String, CliError> 
     }
     if let Some(path) = &opts.trace {
         write_output(path, &tracer.snapshot().to_jsonl())?;
+    }
+    if let Some(path) = &opts.monitor {
+        write_output(path, &monitor.export_jsonl())?;
     }
     writeln!(
         out,
@@ -835,6 +872,115 @@ fn read_input(path: &str) -> Result<String, CliError> {
     }
 }
 
+/// `qvisor monitor`: per-tenant SLO health. `-` reads an export from
+/// stdin, an existing file is rendered offline, and anything else is
+/// treated as a daemon address to subscribe to (one health table per
+/// telemetry snapshot, until the daemon shuts the stream down).
+pub fn cmd_monitor(target: &str) -> Result<String, CliError> {
+    if target != "-" && std::fs::metadata(target).is_err() {
+        return cmd_monitor_live(target);
+    }
+    render_monitor_export(&read_input(target)?)
+}
+
+/// Offline half of `qvisor monitor`: a telemetry or SLO-monitor JSONL
+/// export becomes one health table plus the tail of alert transitions.
+pub fn render_monitor_export(jsonl: &str) -> Result<String, CliError> {
+    let export = qvisor_telemetry::report::parse(jsonl).map_err(CliError::Telemetry)?;
+    let mut out = qvisor_telemetry::monitor::render_health(&export);
+    let alerts: Vec<&qvisor_sim::json::Value> = export
+        .events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.get("kind").and_then(qvisor_sim::json::Value::as_str),
+                Some("alert_fired" | "alert_resolved")
+            )
+        })
+        .collect();
+    if !alerts.is_empty() {
+        writeln!(out, "\nalerts ({} transition(s)):", alerts.len()).unwrap();
+        for e in alerts {
+            let t = e.get("t_ns").and_then(qvisor_sim::json::Value::as_u64);
+            let kind = e
+                .get("kind")
+                .and_then(qvisor_sim::json::Value::as_str)
+                .unwrap_or("?");
+            let fields = e
+                .get("fields")
+                .map(qvisor_sim::json::Value::to_compact)
+                .unwrap_or_default();
+            writeln!(out, "  t={}ns {kind} {fields}", t.unwrap_or(0)).unwrap();
+        }
+    }
+    Ok(out)
+}
+
+/// Render one line of a daemon telemetry stream. `Ok(None)` means the
+/// stream is over; non-snapshot lines render as nothing.
+fn render_stream_line(line: &str) -> Result<Option<String>, CliError> {
+    use qvisor_sim::json::Value;
+    let v = Value::parse(line)
+        .map_err(|e| CliError::Telemetry(format!("bad stream line: {}", e.msg)))?;
+    match v.get("type").and_then(Value::as_str) {
+        Some("stream_end") => Ok(None),
+        Some("telemetry_snapshot") => {
+            let mut jsonl = String::new();
+            for record in v.get("records").and_then(Value::as_array).unwrap_or(&[]) {
+                jsonl.push_str(&record.to_compact());
+                jsonl.push('\n');
+            }
+            let version = v.get("version").and_then(Value::as_u64).unwrap_or(0);
+            let table = if jsonl.is_empty() {
+                "no telemetry records in snapshot\n".to_string()
+            } else {
+                render_monitor_export(&jsonl)?
+            };
+            Ok(Some(format!("== snapshot version {version} ==\n{table}")))
+        }
+        _ => Ok(Some(String::new())),
+    }
+}
+
+/// Consume a subscribed telemetry stream, writing one health table per
+/// snapshot. Split from the TCP plumbing so it is testable on any reader.
+fn monitor_stream(
+    reader: impl std::io::BufRead,
+    out: &mut impl std::io::Write,
+) -> Result<(), CliError> {
+    for line in reader.lines() {
+        let line = line.map_err(|e| CliError::Telemetry(format!("stream read failed: {e}")))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match render_stream_line(&line)? {
+            Some(text) => {
+                out.write_all(text.as_bytes())
+                    .map_err(|e| CliError::Telemetry(format!("cannot write output: {e}")))?;
+            }
+            None => return Ok(()),
+        }
+    }
+    Ok(())
+}
+
+/// Live half of `qvisor monitor`: subscribe to a daemon's telemetry
+/// stream and render each snapshot as it arrives.
+fn cmd_monitor_live(addr: &str) -> Result<String, CliError> {
+    use std::io::Write as _;
+    let stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| CliError::Telemetry(format!("cannot connect to {addr}: {e}")))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| CliError::Telemetry(format!("cannot clone connection: {e}")))?;
+    writeln!(writer, r#"{{"op":"subscribe-telemetry"}}"#)
+        .map_err(|e| CliError::Telemetry(format!("cannot subscribe: {e}")))?;
+    let reader = std::io::BufReader::new(stream);
+    let stdout = std::io::stdout();
+    monitor_stream(reader, &mut stdout.lock())?;
+    Ok("monitor: stream ended\n".to_string())
+}
+
 /// `qvisor telemetry report`: render a JSONL telemetry export (as written
 /// by `Telemetry::export_jsonl` or the bench binaries' `--telemetry` flag)
 /// as per-tenant and per-queue summary tables.
@@ -932,6 +1078,7 @@ mod tests {
                 "run",
                 "sweep",
                 "serve",
+                "monitor",
                 "fuzz",
                 "telemetry",
                 "trace",
@@ -1374,6 +1521,114 @@ mod tests {
         assert!(out.contains("qvisor fuzz campaign"), "{out}");
         assert!(out.contains("cases : 8"), "{out}");
         assert!(out.contains("result: AGREE"), "{out}");
+    }
+
+    /// A congested scenario with a declared drop-rate alert: two 900 Mb/s
+    /// tenants share a 1 Gb/s bottleneck with a tiny buffer.
+    const MONITOR_SCENARIO: &str = r#"{
+        "name": "cli-monitor-test",
+        "seed": 7,
+        "topology": { "dumbbell": { "pairs": 2, "edge_bps": 10000000000,
+                                    "bottleneck_bps": 1000000000, "delay_ns": 1000 } },
+        "sim": { "buffer_bytes": 9000, "horizon": { "at_ns": 20000000 } },
+        "scheduler": { "fifo": {} },
+        "workloads": [ { "cbr": { "list": [
+            { "tenant": 1, "src_host": 0, "dst_host": 2, "rate_bps": 900000000,
+              "pkt_size": 1500, "start_ns": 0, "stop": { "at_ns": 15000000 },
+              "deadline_offset_ns": 1000000 },
+            { "tenant": 2, "src_host": 1, "dst_host": 3, "rate_bps": 900000000,
+              "pkt_size": 1500, "start_ns": 0, "stop": { "at_ns": 15000000 },
+              "deadline_offset_ns": 1000000 }
+        ] } } ],
+        "alerts": [ { "metric": "drop_rate", "tenant": 2,
+                      "window_ns": 2000000, "threshold": 0.05 } ]
+    }"#;
+
+    #[test]
+    fn run_monitor_export_renders_offline_health_table() {
+        let dir = std::env::temp_dir();
+        let mpath = dir.join("qvisor_cli_test_run.monitor.jsonl");
+        let opts = RunOpts {
+            monitor: Some(mpath.to_str().unwrap().to_string()),
+            ..RunOpts::default()
+        };
+        cmd_run(MONITOR_SCENARIO, &opts).unwrap();
+        let export = std::fs::read_to_string(&mpath).unwrap();
+        assert!(export.contains("slo_drop_rate_ppm"), "{export}");
+        assert!(export.contains("\"kind\":\"alert_fired\""), "{export}");
+        // Offline render via the subcommand dispatch.
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let out = run(&args(&["monitor", mpath.to_str().unwrap()])).unwrap();
+        assert!(out.contains("T1"), "{out}");
+        assert!(out.contains("T2"), "{out}");
+        assert!(out.contains("slo_drop_rate_ppm"), "{out}");
+        assert!(out.contains("alert_fired"), "{out}");
+        std::fs::remove_file(&mpath).ok();
+        assert!(matches!(run(&args(&["monitor"])), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn monitor_stream_renders_snapshots_until_stream_end() {
+        let lines = concat!(
+            r#"{"type":"telemetry_snapshot","version":3,"records":[{"type":"counter","name":"net_sent_pkts","labels":{"tenant":"T1"},"value":5}]}"#,
+            "\n",
+            r#"{"type":"stream_end"}"#,
+            "\n",
+            r#"{"type":"telemetry_snapshot","version":4,"records":[]}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        monitor_stream(std::io::Cursor::new(lines), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("== snapshot version 3 =="), "{text}");
+        assert!(text.contains("net_sent_pkts"), "{text}");
+        // Nothing after stream_end is rendered.
+        assert!(!text.contains("version 4"), "{text}");
+        // Empty snapshots render a note instead of failing.
+        let mut out = Vec::new();
+        monitor_stream(
+            std::io::Cursor::new(r#"{"type":"telemetry_snapshot","version":9,"records":[]}"#),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("no telemetry records"), "{text}");
+        // Garbage is a clean error.
+        let mut out = Vec::new();
+        let err = monitor_stream(std::io::Cursor::new("{nope"), &mut out).unwrap_err();
+        assert!(matches!(err, CliError::Telemetry(_)));
+    }
+
+    #[test]
+    fn monitor_live_connects_to_a_daemon() {
+        let config = DeploymentConfig::from_json(&example_json()).unwrap();
+        let daemon = qvisor_serve::Daemon::start(
+            config,
+            qvisor_serve::ServeOptions {
+                listen: "127.0.0.1:0".to_string(),
+                deny_warnings: false,
+            },
+        )
+        .unwrap();
+        let addr = daemon.local_addr().to_string();
+        let handle = std::thread::spawn(move || cmd_monitor(&addr));
+        // Trigger one snapshot publish, then stop the daemon (which
+        // publishes the stream-end marker the monitor exits on).
+        use std::io::{BufRead as _, BufReader, Write as _};
+        let stream = std::net::TcpStream::connect(daemon.local_addr()).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        writeln!(
+            writer,
+            r#"{{"op":"submit-policy","tenant":{{"id":1,"name":"T1","algorithm":"pFabric","rank_min":0,"rank_max":100000,"levels":512}}}}"#
+        )
+        .unwrap();
+        reader.read_line(&mut line).unwrap();
+        writeln!(writer, r#"{{"op":"shutdown"}}"#).unwrap();
+        daemon.wait();
+        let out = handle.join().unwrap().unwrap();
+        assert!(out.contains("monitor: stream ended"), "{out}");
     }
 
     #[test]
