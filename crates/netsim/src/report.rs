@@ -30,7 +30,7 @@ impl TenantTraffic {
 }
 
 /// Everything a simulation run produces.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SimReport {
     /// Completed reliable flows.
     pub fct: FctCollector,

@@ -15,7 +15,7 @@ use crate::config::{PreprocScope, QvisorSetup, SchedulerKind, SimConfig};
 use crate::report::SimReport;
 use crate::sim::Simulation;
 use qvisor_core::{
-    synthesize, verify, MonitorConfig, Policy, SpecPaths, SynthConfig, TenantSpec,
+    synthesize, verify, MonitorConfig, Policy, QvisorError, SpecPaths, SynthConfig, TenantSpec,
     UnknownTenantAction, VerifyReport, ViolationAction,
 };
 use qvisor_ranking::RankRange;
@@ -112,171 +112,297 @@ impl Engine {
         if report.gate_fails(self.deny_warnings) {
             return Err(ScenarioError::Verify(Box::new(report)));
         }
-        let (topology, hosts) = build_topology(spec);
-
-        // Phase 1: generate Poisson flows (each workload on its own RNG
-        // stream) so the last reliable arrival is known before resolving
-        // relative time references.
-        let mut generated: Vec<Option<Vec<GeneratedFlow>>> = Vec::new();
-        for w in &spec.workloads {
-            generated.push(match w {
-                WorkloadSpec::Poisson {
-                    tenant,
-                    flows,
-                    sizes,
-                    arrival,
-                    rng_stream,
-                } => {
-                    let dist = build_sizes(*sizes);
-                    let rate = match arrival {
-                        ArrivalSpec::Load(load) => arrival_rate_for_load(
-                            *load,
-                            hosts.len(),
-                            spec.topology.access_bps(),
-                            dist.mean_bytes(),
-                        ),
-                        ArrivalSpec::RateFlowsPerSec(r) => *r,
-                    };
-                    let gen = PoissonFlowGen {
-                        tenant: TenantId(*tenant),
-                        hosts: &hosts,
-                        sizes: &*dist,
-                        rate_flows_per_sec: rate,
-                    };
-                    let mut rng = SimRng::seed_from(spec.seed).derive(*rng_stream);
-                    Some(gen.generate(*flows, &mut rng))
-                }
-                _ => None,
-            });
-        }
-        let mut last_arrival = Nanos::ZERO;
-        for (w, flows) in spec.workloads.iter().zip(&generated) {
-            if let Some(flows) = flows {
-                for f in flows {
-                    last_arrival = last_arrival.max(f.start);
-                }
-            }
-            if let WorkloadSpec::Flows { list } = w {
-                for f in list {
-                    last_arrival = last_arrival.max(Nanos(f.start_ns));
-                }
-            }
-        }
-        let resolve = |t: TimeRef| match t {
-            TimeRef::At(ns) => Nanos(ns),
-            TimeRef::AfterLastArrival(ns) => last_arrival + Nanos(ns),
-        };
-
-        // Phase 2: generate CBR fleets (stop times may be relative).
-        let mut fleets: Vec<Option<Vec<GeneratedCbr>>> = Vec::new();
-        for w in &spec.workloads {
-            fleets.push(match w {
-                WorkloadSpec::CbrFleet {
-                    tenant,
-                    streams,
-                    rate_bps,
-                    pkt_size,
-                    start_ns,
-                    stop,
-                    deadline_offset_ns,
-                    rng_stream,
-                } => {
-                    let stop = resolve(*stop);
-                    if stop <= Nanos(*start_ns) {
-                        return Err(super::field_err(
-                            "workloads.cbr_fleet.stop",
-                            "resolves to a time before start_ns",
-                        ));
-                    }
-                    let mut rng = SimRng::seed_from(spec.seed).derive(*rng_stream);
-                    Some(cbr_tenant(
-                        TenantId(*tenant),
-                        &hosts,
-                        *streams,
-                        *rate_bps,
-                        *pkt_size,
-                        Nanos(*start_ns),
-                        stop,
-                        Nanos(*deadline_offset_ns),
-                        &mut rng,
-                    ))
-                }
-                _ => None,
-            });
-        }
-
-        let cfg = SimConfig {
-            seed: spec.seed,
-            mss: spec.sim.mss,
-            header_bytes: spec.sim.header_bytes,
-            ack_bytes: spec.sim.ack_bytes,
-            cwnd: spec.sim.cwnd,
-            rto: Nanos(spec.sim.rto_ns),
-            buffer: Capacity::bytes(spec.sim.buffer_bytes),
-            scheduler: build_scheduler(&spec.scheduler),
-            host_scheduler: spec.host_scheduler.as_ref().map(build_scheduler),
-            horizon: resolve(spec.sim.horizon),
-            random_loss: spec.sim.random_loss,
-            sample_interval: spec.sim.sample_interval_ns.map(Nanos),
-            adaptation_interval: spec.sim.adaptation_interval_ns.map(Nanos),
-            qvisor: spec.qvisor.as_ref().map(build_qvisor),
-            event_core: self.event_core,
-            telemetry: self.telemetry.clone(),
-            tracer: self.tracer.clone(),
-            monitor: self.monitor.clone(),
-        };
-        let mut sim = Simulation::new(topology, cfg).map_err(ScenarioError::Build)?;
-        for (tenant, rank_fn) in &spec.rank_fns {
-            sim.register_rank_fn(TenantId(*tenant), rank_fn.build());
-        }
-        for (i, w) in spec.workloads.iter().enumerate() {
-            match w {
-                WorkloadSpec::Poisson { .. } => {
-                    for f in generated[i].as_ref().expect("generated in phase 1") {
-                        sim.add_generated(f);
-                    }
-                }
-                WorkloadSpec::CbrFleet { .. } => {
-                    for c in fleets[i].as_ref().expect("generated in phase 2") {
-                        sim.add_generated_cbr(c);
-                    }
-                }
-                WorkloadSpec::Flows { list } => {
-                    for f in list {
-                        sim.add_flow(crate::NewFlow {
-                            tenant: TenantId(f.tenant),
-                            src: hosts[f.src_host],
-                            dst: hosts[f.dst_host],
-                            size: f.size,
-                            start: Nanos(f.start_ns),
-                            deadline: f.deadline_ns.map(Nanos),
-                            weight: f.weight,
-                        });
-                    }
-                }
-                WorkloadSpec::Cbr { list } => {
-                    for c in list {
-                        sim.add_cbr(crate::NewCbr {
-                            tenant: TenantId(c.tenant),
-                            src: hosts[c.src_host],
-                            dst: hosts[c.dst_host],
-                            rate_bps: c.rate_bps,
-                            pkt_size: c.pkt_size,
-                            start: Nanos(c.start_ns),
-                            stop: resolve(c.stop),
-                            deadline_offset: Nanos(c.deadline_offset_ns),
-                        });
-                    }
-                }
-            }
-        }
+        let prep = prepare(spec)?;
+        let cfg = sim_config(
+            spec,
+            prep.last_arrival,
+            self.event_core,
+            self.telemetry.clone(),
+            self.tracer.clone(),
+            self.monitor.clone(),
+        );
+        let mut sim = Simulation::new(prep.topology.clone(), cfg).map_err(ScenarioError::Build)?;
+        populate(spec, &prep, &mut sim)?;
         Ok(sim)
     }
 
-    /// Build and run `spec` to completion.
+    /// Build and run `spec` to completion. `sim.shards > 1` dispatches to
+    /// the sharded parallel engine; the report is byte-identical either
+    /// way (the sequential engine is the differential oracle).
     pub fn run(&self, spec: &ScenarioSpec) -> Result<SimReport, ScenarioError> {
+        if spec.sim.shards > 1 {
+            return self.run_sharded(spec);
+        }
         Ok(self.build(spec)?.run())
     }
+
+    /// The sharded path: every worker thread materializes its own complete
+    /// simulation from `Sync` ingredients (the spec and the pre-generated
+    /// workloads), because the engine's observability handles are
+    /// thread-local `Rc` graphs. Worker telemetry snapshots merge into
+    /// this engine's registry; the flight recorder and streaming SLO
+    /// monitor have no shard merge, so they must be disabled.
+    fn run_sharded(&self, spec: &ScenarioSpec) -> Result<SimReport, ScenarioError> {
+        spec.validate()?;
+        let report = verify_qvisor(spec, &SpecPaths::scenario())?;
+        if report.gate_fails(self.deny_warnings) {
+            return Err(ScenarioError::Verify(Box::new(report)));
+        }
+        if self.tracer.is_enabled() {
+            return Err(super::field_err(
+                "sim.shards",
+                "packet tracing requires a single shard \
+                 (the flight recorder is not shard-merged)",
+            ));
+        }
+        if self.monitor.is_enabled() {
+            return Err(super::field_err(
+                "sim.shards",
+                "the streaming SLO monitor requires a single shard \
+                 (its sliding windows span all shards' traffic)",
+            ));
+        }
+        let prep = prepare(spec)?;
+        let event_core = self.event_core;
+        let journal_capacity = self.telemetry.journal_capacity();
+        let build = || {
+            let telemetry = match journal_capacity {
+                Some(capacity) => Telemetry::with_journal_capacity(capacity),
+                None => Telemetry::disabled(),
+            };
+            Simulation::new(
+                prep.topology.clone(),
+                sim_config(
+                    spec,
+                    prep.last_arrival,
+                    event_core,
+                    telemetry,
+                    Tracer::disabled(),
+                    SloMonitor::disabled(),
+                ),
+            )
+        };
+        let add_traffic = |sim: &mut Simulation| {
+            populate(spec, &prep, sim).map_err(|e| QvisorError::Deployment(e.to_string()))
+        };
+        crate::sim::run_sharded(
+            &prep.topology,
+            spec.sim.shards,
+            &self.telemetry,
+            build,
+            add_traffic,
+        )
+        .map_err(ScenarioError::Build)
+    }
+}
+
+/// Everything deterministic and thread-shareable that materialization
+/// needs: the topology, the canonical host list, and the pre-generated
+/// random workloads (each drawn on its own derived RNG stream, so the
+/// result is a pure function of the spec).
+struct Prepared {
+    topology: Topology,
+    hosts: Vec<NodeId>,
+    generated: Vec<Option<Vec<GeneratedFlow>>>,
+    fleets: Vec<Option<Vec<GeneratedCbr>>>,
+    last_arrival: Nanos,
+}
+
+fn resolve(t: TimeRef, last_arrival: Nanos) -> Nanos {
+    match t {
+        TimeRef::At(ns) => Nanos(ns),
+        TimeRef::AfterLastArrival(ns) => last_arrival + Nanos(ns),
+    }
+}
+
+fn prepare(spec: &ScenarioSpec) -> Result<Prepared, ScenarioError> {
+    let (topology, hosts) = build_topology(spec);
+
+    // Phase 1: generate Poisson flows (each workload on its own RNG
+    // stream) so the last reliable arrival is known before resolving
+    // relative time references.
+    let mut generated: Vec<Option<Vec<GeneratedFlow>>> = Vec::new();
+    for w in &spec.workloads {
+        generated.push(match w {
+            WorkloadSpec::Poisson {
+                tenant,
+                flows,
+                sizes,
+                arrival,
+                rng_stream,
+            } => {
+                let dist = build_sizes(*sizes);
+                let rate = match arrival {
+                    ArrivalSpec::Load(load) => arrival_rate_for_load(
+                        *load,
+                        hosts.len(),
+                        spec.topology.access_bps(),
+                        dist.mean_bytes(),
+                    ),
+                    ArrivalSpec::RateFlowsPerSec(r) => *r,
+                };
+                let gen = PoissonFlowGen {
+                    tenant: TenantId(*tenant),
+                    hosts: &hosts,
+                    sizes: &*dist,
+                    rate_flows_per_sec: rate,
+                };
+                let mut rng = SimRng::seed_from(spec.seed).derive(*rng_stream);
+                Some(gen.generate(*flows, &mut rng))
+            }
+            _ => None,
+        });
+    }
+    let mut last_arrival = Nanos::ZERO;
+    for (w, flows) in spec.workloads.iter().zip(&generated) {
+        if let Some(flows) = flows {
+            for f in flows {
+                last_arrival = last_arrival.max(f.start);
+            }
+        }
+        if let WorkloadSpec::Flows { list } = w {
+            for f in list {
+                last_arrival = last_arrival.max(Nanos(f.start_ns));
+            }
+        }
+    }
+
+    // Phase 2: generate CBR fleets (stop times may be relative).
+    let mut fleets: Vec<Option<Vec<GeneratedCbr>>> = Vec::new();
+    for w in &spec.workloads {
+        fleets.push(match w {
+            WorkloadSpec::CbrFleet {
+                tenant,
+                streams,
+                rate_bps,
+                pkt_size,
+                start_ns,
+                stop,
+                deadline_offset_ns,
+                rng_stream,
+            } => {
+                let stop = resolve(*stop, last_arrival);
+                if stop <= Nanos(*start_ns) {
+                    return Err(super::field_err(
+                        "workloads.cbr_fleet.stop",
+                        "resolves to a time before start_ns",
+                    ));
+                }
+                let mut rng = SimRng::seed_from(spec.seed).derive(*rng_stream);
+                Some(cbr_tenant(
+                    TenantId(*tenant),
+                    &hosts,
+                    *streams,
+                    *rate_bps,
+                    *pkt_size,
+                    Nanos(*start_ns),
+                    stop,
+                    Nanos(*deadline_offset_ns),
+                    &mut rng,
+                ))
+            }
+            _ => None,
+        });
+    }
+
+    Ok(Prepared {
+        topology,
+        hosts,
+        generated,
+        fleets,
+        last_arrival,
+    })
+}
+
+/// Assemble a [`SimConfig`] for `spec`. Everything except the
+/// observability handles is a pure function of the spec, so the sharded
+/// engine can call this once per worker with a fresh thread-local
+/// telemetry registry and get otherwise-identical configurations.
+fn sim_config(
+    spec: &ScenarioSpec,
+    last_arrival: Nanos,
+    event_core: EventCore,
+    telemetry: Telemetry,
+    tracer: Tracer,
+    monitor: SloMonitor,
+) -> SimConfig {
+    SimConfig {
+        seed: spec.seed,
+        mss: spec.sim.mss,
+        header_bytes: spec.sim.header_bytes,
+        ack_bytes: spec.sim.ack_bytes,
+        cwnd: spec.sim.cwnd,
+        rto: Nanos(spec.sim.rto_ns),
+        buffer: Capacity::bytes(spec.sim.buffer_bytes),
+        scheduler: build_scheduler(&spec.scheduler),
+        host_scheduler: spec.host_scheduler.as_ref().map(build_scheduler),
+        horizon: resolve(spec.sim.horizon, last_arrival),
+        random_loss: spec.sim.random_loss,
+        sample_interval: spec.sim.sample_interval_ns.map(Nanos),
+        adaptation_interval: spec.sim.adaptation_interval_ns.map(Nanos),
+        qvisor: spec.qvisor.as_ref().map(build_qvisor),
+        event_core,
+        telemetry,
+        tracer,
+        monitor,
+    }
+}
+
+/// Register rank functions and load every workload into `sim`, in
+/// declaration order (flow ids and ECMP hashing are stable). Shard-safe:
+/// the simulation's ownership mask decides which flows each shard
+/// actually schedules, so every worker loads the full traffic matrix
+/// identically.
+fn populate(
+    spec: &ScenarioSpec,
+    prep: &Prepared,
+    sim: &mut Simulation,
+) -> Result<(), ScenarioError> {
+    for (tenant, rank_fn) in &spec.rank_fns {
+        sim.register_rank_fn(TenantId(*tenant), rank_fn.build());
+    }
+    for (i, w) in spec.workloads.iter().enumerate() {
+        match w {
+            WorkloadSpec::Poisson { .. } => {
+                for f in prep.generated[i].as_ref().expect("generated in phase 1") {
+                    sim.add_generated(f);
+                }
+            }
+            WorkloadSpec::CbrFleet { .. } => {
+                for c in prep.fleets[i].as_ref().expect("generated in phase 2") {
+                    sim.add_generated_cbr(c);
+                }
+            }
+            WorkloadSpec::Flows { list } => {
+                for f in list {
+                    sim.add_flow(crate::NewFlow {
+                        tenant: TenantId(f.tenant),
+                        src: prep.hosts[f.src_host],
+                        dst: prep.hosts[f.dst_host],
+                        size: f.size,
+                        start: Nanos(f.start_ns),
+                        deadline: f.deadline_ns.map(Nanos),
+                        weight: f.weight,
+                    });
+                }
+            }
+            WorkloadSpec::Cbr { list } => {
+                for c in list {
+                    sim.add_cbr(crate::NewCbr {
+                        tenant: TenantId(c.tenant),
+                        src: prep.hosts[c.src_host],
+                        dst: prep.hosts[c.dst_host],
+                        rate_bps: c.rate_bps,
+                        pkt_size: c.pkt_size,
+                        start: Nanos(c.start_ns),
+                        stop: resolve(c.stop, prep.last_arrival),
+                        deadline_offset: Nanos(c.deadline_offset_ns),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Synthesize the scenario's QVISOR policy and run the static verifier

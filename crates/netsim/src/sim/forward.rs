@@ -1,9 +1,9 @@
 //! Device/port forwarding: the runtime monitor and pre-processor hookup,
 //! queueing, link serialization, and arrival-side loss.
 
-use super::Simulation;
+use super::{EventKey, Simulation};
 use qvisor_core::Verdict;
-use qvisor_sim::{transmission_time, Nanos, NodeId, Packet, PacketKind};
+use qvisor_sim::{stable_hash, transmission_time, Nanos, NodeId, Packet, PacketKind};
 use qvisor_telemetry::{TraceKind, TraceRecord};
 use qvisor_topology::NodeKind;
 
@@ -68,7 +68,10 @@ impl Simulation {
     }
 
     pub(in crate::sim) fn drop_packet(&mut self, p: &Packet, at: NodeId, now: Nanos) {
-        debug_assert!(self.in_flight > 0);
+        // Shards decrement for packets whose increment happened on the
+        // sending shard, so local in-flight counts legitimately go
+        // negative; only the sequential engine's must stay positive.
+        debug_assert!(self.shard.is_some() || self.in_flight > 0);
         self.in_flight -= 1;
         *self.report.node_drops.entry(at).or_insert(0) += 1;
         if p.is_payload() {
@@ -119,17 +122,53 @@ impl Simulation {
                 .as_ack(matches!(p.kind, PacketKind::Ack { .. })),
             );
         }
-        self.events
-            .schedule(now + tx, (super::Event::PortFree { node, port }, None));
+        self.events.schedule_keyed(
+            now + tx,
+            EventKey::port_free(node, port),
+            (super::Event::PortFree { node, port }, None),
+        );
+        let arrive_at = now + tx + delay;
+        if !self.owns(to) {
+            // The receiving node lives on another shard: hand the packet
+            // to the coordinator instead of the local event queue. Cut
+            // edges have delay >= the partition lookahead, so `arrive_at`
+            // is always at or past the destination's window bound.
+            self.outbox.push(super::sharded::Handoff {
+                at: arrive_at,
+                to,
+                packet: p,
+            });
+            return;
+        }
+        let arrive_key = EventKey::arrive(to, &p);
         let slot = self.arena.insert(p);
-        self.events.schedule(
-            now + tx + delay,
+        self.events.schedule_keyed(
+            arrive_at,
+            arrive_key,
             (super::Event::Arrive { node: to }, Some(slot)),
         );
     }
 
+    /// Pure per-packet loss draw in `[0, 1)`: a deterministic hash of the
+    /// packet instance's identity. Unlike a stateful RNG stream, the draw
+    /// is independent of arrival-processing order, so the sequential and
+    /// sharded engines make identical loss decisions.
+    fn loss_draw(&self, node: NodeId, p: &Packet) -> f64 {
+        const LOSS_SALT: u64 = 0x5157_4953_4C4F_5353; // "QWISLOSS"
+        let h = stable_hash(&[
+            LOSS_SALT,
+            self.cfg.seed,
+            p.flow.0,
+            super::kind_tag(&p.kind),
+            p.seq,
+            p.sent_at.as_nanos(),
+            node.index() as u64,
+        ]);
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
     pub(in crate::sim) fn on_arrive(&mut self, node: NodeId, p: Packet, now: Nanos) {
-        if self.cfg.random_loss > 0.0 && self.rng.uniform() < self.cfg.random_loss {
+        if self.cfg.random_loss > 0.0 && self.loss_draw(node, &p) < self.cfg.random_loss {
             self.report.random_losses += 1;
             self.trace_pkt(&p, now, TraceKind::Drop { rank: p.txf_rank });
             self.drop_packet(&p, node, now);

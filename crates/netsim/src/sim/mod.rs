@@ -21,10 +21,12 @@
 mod deliver;
 mod forward;
 mod queues;
+mod sharded;
 #[cfg(test)]
 mod tests;
 mod traffic;
 
+pub use sharded::run_sharded;
 pub use traffic::{NewCbr, NewFlow};
 
 use crate::config::SimConfig;
@@ -32,7 +34,8 @@ use crate::report::SimReport;
 use qvisor_core::{JointPolicy, Policy, PreProcessor, QvisorError, RuntimeAdapter, RuntimeMonitor};
 use qvisor_ranking::{RankCtx, RankFn};
 use qvisor_sim::{
-    json::Value, EventQueue, FlowId, Nanos, NodeId, PacketArena, PacketSlot, SimRng, TenantId,
+    json::Value, stable_hash, EventQueue, FlowId, Nanos, NodeId, Packet, PacketArena, PacketKind,
+    PacketSlot, TenantId,
 };
 use qvisor_telemetry::{Profiler, TraceKind, TraceRecord};
 use qvisor_topology::{Routes, Topology};
@@ -63,6 +66,107 @@ pub(in crate::sim) enum Event {
     Sample,
 }
 
+/// Content-derived same-instant ordering key (see
+/// [`EventQueue::schedule_keyed`]).
+///
+/// Events scheduled for the same nanosecond pop in `(class, node, a, b)`
+/// order, every component a pure function of the event's *content* — never
+/// of the order the scheduling code happened to run in. That makes the pop
+/// order identical between the sequential engine and the sharded engine,
+/// where cross-shard arrivals are injected at window barriers, i.e. in a
+/// scheduling order the sequential engine never sees.
+///
+/// Class 0 (control/sample ticks) sorts before every packet event, so a
+/// delivery at exactly a sampling instant counts toward the *next* window
+/// in both engines — matching the sharded coordinator, which flushes the
+/// window at the barrier before processing events at the tick time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(in crate::sim) struct EventKey {
+    class: u8,
+    node: u32,
+    a: u64,
+    b: u64,
+}
+
+pub(in crate::sim) fn kind_tag(kind: &PacketKind) -> u64 {
+    match kind {
+        PacketKind::Data => 0,
+        PacketKind::Ack { .. } => 1,
+        PacketKind::Datagram => 2,
+    }
+}
+
+impl EventKey {
+    pub(in crate::sim) fn control_tick() -> EventKey {
+        EventKey {
+            class: 0,
+            node: 0,
+            a: 0,
+            b: 0,
+        }
+    }
+
+    pub(in crate::sim) fn sample() -> EventKey {
+        EventKey {
+            class: 0,
+            node: 0,
+            a: 1,
+            b: 0,
+        }
+    }
+
+    /// Source-side traffic events: `FlowStart` and `CbrEmit` (a flow id is
+    /// one or the other, never both, so they share a class).
+    pub(in crate::sim) fn flow_event(src: NodeId, flow: FlowId) -> EventKey {
+        EventKey {
+            class: 1,
+            node: src.index() as u32,
+            a: flow.0,
+            b: 0,
+        }
+    }
+
+    pub(in crate::sim) fn timeout(src: NodeId, flow: FlowId, seq: u64, attempt: u32) -> EventKey {
+        EventKey {
+            class: 2,
+            node: src.index() as u32,
+            a: flow.0,
+            b: (seq << 16) | (attempt as u64 & 0xFFFF),
+        }
+    }
+
+    pub(in crate::sim) fn port_free(node: NodeId, port: usize) -> EventKey {
+        EventKey {
+            class: 3,
+            node: node.index() as u32,
+            a: port as u64,
+            b: 0,
+        }
+    }
+
+    /// Arrival of `p` at `to`. `(flow, seq, kind, sent_at)` identifies a
+    /// packet instance: retransmissions and their ACKs differ in
+    /// `sent_at`, duplicates of one instance cannot coexist in flight.
+    ///
+    /// Same-instant arrivals at one node order oldest-`sent_at` first,
+    /// then by packet-identity hash. Sorting by flow id directly would
+    /// systematically favour lower-numbered flows at every identical-
+    /// timestamp arrival tie — in perfectly symmetric workloads (equal
+    /// flows in lockstep over one bottleneck) that bias compounds into
+    /// starvation. The hash varies per packet, so residual tie winners
+    /// alternate pseudo-randomly and no flow is structurally preferred.
+    /// (Queue admission is priority-drop, so fairness never hinges on
+    /// arrival-tie order — see `PifoTree`'s drop policy.)
+    pub(in crate::sim) fn arrive(to: NodeId, p: &Packet) -> EventKey {
+        EventKey {
+            class: 4,
+            node: to.index() as u32,
+            a: p.sent_at.as_nanos(),
+            b: stable_hash(&[p.flow.0, p.seq, kind_tag(&p.kind), p.sent_at.as_nanos()]),
+        }
+    }
+}
+
 /// The simulator. Build with [`Simulation::new`], register tenant rank
 /// functions, add traffic, then [`Simulation::run`].
 pub struct Simulation {
@@ -76,7 +180,7 @@ pub struct Simulation {
     /// The event core. Payloads are `Copy`: packets in flight are parked
     /// in `arena` and referenced by slot, so scheduling an event moves a
     /// few words instead of boxing a packet.
-    pub(in crate::sim) events: EventQueue<(Event, Option<PacketSlot>)>,
+    pub(in crate::sim) events: EventQueue<(Event, Option<PacketSlot>), EventKey>,
     /// In-flight packet storage (freelist-recycled; no per-packet allocation
     /// on the forwarding path).
     pub(in crate::sim) arena: PacketArena,
@@ -85,17 +189,27 @@ pub struct Simulation {
     pub(in crate::sim) port_of: Vec<BTreeMap<u32, usize>>,
     pub(in crate::sim) flows: Vec<FlowState>,
     pub(in crate::sim) rank_fns: Vec<Option<Box<dyn RankFn>>>,
-    pub(in crate::sim) rng: SimRng,
     pub(in crate::sim) report: SimReport,
     pub(in crate::sim) reliable_total: u64,
     pub(in crate::sim) reliable_done: u64,
     pub(in crate::sim) cbr_live: u64,
-    pub(in crate::sim) in_flight: u64,
+    /// Packets in flight *as accounted by this engine instance*. Signed:
+    /// a shard decrements for packets whose increment happened on the
+    /// sending shard, so per-shard values go negative; only the sum
+    /// across shards (and the sequential engine's single instance) is the
+    /// true count.
+    pub(in crate::sim) in_flight: i64,
     /// Bytes delivered per tenant since the last sampling tick.
     pub(in crate::sim) window_bytes: BTreeMap<TenantId, u64>,
     pub(in crate::sim) tenant_metrics: BTreeMap<TenantId, TenantMetrics>,
     /// Wall-clock cost of handling one event (self-profiler site).
     pub(in crate::sim) dispatch_prof: Profiler,
+    /// Ownership view when this instance is one shard of a sharded run;
+    /// `None` in the sequential engine (this instance owns every node).
+    pub(in crate::sim) shard: Option<sharded::ShardView>,
+    /// Cross-shard handoffs produced in the current window: packets whose
+    /// next hop lands on a node another shard owns. Drained at barriers.
+    pub(in crate::sim) outbox: Vec<sharded::Handoff>,
 }
 
 impl Simulation {
@@ -145,7 +259,6 @@ impl Simulation {
         };
 
         let (ports, port_of) = queues::build_ports(&topo, &cfg, joint.as_ref())?;
-        let rng = SimRng::seed_from(cfg.seed).derive(0x5157_4953);
         let events = EventQueue::with_core(cfg.event_core);
         let dispatch_prof = cfg.telemetry.profiler("event_dispatch");
         Ok(Simulation {
@@ -162,7 +275,6 @@ impl Simulation {
             port_of,
             flows: Vec::new(),
             rank_fns: Vec::new(),
-            rng,
             report: SimReport::default(),
             reliable_total: 0,
             reliable_done: 0,
@@ -171,6 +283,8 @@ impl Simulation {
             window_bytes: BTreeMap::new(),
             tenant_metrics: BTreeMap::new(),
             dispatch_prof,
+            shard: None,
+            outbox: Vec::new(),
         })
     }
 
@@ -203,6 +317,45 @@ impl Simulation {
         self.reliable_done == self.reliable_total && self.cbr_live == 0 && self.in_flight == 0
     }
 
+    /// Does this engine instance own `node`? The sequential engine owns
+    /// everything; a shard owns the nodes its partition assigned to it.
+    pub(in crate::sim) fn owns(&self, node: NodeId) -> bool {
+        match &self.shard {
+            Some(view) => view.owner[node.index()] == view.index,
+            None => true,
+        }
+    }
+
+    /// Schedule a cross-shard arrival received at a window barrier. The
+    /// coordinator guarantees `at` is at or past every event this shard
+    /// has already processed (conservative lookahead), so the schedule
+    /// never violates event-queue monotonicity.
+    pub(in crate::sim) fn inject_arrival(&mut self, at: Nanos, to: NodeId, p: Packet) {
+        let key = EventKey::arrive(to, &p);
+        let slot = self.arena.insert(p);
+        self.events
+            .schedule_keyed(at, key, (Event::Arrive { node: to }, Some(slot)));
+    }
+
+    /// Advance through every local event strictly before `bound` — the
+    /// sharded engine's inner loop. Dispatch is identical to
+    /// [`Simulation::run`]'s, but counted events land in the shard `book`
+    /// (feeding the coordinator's quiescence rewind) instead of the
+    /// report, and packets leaving the shard accumulate in `outbox`.
+    pub(in crate::sim) fn advance_below(&mut self, bound: Nanos, book: &mut sharded::ShardBook) {
+        while let Some(t) = self.events.peek_time() {
+            if t >= bound {
+                break;
+            }
+            let (now, key, (ev, packet)) = self.events.pop_keyed().expect("peeked");
+            let before = (self.reliable_done, self.cbr_live, self.in_flight);
+            if self.dispatch_event(now, ev, packet) {
+                let progressed = (self.reliable_done, self.cbr_live, self.in_flight) != before;
+                book.record(now, key, progressed);
+            }
+        }
+    }
+
     /// One control-plane tick: feed the monitor's view to the adapter;
     /// on a proposal, re-synthesize and hot-reload the pre-processor.
     ///
@@ -231,6 +384,97 @@ impl Simulation {
         }
     }
 
+    /// Process one popped event. Returns `false` when the event was a
+    /// stale no-op — a retransmission timer for an already-acknowledged
+    /// sequence. Those are *silently skipped*: no `report.events` count,
+    /// no `end_time` advance. A sharded run drains stale timers past the
+    /// point where the sequential engine breaks out of its loop, so
+    /// counting them would make the engines diverge on dead work.
+    pub(in crate::sim) fn dispatch_event(
+        &mut self,
+        now: Nanos,
+        ev: Event,
+        packet: Option<PacketSlot>,
+    ) -> bool {
+        let _dispatch = self.dispatch_prof.time();
+        match ev {
+            Event::FlowStart(flow) => {
+                if self.cfg.tracer.sampled(flow.0) {
+                    if let FlowState::Reliable { sender, .. } = &self.flows[flow.index()] {
+                        let def = *sender.def();
+                        self.cfg.tracer.record(TraceRecord::new(
+                            now,
+                            flow.0,
+                            0,
+                            def.tenant.0,
+                            TraceKind::FlowStart { size: def.size },
+                        ));
+                    }
+                }
+                let sends = match &mut self.flows[flow.index()] {
+                    FlowState::Reliable { sender, .. } => sender.on_start(now),
+                    FlowState::Cbr { .. } => unreachable!("FlowStart on CBR"),
+                };
+                for req in sends {
+                    self.send_data(flow, req, 0, now);
+                }
+            }
+            Event::CbrEmit(flow) => self.emit_cbr(flow, now),
+            Event::PortFree { node, port } => {
+                self.ports[node.index()][port].busy = false;
+                self.try_transmit(node, port, now);
+            }
+            Event::Arrive { node } => {
+                let p = self.arena.take(packet.expect("Arrive carries a packet"));
+                self.on_arrive(node, p, now);
+            }
+            Event::Timeout { flow, seq, attempt } => {
+                let req = match &mut self.flows[flow.index()] {
+                    FlowState::Reliable { sender, .. } => sender.on_timeout(seq, now),
+                    FlowState::Cbr { .. } => None,
+                };
+                match req {
+                    Some(req) => self.send_data(flow, req, attempt + 1, now),
+                    None => return false,
+                }
+            }
+            Event::ControlTick => {
+                self.control_tick(now);
+                let interval = self.cfg.adaptation_interval.expect("tick implies interval");
+                if now + interval <= self.cfg.horizon {
+                    self.events.schedule_keyed(
+                        now + interval,
+                        EventKey::control_tick(),
+                        (Event::ControlTick, None),
+                    );
+                }
+            }
+            Event::Sample => {
+                self.flush_window(now);
+                let interval = self.cfg.sample_interval.expect("tick implies interval");
+                if now + interval <= self.cfg.horizon {
+                    self.events.schedule_keyed(
+                        now + interval,
+                        EventKey::sample(),
+                        (Event::Sample, None),
+                    );
+                }
+            }
+        }
+        true
+    }
+
+    /// Close the current goodput sampling window at `at`: push every
+    /// tenant's non-zero delivered-byte count and reset the window.
+    pub(in crate::sim) fn flush_window(&mut self, at: Nanos) {
+        for (&tenant, bytes) in self.window_bytes.iter_mut() {
+            if *bytes > 0 {
+                self.report.samples.push((at, tenant, *bytes));
+                *bytes = 0;
+            }
+        }
+    }
+
     /// Run to quiescence or the horizon; returns the report.
     pub fn run(mut self) -> SimReport {
         if let Some(interval) = self.cfg.adaptation_interval {
@@ -238,11 +482,16 @@ impl Simulation {
                 interval > Nanos::ZERO,
                 "adaptation interval must be positive"
             );
-            self.events.schedule(interval, (Event::ControlTick, None));
+            self.events.schedule_keyed(
+                interval,
+                EventKey::control_tick(),
+                (Event::ControlTick, None),
+            );
         }
         if let Some(interval) = self.cfg.sample_interval {
             assert!(interval > Nanos::ZERO, "sample interval must be positive");
-            self.events.schedule(interval, (Event::Sample, None));
+            self.events
+                .schedule_keyed(interval, EventKey::sample(), (Event::Sample, None));
         }
         while let Some(t) = self.events.peek_time() {
             if t > self.cfg.horizon {
@@ -252,83 +501,18 @@ impl Simulation {
                 break;
             }
             let (now, (ev, packet)) = self.events.pop().expect("peeked");
-            self.report.events += 1;
-            self.report.end_time = now;
-            let _dispatch = self.dispatch_prof.time();
-            match ev {
-                Event::FlowStart(flow) => {
-                    if self.cfg.tracer.sampled(flow.0) {
-                        if let FlowState::Reliable { sender, .. } = &self.flows[flow.index()] {
-                            let def = *sender.def();
-                            self.cfg.tracer.record(TraceRecord::new(
-                                now,
-                                flow.0,
-                                0,
-                                def.tenant.0,
-                                TraceKind::FlowStart { size: def.size },
-                            ));
-                        }
-                    }
-                    let sends = match &mut self.flows[flow.index()] {
-                        FlowState::Reliable { sender, .. } => sender.on_start(now),
-                        FlowState::Cbr { .. } => unreachable!("FlowStart on CBR"),
-                    };
-                    for req in sends {
-                        self.send_data(flow, req, 0, now);
-                    }
-                }
-                Event::CbrEmit(flow) => self.emit_cbr(flow, now),
-                Event::PortFree { node, port } => {
-                    self.ports[node.index()][port].busy = false;
-                    self.try_transmit(node, port, now);
-                }
-                Event::Arrive { node } => {
-                    let p = self.arena.take(packet.expect("Arrive carries a packet"));
-                    self.on_arrive(node, p, now);
-                }
-                Event::Timeout { flow, seq, attempt } => {
-                    let req = match &mut self.flows[flow.index()] {
-                        FlowState::Reliable { sender, .. } => sender.on_timeout(seq, now),
-                        FlowState::Cbr { .. } => None,
-                    };
-                    if let Some(req) = req {
-                        self.send_data(flow, req, attempt + 1, now);
-                    }
-                }
-                Event::ControlTick => {
-                    self.control_tick(now);
-                    let interval = self.cfg.adaptation_interval.expect("tick implies interval");
-                    if now + interval <= self.cfg.horizon {
-                        self.events
-                            .schedule(now + interval, (Event::ControlTick, None));
-                    }
-                }
-                Event::Sample => {
-                    for (&tenant, bytes) in self.window_bytes.iter_mut() {
-                        if *bytes > 0 {
-                            self.report.samples.push((now, tenant, *bytes));
-                            *bytes = 0;
-                        }
-                    }
-                    let interval = self.cfg.sample_interval.expect("tick implies interval");
-                    if now + interval <= self.cfg.horizon {
-                        self.events.schedule(now + interval, (Event::Sample, None));
-                    }
-                }
+            if self.dispatch_event(now, ev, packet) {
+                self.report.events += 1;
+                self.report.end_time = now;
             }
         }
         // Flush the final partial sampling window so the series sums to
         // the delivered bytes.
         if self.cfg.sample_interval.is_some() {
-            let at = self.report.end_time;
-            for (&tenant, bytes) in self.window_bytes.iter_mut() {
-                if *bytes > 0 {
-                    self.report.samples.push((at, tenant, *bytes));
-                    *bytes = 0;
-                }
-            }
+            self.flush_window(self.report.end_time);
         }
         self.report.incomplete_flows = self.reliable_total - self.reliable_done;
+        self.report.fct.sort_canonical();
         self.report
     }
 }

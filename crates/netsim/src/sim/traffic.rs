@@ -1,7 +1,7 @@
 //! Traffic sources: reliable flows and CBR streams, packet emission, and
 //! retransmission timers.
 
-use super::{Event, Simulation};
+use super::{Event, EventKey, Simulation};
 use qvisor_ranking::RankCtx;
 use qvisor_sim::{FlowId, Nanos, NodeId, Packet, PacketKind, TenantId};
 use qvisor_telemetry::TraceKind;
@@ -103,8 +103,17 @@ impl Simulation {
             sender: ReliableSender::new(def, self.cfg.mss, self.cfg.cwnd),
             receiver: ReliableReceiver::new(),
         });
-        self.reliable_total += 1;
-        self.events.schedule(f.start, (Event::FlowStart(id), None));
+        // Every engine instance records the flow state (the receiver half
+        // runs on the destination's shard), but only the source's owner
+        // schedules the start event and counts the flow toward doneness.
+        if self.owns(f.src) {
+            self.reliable_total += 1;
+            self.events.schedule_keyed(
+                f.start,
+                EventKey::flow_event(f.src, id),
+                (Event::FlowStart(id), None),
+            );
+        }
         id
     }
 
@@ -131,8 +140,16 @@ impl Simulation {
             source,
             sink: DatagramSink::new(),
         });
-        self.cbr_live += 1;
-        self.events.schedule(first, (Event::CbrEmit(id), None));
+        // As with reliable flows: the sink exists everywhere, but only the
+        // source's owner emits and counts the stream as live.
+        if self.owns(c.src) {
+            self.cbr_live += 1;
+            self.events.schedule_keyed(
+                first,
+                EventKey::flow_event(c.src, id),
+                (Event::CbrEmit(id), None),
+            );
+        }
         id
     }
 
@@ -211,8 +228,9 @@ impl Simulation {
         self.metrics(def.tenant).sent_pkts.inc();
         self.in_flight += 1;
         let rto = self.rto_for(attempt);
-        self.events.schedule(
+        self.events.schedule_keyed(
             now + rto,
+            EventKey::timeout(def.src, flow, req.seq, attempt),
             (
                 Event::Timeout {
                     flow,
@@ -277,7 +295,11 @@ impl Simulation {
             FlowState::Cbr { source, .. } => source.next_at(),
             FlowState::Reliable { .. } => unreachable!(),
         } {
-            Some(at) => self.events.schedule(at, (Event::CbrEmit(flow), None)),
+            Some(at) => self.events.schedule_keyed(
+                at,
+                EventKey::flow_event(def.src, flow),
+                (Event::CbrEmit(flow), None),
+            ),
             None => self.cbr_live -= 1,
         }
     }

@@ -70,9 +70,18 @@ enum Node {
 
 /// A hierarchical PIFO scheduler.
 ///
-/// The whole tree shares one byte budget with tail-drop admission (the
-/// worst-drop policies of flat PIFOs do not generalize cleanly to trees,
-/// where "worst" is path-dependent).
+/// The whole tree shares one byte budget with the same *priority-drop*
+/// admission as the flat [`crate::PifoQueue`]: a full buffer evicts the
+/// packets that would have dequeued *last*, never the arrival, unless the
+/// arrival itself is last. "Last" is well defined despite the hierarchy
+/// because the tree's total dequeue order is the root PIFO's entry order —
+/// each root pop emits exactly one packet — so the back of the root PIFO,
+/// followed down through the back of each level, is the back of the whole
+/// tree. Rank ties at the root keep residents (they were enqueued first).
+///
+/// The classifier runs for every offered packet — the scheduling
+/// transaction computes ranks *before* admission — so stateful classifiers
+/// (virtual-time counters) advance even for arrivals that end up rejected.
 pub struct PifoTree<C: TreeClassifier> {
     nodes: Vec<Node>,
     root: usize,
@@ -123,15 +132,10 @@ impl<C: TreeClassifier> PifoTree<C> {
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
-}
 
-impl<C: TreeClassifier> PacketQueue for PifoTree<C> {
-    fn enqueue(&mut self, p: Packet, _now: Nanos) -> Enqueue {
-        if !self.capacity.fits(self.bytes, p.size as u64) {
-            return Enqueue::Rejected(Box::new(p));
-        }
-        let path = self.classifier.classify(&p);
-        // Walk down, inserting a reference at each internal node.
+    /// Walk down, inserting a reference at each internal node and the
+    /// packet at the leaf.
+    fn insert(&mut self, path: &TreePath, p: Packet) {
         let mut at = self.root;
         for step in &path.steps {
             match &mut self.nodes[at] {
@@ -157,10 +161,105 @@ impl<C: TreeClassifier> PacketQueue for PifoTree<C> {
                 self.len += 1;
                 pifo.insert((path.leaf_rank, *seq), p);
                 *seq += 1;
-                Enqueue::Accepted
             }
             Node::Internal { .. } => panic!("classifier path shorter than tree depth"),
         }
+    }
+
+    /// Root-level rank of the `k`-th entry from the back of the dequeue
+    /// order (`k = 0` is the very last scheduling decision).
+    fn rank_from_back(&self, k: usize) -> Option<Rank> {
+        match &self.nodes[self.root] {
+            Node::Internal { pifo, .. } => pifo.keys().rev().nth(k).map(|&(r, _)| r),
+            Node::Leaf { pifo, .. } => pifo.keys().rev().nth(k).map(|&(r, _)| r),
+        }
+    }
+
+    /// Size of the next victim from the back of `node`'s dequeue order,
+    /// advancing the per-node cursors in `taken`. The `j`-th-from-back
+    /// entry for a child corresponds to that child's `j`-th-from-back
+    /// packet, so consuming entries strictly back-to-front keeps the
+    /// cursors aligned with [`PifoTree::pop_back`]'s removal order.
+    fn size_from_back(&self, node: usize, taken: &mut [usize]) -> Option<u64> {
+        match &self.nodes[node] {
+            Node::Internal { children, pifo, .. } => {
+                let (_, &slot) = pifo.iter().rev().nth(taken[node])?;
+                taken[node] += 1;
+                self.size_from_back(children[slot], taken)
+            }
+            Node::Leaf { pifo, .. } => {
+                let size = pifo
+                    .iter()
+                    .rev()
+                    .nth(taken[node])
+                    .map(|(_, p)| p.size as u64)?;
+                taken[node] += 1;
+                Some(size)
+            }
+        }
+    }
+
+    /// Remove and return the packet that would have dequeued last.
+    fn pop_back(&mut self) -> Option<Packet> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut at = self.root;
+        loop {
+            match &mut self.nodes[at] {
+                Node::Internal { children, pifo, .. } => {
+                    let (&key, _) = pifo.last_key_value()?;
+                    let child = pifo.remove(&key).expect("key just observed");
+                    at = children[child];
+                }
+                Node::Leaf { pifo, .. } => {
+                    let (&key, _) = pifo.last_key_value()?;
+                    let p = pifo.remove(&key).expect("key just observed");
+                    self.bytes -= p.size as u64;
+                    self.len -= 1;
+                    return Some(p);
+                }
+            }
+        }
+    }
+}
+
+impl<C: TreeClassifier> PacketQueue for PifoTree<C> {
+    fn enqueue(&mut self, p: Packet, _now: Nanos) -> Enqueue {
+        let size = p.size as u64;
+        let path = self.classifier.classify(&p);
+        if self.capacity.fits(self.bytes, size) {
+            self.insert(&path, p);
+            return Enqueue::Accepted;
+        }
+        // Priority drop (mirroring `PifoQueue`): plan first, commit after.
+        // Victims are taken from the back of the tree's dequeue order and
+        // must be *strictly* after the arrival at the root level — rank
+        // ties keep residents, which enqueued (hence dequeue) first. Only
+        // if strictly-later residents free enough bytes is the arrival
+        // admitted; otherwise it is the victim and the tree is untouched.
+        let arrival_rank = match path.steps.first() {
+            Some(step) => step.rank,
+            None => path.leaf_rank,
+        };
+        let mut taken = vec![0usize; self.nodes.len()];
+        let mut freed = 0u64;
+        let mut victims = 0usize;
+        while !self.capacity.fits(self.bytes - freed, size) {
+            match self.rank_from_back(victims) {
+                Some(rank) if rank > arrival_rank => {}
+                _ => return Enqueue::Rejected(Box::new(p)),
+            }
+            freed += self
+                .size_from_back(self.root, &mut taken)
+                .expect("root entry just observed implies a packet");
+            victims += 1;
+        }
+        let dropped: Vec<Packet> = (0..victims)
+            .map(|_| self.pop_back().expect("planned victim exists"))
+            .collect();
+        self.insert(&path, p);
+        Enqueue::AcceptedDropped(dropped)
     }
 
     fn dequeue(&mut self, _now: Nanos) -> Option<Packet> {
@@ -283,7 +382,10 @@ mod tests {
     }
 
     #[test]
-    fn capacity_tail_drops() {
+    fn root_rank_ties_keep_residents() {
+        // Constant root rank: the arrival always ties the residents at the
+        // root, so a full buffer rejects it (FIFO-fair, like the flat
+        // PIFO's tie rule) and leaves the tree untouched.
         let shape = TreeShape::Internal(vec![TreeShape::Leaf]);
         let classifier = |p: &Packet| TreePath {
             steps: vec![PathStep { child: 0, rank: 0 }],
@@ -293,6 +395,68 @@ mod tests {
         assert!(t.enqueue(pkt(1, 0, 1), Nanos::ZERO).accepted());
         assert!(t.enqueue(pkt(1, 1, 2), Nanos::ZERO).accepted());
         assert!(!t.enqueue(pkt(1, 2, 0), Nanos::ZERO).accepted());
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.bytes(), 200);
+    }
+
+    #[test]
+    fn full_tree_evicts_last_to_dequeue() {
+        // Two-tenant fair tree, buffer of 4 packets. Tenant 1 fills the
+        // whole buffer; a tenant-2 arrival (virtual time far behind) must
+        // evict tenant 1's *last-to-dequeue* packet — the one with the
+        // worst leaf rank — rather than being tail-dropped.
+        let mut t = {
+            let shape = TreeShape::Internal(vec![TreeShape::Leaf, TreeShape::Leaf]);
+            let mut counters = [0u64; 2];
+            let classifier = move |p: &Packet| {
+                let c = (p.tenant.0 - 1) as usize;
+                counters[c] += 1;
+                TreePath {
+                    steps: vec![PathStep {
+                        child: c,
+                        rank: counters[c],
+                    }],
+                    leaf_rank: p.txf_rank,
+                }
+            };
+            PifoTree::new(&shape, classifier, Capacity::bytes(400))
+        };
+        for (seq, rank) in [(0u64, 5u64), (1, 9), (2, 3), (3, 7)] {
+            assert!(t.enqueue(pkt(1, seq, rank), Nanos::ZERO).accepted());
+        }
+        let outcome = t.enqueue(pkt(2, 10, 1), Nanos::ZERO);
+        assert!(outcome.accepted());
+        let dropped = outcome.dropped();
+        assert_eq!(dropped.len(), 1);
+        assert_eq!(dropped[0].seq, 1, "worst-ranked tenant-1 packet evicted");
+        assert_eq!(t.len(), 4);
+        // Tenant 1 cannot evict its own older packets: its next arrival has
+        // the highest virtual time of its class, i.e. it *is* the back.
+        assert!(!t.enqueue(pkt(1, 4, 1), Nanos::ZERO).accepted());
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn eviction_plan_rejects_without_partial_eviction() {
+        // The first victim from the back is strictly later than the
+        // arrival, but freeing it is not enough and the next candidate
+        // ties — the arrival must be rejected with NO evictions.
+        let shape = TreeShape::Internal(vec![TreeShape::Leaf, TreeShape::Leaf]);
+        let classifier = |p: &Packet| TreePath {
+            steps: vec![PathStep {
+                child: (p.tenant.0 - 1) as usize,
+                rank: p.txf_rank,
+            }],
+            leaf_rank: p.txf_rank,
+        };
+        let mut t = PifoTree::new(&shape, classifier, Capacity::bytes(200));
+        assert!(t.enqueue(pkt(1, 0, 4), Nanos::ZERO).accepted());
+        assert!(t.enqueue(pkt(2, 1, 9), Nanos::ZERO).accepted());
+        // 200-byte arrival at rank 4: victim rank 9 frees 100 bytes, the
+        // next candidate (rank 4) ties the arrival.
+        let mut big = pkt(1, 2, 4);
+        big.size = 200;
+        assert!(!t.enqueue(big, Nanos::ZERO).accepted());
         assert_eq!(t.len(), 2);
         assert_eq!(t.bytes(), 200);
     }

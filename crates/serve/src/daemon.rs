@@ -141,6 +141,7 @@ impl Daemon {
         let control = {
             let shared = Arc::clone(&shared);
             let deny_warnings = opts.deny_warnings;
+            // determinism: allowed (control-plane I/O thread, never feeds simulation state)
             std::thread::spawn(move || {
                 // The control plane (Rc-based telemetry) lives and dies on
                 // this thread.
@@ -249,6 +250,7 @@ impl Daemon {
             let shared = Arc::clone(&shared);
             let control_tx = control_tx.clone();
             let sessions = Arc::clone(&sessions);
+            // determinism: allowed (TCP accept loop, never feeds simulation state)
             std::thread::spawn(move || {
                 for stream in listener.incoming() {
                     if shared.stop.load(Ordering::SeqCst) {
@@ -257,6 +259,7 @@ impl Daemon {
                     let Ok(stream) = stream else { continue };
                     let shared = Arc::clone(&shared);
                     let control_tx = control_tx.clone();
+                    // determinism: allowed (per-client session I/O, never feeds simulation state)
                     let handle = std::thread::spawn(move || {
                         session(stream, &shared, &control_tx);
                     });

@@ -1,15 +1,20 @@
 //! Deterministic discrete-event queue.
 //!
-//! Events scheduled for the same instant pop in the order they were pushed
-//! (FIFO tie-break via a monotone sequence number), so simulations are
-//! reproducible regardless of the backing structure's internals.
+//! Events scheduled for the same instant pop in tie-break key order; the
+//! classic [`EventQueue::schedule`] path uses a monotone sequence number
+//! as the key (FIFO tie-break), while [`EventQueue::schedule_keyed`]
+//! accepts a caller-supplied content key so the pop order is a pure
+//! function of *what* was scheduled rather than the order the scheduling
+//! code happened to run in — the property the sharded engine's
+//! byte-exactness oracle rests on. Duplicate keys fall back to insertion
+//! order, so every queue is deterministic on its own trace regardless.
 //!
 //! Two interchangeable cores implement that contract:
 //!
 //! * [`EventCore::Wheel`] — a hierarchical timing wheel
 //!   (`crate::wheel`): O(1) amortised schedule/pop, the default. This is
 //!   the hot path of every packet-level experiment.
-//! * [`EventCore::Heap`] — the original `BinaryHeap` on `(at, seq)`:
+//! * [`EventCore::Heap`] — the original `BinaryHeap` on `(at, key, seq)`:
 //!   O(log n), kept alive as the *differential oracle*. The test suite
 //!   drives both cores with identical traces and asserts identical
 //!   behaviour (see `tests/event_core_differential.rs` and TESTING.md).
@@ -45,39 +50,41 @@ impl Default for EventCore {
     }
 }
 
-struct Entry<E> {
+struct Entry<E, K> {
     at: Nanos,
+    key: K,
     seq: u64,
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
+impl<E, K: Ord> PartialEq for Entry<E, K> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.key == other.key && self.seq == other.seq
     }
 }
-impl<E> Eq for Entry<E> {}
+impl<E, K: Ord> Eq for Entry<E, K> {}
 
-impl<E> PartialOrd for Entry<E> {
+impl<E, K: Ord> PartialOrd for Entry<E, K> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Entry<E> {
+impl<E, K: Ord> Ord for Entry<E, K> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest (then lowest
-        // seq) first.
+        // Reversed: BinaryHeap is a max-heap, we want earliest (then
+        // lowest key, then lowest seq) first.
         other
             .at
             .cmp(&self.at)
+            .then_with(|| other.key.cmp(&self.key))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
-enum Core<E> {
-    Wheel(TimingWheel<E>),
-    Heap(BinaryHeap<Entry<E>>),
+enum Core<E, K> {
+    Wheel(TimingWheel<E, K>),
+    Heap(BinaryHeap<Entry<E, K>>),
 }
 
 /// A time-ordered event queue driving a discrete-event simulation.
@@ -85,19 +92,25 @@ enum Core<E> {
 /// The queue tracks the current simulation clock: [`EventQueue::pop`]
 /// advances it to the popped event's timestamp, and scheduling an event in
 /// the past is a logic error that panics.
-pub struct EventQueue<E> {
-    core: Core<E>,
+///
+/// `K` is the same-instant tie-break key. The default `u64` instantiation
+/// keeps the historical FIFO behaviour through [`EventQueue::schedule`];
+/// other key types are driven through [`EventQueue::schedule_keyed`].
+pub struct EventQueue<E, K: Ord + Copy = u64> {
+    core: Core<E, K>,
+    /// Insertion counter: the final tie-break among equal `(at, key)`
+    /// entries, and the key itself on the classic FIFO path.
     seq: u64,
     now: Nanos,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E, K: Ord + Copy> Default for EventQueue<E, K> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E, K: Ord + Copy> EventQueue<E, K> {
     /// An empty queue with the clock at time zero, on the default core
     /// (the timing wheel, unless built with the `heap-core` feature).
     pub fn new() -> Self {
@@ -105,8 +118,8 @@ impl<E> EventQueue<E> {
     }
 
     /// An empty queue on an explicitly chosen core. Both cores implement
-    /// the exact same `(time, seq)` total order; tests exploit this to
-    /// diff them against each other.
+    /// the exact same `(time, key, seq)` total order; tests exploit this
+    /// to diff them against each other.
     pub fn with_core(core: EventCore) -> Self {
         EventQueue {
             core: match core {
@@ -131,20 +144,23 @@ impl<E> EventQueue<E> {
         self.now
     }
 
-    /// Schedule `event` at absolute time `at`.
+    /// Schedule `event` at absolute time `at` with an explicit tie-break
+    /// key: same-instant events pop in ascending key order, and equal
+    /// keys fall back to insertion order.
     ///
     /// # Panics
     /// Panics if `at` is before the current clock — causality violation.
-    pub fn schedule(&mut self, at: Nanos, event: E) {
+    pub fn schedule_keyed(&mut self, at: Nanos, key: K, event: E) {
         assert!(
             at >= self.now,
             "event scheduled in the past: at={at:?} now={:?}",
             self.now
         );
         match &mut self.core {
-            Core::Wheel(w) => w.push(at.0, self.seq, event),
+            Core::Wheel(w) => w.push(at.0, key, self.seq, event),
             Core::Heap(h) => h.push(Entry {
                 at,
+                key,
                 seq: self.seq,
                 event,
             }),
@@ -152,30 +168,31 @@ impl<E> EventQueue<E> {
         self.seq += 1;
     }
 
-    /// Schedule `event` at `delay` after the current clock.
-    ///
-    /// The target time saturates at [`Nanos::MAX`] instead of wrapping, so
-    /// "infinite" delays park the event at the end of time rather than
-    /// panicking (or worse, firing in the past).
-    pub fn schedule_in(&mut self, delay: Nanos, event: E) {
-        self.schedule(self.now.saturating_add(delay), event);
-    }
-
     /// Pop the earliest event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Nanos, E)> {
-        let (at, event) = match &mut self.core {
+        self.pop_keyed().map(|(at, _, event)| (at, event))
+    }
+
+    /// Pop the earliest event together with its tie-break key.
+    ///
+    /// The sharded engine logs `(time, key)` per processed event so the
+    /// coordinator can replay the sequential engine's quiescence cut —
+    /// which lands *between* two same-instant events — from merged shard
+    /// histories.
+    pub fn pop_keyed(&mut self) -> Option<(Nanos, K, E)> {
+        let (at, key, event) = match &mut self.core {
             Core::Wheel(w) => {
-                let (at, _, event) = w.pop()?;
-                (Nanos(at), event)
+                let (at, key, _, event) = w.pop()?;
+                (Nanos(at), key, event)
             }
             Core::Heap(h) => {
                 let entry = h.pop()?;
-                (entry.at, entry.event)
+                (entry.at, entry.key, entry.event)
             }
         };
         debug_assert!(at >= self.now);
         self.now = at;
-        Some((at, event))
+        Some((at, key, event))
     }
 
     /// Timestamp of the next event without popping it.
@@ -197,6 +214,27 @@ impl<E> EventQueue<E> {
     /// True when no events remain.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+impl<E> EventQueue<E, u64> {
+    /// Schedule `event` at absolute time `at` (FIFO among ties: the
+    /// tie-break key is the queue's own monotone insertion counter).
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current clock — causality violation.
+    pub fn schedule(&mut self, at: Nanos, event: E) {
+        let key = self.seq;
+        self.schedule_keyed(at, key, event);
+    }
+
+    /// Schedule `event` at `delay` after the current clock.
+    ///
+    /// The target time saturates at [`Nanos::MAX`] instead of wrapping, so
+    /// "infinite" delays park the event at the end of time rather than
+    /// panicking (or worse, firing in the past).
+    pub fn schedule_in(&mut self, delay: Nanos, event: E) {
+        self.schedule(self.now.saturating_add(delay), event);
     }
 }
 
@@ -230,6 +268,31 @@ mod tests {
             let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
             assert_eq!(order, vec!["first", "second", "third"]);
         });
+    }
+
+    #[test]
+    fn keyed_ties_break_by_key_not_insertion_order() {
+        for core in [EventCore::Wheel, EventCore::Heap] {
+            let mut q: EventQueue<&'static str, (u8, u32)> = EventQueue::with_core(core);
+            q.schedule_keyed(Nanos(5), (2, 0), "third");
+            q.schedule_keyed(Nanos(5), (0, 9), "first");
+            q.schedule_keyed(Nanos(5), (1, 1), "second");
+            q.schedule_keyed(Nanos(1), (9, 9), "zeroth");
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, vec!["zeroth", "first", "second", "third"]);
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_fall_back_to_insertion_order() {
+        for core in [EventCore::Wheel, EventCore::Heap] {
+            let mut q: EventQueue<&'static str, u8> = EventQueue::with_core(core);
+            q.schedule_keyed(Nanos(5), 1, "a");
+            q.schedule_keyed(Nanos(5), 1, "b");
+            q.schedule_keyed(Nanos(5), 0, "z");
+            let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+            assert_eq!(order, vec!["z", "a", "b"]);
+        }
     }
 
     #[test]

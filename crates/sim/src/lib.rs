@@ -15,6 +15,7 @@ pub mod id;
 pub mod json;
 pub mod packet;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 mod wheel;
@@ -23,5 +24,6 @@ pub use events::{EventCore, EventQueue};
 pub use id::{FlowId, NodeId, Rank, TenantId};
 pub use packet::{Packet, PacketArena, PacketKind, PacketSlot};
 pub use rng::{stable_hash, SimRng};
+pub use shard::{Mailbox, MailboxGrid, ShardClock};
 pub use stats::{jain_fairness, Ewma, Log2Histogram, OnlineStats, PercentileCollector};
 pub use time::{gbps, mbps, transmission_time, Nanos};

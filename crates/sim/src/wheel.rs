@@ -11,11 +11,12 @@
 //!
 //! # Invariants (see DESIGN.md "Event core")
 //!
-//! 1. **Total order.** Entries pop in strictly non-decreasing `(at, seq)`
-//!    order — byte-identical to the binary-heap oracle. Within a slot,
-//!    same-timestamp entries are kept in seq (append) order; cascades and
-//!    overflow migration preserve that order because both iterate their
-//!    source in `(at, seq)` order.
+//! 1. **Total order.** Entries pop in strictly non-decreasing
+//!    `(at, key, seq)` order — byte-identical to the binary-heap oracle.
+//!    A level-0 slot holds exactly one timestamp, so it is kept sorted by
+//!    `(key, seq)` on insert; coarse slots mix timestamps and stay
+//!    unsorted because cascades re-insert them through the same sorted
+//!    level-0 path before they can pop.
 //! 2. **Window exclusivity.** At every level `L ≥ 1`, slots at or before
 //!    the cursor `(pos >> 8L) & 255` are empty: inserts always target a
 //!    strictly-future slot of the level that owns the highest differing
@@ -44,18 +45,27 @@ const LEVELS: u32 = 6;
 /// Words in a level's occupancy bitmap.
 const WORDS: usize = SLOTS / 64;
 
-/// `(at, seq, event)` — the same key the heap oracle sorts on.
-type Entry<E> = (u64, u64, E);
+/// `(at, key, seq, event)` — the same key the heap oracle sorts on. `key`
+/// is the caller-supplied tie-break (a monotone sequence number for the
+/// classic FIFO queue, a content key for the sharded engine); `seq` is the
+/// owning queue's insertion counter, the final tie-break among duplicate
+/// keys.
+struct Entry<E, K> {
+    at: u64,
+    key: K,
+    seq: u64,
+    event: E,
+}
 
 /// One wheel level: 256 slots plus an occupancy bitmap so the next
 /// non-empty slot is found in at most four word scans.
-struct Level<E> {
-    slots: Vec<VecDeque<Entry<E>>>,
+struct Level<E, K> {
+    slots: Vec<VecDeque<Entry<E, K>>>,
     occupied: [u64; WORDS],
 }
 
-impl<E> Level<E> {
-    fn new() -> Level<E> {
+impl<E, K> Level<E, K> {
+    fn new() -> Level<E, K> {
         Level {
             slots: (0..SLOTS).map(|_| VecDeque::new()).collect(),
             occupied: [0; WORDS],
@@ -90,30 +100,32 @@ impl<E> Level<E> {
     }
 }
 
-/// Overflow-heap entry, ordered earliest-`(at, seq)`-first.
-struct Far<E> {
+/// Overflow-heap entry, ordered earliest-`(at, key, seq)`-first.
+struct Far<E, K> {
     at: u64,
+    key: K,
     seq: u64,
     event: E,
 }
 
-impl<E> PartialEq for Far<E> {
+impl<E, K: Ord> PartialEq for Far<E, K> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.key == other.key && self.seq == other.seq
     }
 }
-impl<E> Eq for Far<E> {}
-impl<E> PartialOrd for Far<E> {
+impl<E, K: Ord> Eq for Far<E, K> {}
+impl<E, K: Ord> PartialOrd for Far<E, K> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for Far<E> {
+impl<E, K: Ord> Ord for Far<E, K> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest first.
         other
             .at
             .cmp(&self.at)
+            .then_with(|| other.key.cmp(&self.key))
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -129,13 +141,13 @@ fn level_for(at: u64, pos: u64) -> u32 {
     }
 }
 
-/// A hierarchical timing wheel over `(at, seq, event)` entries.
+/// A hierarchical timing wheel over `(at, key, seq, event)` entries.
 ///
 /// Pure container: the owning [`EventQueue`](crate::EventQueue) assigns
 /// sequence numbers and enforces the no-scheduling-in-the-past contract.
-pub(crate) struct TimingWheel<E> {
-    levels: Vec<Level<E>>,
-    overflow: BinaryHeap<Far<E>>,
+pub(crate) struct TimingWheel<E, K> {
+    levels: Vec<Level<E, K>>,
+    overflow: BinaryHeap<Far<E, K>>,
     /// Cached earliest pending timestamp, kept exact by push/pop.
     next: Option<u64>,
     len: usize,
@@ -144,8 +156,8 @@ pub(crate) struct TimingWheel<E> {
     pos: u64,
 }
 
-impl<E> TimingWheel<E> {
-    pub(crate) fn new() -> TimingWheel<E> {
+impl<E, K: Ord + Copy> TimingWheel<E, K> {
+    pub(crate) fn new() -> TimingWheel<E, K> {
         TimingWheel {
             levels: (0..LEVELS).map(|_| Level::new()).collect(),
             overflow: BinaryHeap::new(),
@@ -166,12 +178,22 @@ impl<E> TimingWheel<E> {
 
     /// Insert an entry. `at` must be `>= ` the last popped timestamp
     /// (enforced by the owning queue; debug-asserted here).
-    pub(crate) fn push(&mut self, at: u64, seq: u64, event: E) {
+    pub(crate) fn push(&mut self, at: u64, key: K, seq: u64, event: E) {
         debug_assert!(at >= self.pos, "wheel push before cursor");
         if level_for(at, self.pos) >= LEVELS {
-            self.overflow.push(Far { at, seq, event });
+            self.overflow.push(Far {
+                at,
+                key,
+                seq,
+                event,
+            });
         } else {
-            self.push_to_wheel(at, seq, event);
+            self.push_to_wheel(Entry {
+                at,
+                key,
+                seq,
+                event,
+            });
         }
         self.len += 1;
         self.next = Some(match self.next {
@@ -181,31 +203,40 @@ impl<E> TimingWheel<E> {
     }
 
     /// Place an in-horizon entry in its slot (level by highest differing
-    /// bit from the cursor).
-    fn push_to_wheel(&mut self, at: u64, seq: u64, event: E) {
-        let lvl = level_for(at, self.pos);
+    /// bit from the cursor). Level-0 slots hold a single timestamp and
+    /// pop front-first, so they are kept sorted by `(key, seq)`; coarse
+    /// slots only ever cascade back through this function, so their
+    /// internal order is irrelevant.
+    fn push_to_wheel(&mut self, entry: Entry<E, K>) {
+        let lvl = level_for(entry.at, self.pos);
         debug_assert!(lvl < LEVELS, "entry beyond wheel horizon");
-        let slot = ((at >> (SLOT_BITS * lvl)) & MASK) as usize;
-        self.levels[lvl as usize].slots[slot].push_back((at, seq, event));
+        let slot = ((entry.at >> (SLOT_BITS * lvl)) & MASK) as usize;
+        let q = &mut self.levels[lvl as usize].slots[slot];
+        if lvl == 0 {
+            let pos = q.partition_point(|e| (e.key, e.seq) <= (entry.key, entry.seq));
+            q.insert(pos, entry);
+        } else {
+            q.push_back(entry);
+        }
         self.levels[lvl as usize].set(slot);
     }
 
     /// Remove and return the earliest entry.
-    pub(crate) fn pop(&mut self) -> Option<Entry<E>> {
+    pub(crate) fn pop(&mut self) -> Option<(u64, K, u64, E)> {
         if self.len == 0 {
             return None;
         }
         self.len -= 1;
-        let entry = self.pop_earliest();
+        let e = self.pop_earliest();
         self.next = self.scan_next();
-        Some(entry)
+        Some((e.at, e.key, e.seq, e.event))
     }
 
-    fn pop_earliest(&mut self) -> Entry<E> {
+    fn pop_earliest(&mut self) -> Entry<E, K> {
         loop {
             // Near wheel: the current level-0 window holds whole
             // timestamps, one per slot, so the first occupied slot at or
-            // after the cursor is the global minimum.
+            // after the cursor is the global minimum (and is sorted).
             let cur0 = (self.pos & MASK) as usize;
             if let Some(i) = self.levels[0].first_occupied_from(cur0) {
                 let entry = self.levels[0].slots[i]
@@ -214,7 +245,7 @@ impl<E> TimingWheel<E> {
                 if self.levels[0].slots[i].is_empty() {
                     self.levels[0].clear(i);
                 }
-                self.pos = entry.0;
+                self.pos = entry.at;
                 return entry;
             }
             // Cascade: enter the earliest future window of the finest
@@ -230,8 +261,8 @@ impl<E> TimingWheel<E> {
                 self.pos = ((self.pos >> upper) << upper) | ((s as u64) << shift);
                 let entries = std::mem::take(&mut self.levels[lvl].slots[s]);
                 self.levels[lvl].clear(s);
-                for (at, seq, event) in entries {
-                    self.push_to_wheel(at, seq, event);
+                for entry in entries {
+                    self.push_to_wheel(entry);
                 }
                 cascaded = true;
                 break;
@@ -241,7 +272,8 @@ impl<E> TimingWheel<E> {
             }
             // Wheels empty: the overflow heap holds the minimum. Advance
             // the cursor to it and migrate entries that fell inside the
-            // new 2^48 horizon back into the wheels, in (at, seq) order.
+            // new 2^48 horizon back into the wheels, in (at, key, seq)
+            // order.
             let far = self.overflow.pop().expect("len counted a pending entry");
             self.pos = far.at;
             while let Some(top) = self.overflow.peek() {
@@ -249,9 +281,19 @@ impl<E> TimingWheel<E> {
                     break;
                 }
                 let f = self.overflow.pop().expect("just peeked");
-                self.push_to_wheel(f.at, f.seq, f.event);
+                self.push_to_wheel(Entry {
+                    at: f.at,
+                    key: f.key,
+                    seq: f.seq,
+                    event: f.event,
+                });
             }
-            return (far.at, far.seq, far.event);
+            return Entry {
+                at: far.at,
+                key: far.key,
+                seq: far.seq,
+                event: far.event,
+            };
         }
     }
 
@@ -271,7 +313,7 @@ impl<E> TimingWheel<E> {
             if let Some(s) = self.levels[lvl].first_occupied_from(cur + 1) {
                 // Coarse slots mix timestamps; the earliest window's
                 // minimum is the global minimum.
-                return self.levels[lvl].slots[s].iter().map(|e| e.0).min();
+                return self.levels[lvl].slots[s].iter().map(|e| e.at).min();
             }
         }
         self.overflow.peek().map(|f| f.at)
@@ -283,9 +325,9 @@ mod tests {
     use super::*;
     use crate::SimRng;
 
-    fn drain(w: &mut TimingWheel<u64>) -> Vec<(u64, u64)> {
+    fn drain(w: &mut TimingWheel<u64, u64>) -> Vec<(u64, u64)> {
         std::iter::from_fn(|| w.pop())
-            .map(|(at, seq, _)| (at, seq))
+            .map(|(at, key, _, _)| (at, key))
             .collect()
     }
 
@@ -301,15 +343,15 @@ mod tests {
     }
 
     #[test]
-    fn same_timestamp_pops_in_seq_order_across_cascades() {
+    fn same_timestamp_pops_in_key_order_across_cascades() {
         // Entries at the same far timestamp inserted out of slot order
-        // must survive two cascades and still pop FIFO by seq.
+        // must survive two cascades and still pop by key.
         let mut w = TimingWheel::new();
         let t = (3 << 16) | (7 << 8) | 5; // level-2 territory from pos 0
-        for seq in 0..5 {
-            w.push(t, seq, seq);
+        for key in 0..5 {
+            w.push(t, key, key, key);
         }
-        w.push(t + 1, 5, 5);
+        w.push(t + 1, 5, 5, 5);
         assert_eq!(
             drain(&mut w),
             vec![(t, 0), (t, 1), (t, 2), (t, 3), (t, 4), (t + 1, 5)]
@@ -317,33 +359,47 @@ mod tests {
     }
 
     #[test]
+    fn same_timestamp_out_of_order_keys_pop_sorted() {
+        // Content keys arrive in arbitrary order; the level-0 slot must
+        // still pop them in (key, seq) order, matching the heap oracle.
+        let mut w = TimingWheel::new();
+        for (key, seq) in [(9u64, 0u64), (2, 1), (7, 2), (2, 3), (0, 4)] {
+            w.push(40, key, seq, key);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| w.pop())
+            .map(|(_, key, seq, _)| (key, seq))
+            .collect();
+        assert_eq!(order, vec![(0, 4), (2, 1), (2, 3), (7, 2), (9, 0)]);
+    }
+
+    #[test]
     fn overflow_heap_round_trips() {
         let mut w = TimingWheel::new();
         let far = 1u64 << 50;
-        w.push(far + 10, 0, 0);
-        w.push(far, 1, 1);
-        w.push(5, 2, 2); // near event pops first
+        w.push(far + 10, 0, 0, 0);
+        w.push(far, 1, 1, 1);
+        w.push(5, 2, 2, 2); // near event pops first
         assert_eq!(w.peek_time(), Some(5));
-        assert_eq!(w.pop(), Some((5, 2, 2)));
+        assert_eq!(w.pop(), Some((5, 2, 2, 2)));
         // Popping across the 2^48 boundary migrates the remaining far
         // entry into the wheels and keeps order.
-        assert_eq!(w.pop(), Some((far, 1, 1)));
-        assert_eq!(w.pop(), Some((far + 10, 0, 0)));
+        assert_eq!(w.pop(), Some((far, 1, 1, 1)));
+        assert_eq!(w.pop(), Some((far + 10, 0, 0, 0)));
         assert_eq!(w.pop(), None);
     }
 
     #[test]
     fn interleaved_push_pop_keeps_cached_peek_exact() {
         let mut w = TimingWheel::new();
-        w.push(300, 0, 0);
+        w.push(300, 0, 0, 0);
         assert_eq!(w.peek_time(), Some(300));
-        w.push(260, 1, 1);
+        w.push(260, 1, 1, 1);
         assert_eq!(w.peek_time(), Some(260));
-        assert_eq!(w.pop(), Some((260, 1, 1)));
+        assert_eq!(w.pop(), Some((260, 1, 1, 1)));
         assert_eq!(w.peek_time(), Some(300));
-        w.push(300, 2, 2);
-        assert_eq!(w.pop(), Some((300, 0, 0)));
-        assert_eq!(w.pop(), Some((300, 2, 2)));
+        w.push(300, 2, 2, 2);
+        assert_eq!(w.pop(), Some((300, 0, 0, 0)));
+        assert_eq!(w.pop(), Some((300, 2, 2, 2)));
         assert_eq!(w.peek_time(), None);
     }
 
@@ -356,24 +412,29 @@ mod tests {
             let spread = [200u64, 70_000, 1 << 20, 1 << 35, 1 << 52][(case % 5) as usize];
             let n = 1 + rng.below(400);
             let mut w = TimingWheel::new();
-            let mut reference: Vec<(u64, u64)> = Vec::new();
+            let mut reference: Vec<(u64, u64, u64)> = Vec::new();
             let mut clock = 0u64;
             for seq in 0..n {
-                // Bias toward collisions so FIFO tie-breaks are exercised.
+                // Bias toward collisions so tie-breaks are exercised;
+                // random keys decouple key order from insertion order.
                 let at = clock + rng.below(spread) / (1 + rng.below(4));
-                w.push(at, seq, seq);
-                reference.push((at, seq));
+                let key = rng.below(8);
+                w.push(at, key, seq, seq);
+                reference.push((at, key, seq));
                 if rng.below(3) == 0 {
-                    if let Some((at, s, _)) = w.pop() {
+                    if let Some((at, key, s, _)) = w.pop() {
                         clock = at;
                         let min = *reference.iter().min().unwrap();
-                        assert_eq!((at, s), min, "case {case}");
+                        assert_eq!((at, key, s), min, "case {case}");
                         reference.retain(|&e| e != min);
                     }
                 }
             }
             reference.sort();
-            assert_eq!(drain(&mut w), reference, "case {case}");
+            let drained: Vec<_> = std::iter::from_fn(|| w.pop())
+                .map(|(at, key, seq, _)| (at, key, seq))
+                .collect();
+            assert_eq!(drained, reference, "case {case}");
         }
     }
 }

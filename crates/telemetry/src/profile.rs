@@ -53,6 +53,23 @@ impl ProfileStat {
     pub fn mean_ns(&self) -> u64 {
         self.total_ns.checked_div(self.count).unwrap_or(0)
     }
+
+    /// Fold another site's aggregate in (the sharded engine's telemetry
+    /// merge: each worker profiles its own dispatch loop, and the merged
+    /// stat describes all of them together).
+    pub fn merge(&mut self, other: &ProfileStat) {
+        if other.count == 0 {
+            return;
+        }
+        self.min_ns = if self.count == 0 {
+            other.min_ns
+        } else {
+            self.min_ns.min(other.min_ns)
+        };
+        self.max_ns = self.max_ns.max(other.max_ns);
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+    }
 }
 
 #[cfg(feature = "enabled")]

@@ -56,7 +56,7 @@ impl SizeBucket {
 }
 
 /// Collects completed flows and answers the paper's statistics queries.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FctCollector {
     records: Vec<FlowRecord>,
 }
@@ -76,6 +76,23 @@ impl FctCollector {
     /// All records.
     pub fn records(&self) -> &[FlowRecord] {
         &self.records
+    }
+
+    /// Sort records into the canonical `(end, start, flow)` order.
+    ///
+    /// Completion *recording* order is an artifact of event processing —
+    /// the sharded engine concatenates per-shard collectors in shard
+    /// order, not time order — and the float statistics stream over
+    /// records in order, so they are only byte-stable on a canonical
+    /// ordering. Both engines canonicalize before reporting.
+    pub fn sort_canonical(&mut self) {
+        self.records.sort_by_key(|r| (r.end, r.start, r.flow.0));
+    }
+
+    /// Absorb another collector's records (the sharded engine's merge
+    /// step). Call [`FctCollector::sort_canonical`] afterwards.
+    pub fn merge(&mut self, other: FctCollector) {
+        self.records.extend(other.records);
     }
 
     /// Completed-flow count for a tenant (all tenants when `None`).

@@ -12,12 +12,17 @@
 //! - **iteration over hash containers** — `HashMap`/`HashSet` iteration
 //!   order is randomized per process, so any fold, merge, or report built
 //!   from it diverges between identical runs (use `BTreeMap`/`BTreeSet`,
-//!   or sort before consuming).
+//!   or sort before consuming),
+//! - **detached threads** — `std::thread::spawn` creates a thread whose
+//!   lifetime and scheduling are unobservable; simulation concurrency must
+//!   go through the sharded executor's scoped, barrier-synchronized
+//!   workers (`std::thread::scope`), whose merges are canonical.
 //!
 //! Sanctioned exceptions carry an inline waiver comment on the offending
-//! line: `// determinism: allowed (<why>)`. The only current waivers are
-//! the self-profiler's wall-clock reads, which measure the *host* cost of
-//! synthesis and are stripped from deterministic exports.
+//! line: `// determinism: allowed (<why>)`. The current waivers are the
+//! self-profiler's wall-clock reads (host cost of synthesis, stripped from
+//! deterministic exports) and the detached I/O threads of the serve daemon
+//! and the telemetry snapshot bus, which never feed simulation state.
 //!
 //! By repo convention test modules sit at the bottom of a file behind
 //! `#[cfg(test)]`; the lint stops scanning a file at that marker.
@@ -38,6 +43,7 @@ const LINT_ROOTS: &[&str] = &[
     "crates/core/src",
     "crates/serve/src",
     "crates/fuzz/src",
+    "crates/topology/src",
     "crates/telemetry/src/monitor.rs",
     "crates/telemetry/src/prometheus.rs",
     "crates/telemetry/src/stream.rs",
@@ -77,6 +83,11 @@ const FORBIDDEN: &[(&str, &str)] = &[
     (
         "OsRng",
         "ambient RNG; derive a stream from SimRng::seed_from(seed).derive(label)",
+    ),
+    (
+        "std::thread::spawn",
+        "detached thread; simulation concurrency must use the sharded \
+         executor's scoped, barrier-synchronized workers",
     ),
 ];
 
@@ -265,12 +276,15 @@ fn scan_source(path: &str, text: &str) -> Vec<Finding> {
         }
     }
 
-    // Pass 2: forbidden tokens and iteration over collected idents.
-    for (i, line) in text.lines().enumerate() {
+    // Pass 2: forbidden tokens and iteration over collected idents. A
+    // waiver sanctions its own line, or — since rustfmt relocates
+    // trailing comments — the line directly below it.
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, &line) in lines.iter().enumerate() {
         if skip[i] {
             continue;
         }
-        if line.contains(WAIVER) {
+        if line.contains(WAIVER) || (i > 0 && lines[i - 1].contains(WAIVER)) {
             continue;
         }
         let code = code_of(line);
@@ -378,9 +392,29 @@ mod tests {
     }
 
     #[test]
+    fn detached_threads_are_flagged_but_scoped_ones_are_not() {
+        let src = "fn f() {\n    std::thread::spawn(|| {});\n    \
+                   std::thread::scope(|scope| { scope.spawn(|| {}); });\n}\n";
+        let f = scan_source("x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 2);
+        assert!(f[0].msg.contains("std::thread::spawn"));
+    }
+
+    #[test]
     fn waiver_comment_sanctions_a_line() {
         let src = "let t = std::time::Instant::now(); // determinism: allowed (profiler)\n";
         assert!(scan_source("x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn waiver_comment_on_the_preceding_line_also_sanctions() {
+        // rustfmt relocates trailing comments, so a standalone waiver
+        // directly above the offending line counts too.
+        let src = "// determinism: allowed (daemon I/O)\nstd::thread::spawn(|| {});\n";
+        assert!(scan_source("x.rs", src).is_empty());
+        let src = "// determinism: allowed (daemon I/O)\nfn gap() {}\nstd::thread::spawn(|| {});\n";
+        assert_eq!(scan_source("x.rs", src).len(), 1, "waiver must be adjacent");
     }
 
     #[test]

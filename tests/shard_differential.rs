@@ -1,0 +1,92 @@
+//! Sequential-vs-sharded byte-exactness over real example scenarios: the
+//! sharded parallel engine must reproduce the sequential oracle's report
+//! JSON *and* sanitized telemetry export byte-for-byte at every shard
+//! count, and the topology partitioner must be a pure function of its
+//! inputs.
+
+use qvisor::netsim::scenario::{report_json, sanitize_export, Engine, ScenarioSpec};
+use qvisor::sim::Nanos;
+use qvisor::telemetry::Telemetry;
+use qvisor::topology::{FatTree, Partition};
+
+/// Run `scenario` at `shards` with a fresh telemetry sink and return
+/// `(report_json_bytes, sanitized_telemetry_jsonl)`.
+fn run_at(path: &str, shards: usize) -> (String, String) {
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let mut spec = ScenarioSpec::from_json(&json).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+    spec.sim.shards = shards;
+    let telemetry = Telemetry::enabled();
+    let report = Engine::new()
+        .with_telemetry(&telemetry)
+        .run(&spec)
+        .unwrap_or_else(|e| panic!("{path} at shards={shards}: {e}"));
+    (
+        report_json(&report).to_pretty(),
+        sanitize_export(&telemetry.export_jsonl()),
+    )
+}
+
+/// The core differential: shard counts above 1 must match the sequential
+/// oracle (shards = 1 takes the plain `build().run()` path) byte-for-byte.
+fn assert_shard_invariant(path: &str, shard_counts: &[usize]) {
+    let (oracle_report, oracle_telemetry) = run_at(path, 1);
+    for &shards in shard_counts {
+        let (report, telemetry) = run_at(path, shards);
+        assert_eq!(
+            oracle_report, report,
+            "{path}: report diverged from the sequential oracle at shards={shards}"
+        );
+        assert_eq!(
+            oracle_telemetry, telemetry,
+            "{path}: telemetry diverged from the sequential oracle at shards={shards}"
+        );
+    }
+}
+
+#[test]
+fn shard_fabric_example_is_shard_invariant() {
+    // 4x4 leaf-spine: 8 partition units, so the full ladder fits.
+    assert_shard_invariant("examples/scenarios/shard_fabric.json", &[2, 4, 8]);
+}
+
+#[test]
+fn incast_example_is_shard_invariant() {
+    // 2x2 leaf-spine: 4 partition units.
+    assert_shard_invariant("examples/scenarios/incast.json", &[2, 4]);
+}
+
+#[test]
+fn fig4_point_example_is_shard_invariant() {
+    // Mixed Poisson + CBR-fleet workload under a QVISOR policy.
+    assert_shard_invariant("examples/scenarios/fig4_point.json", &[2, 4]);
+}
+
+#[test]
+fn oversharding_is_rejected_with_a_dotted_path() {
+    let json = std::fs::read_to_string("examples/scenarios/incast.json").unwrap();
+    let mut spec = ScenarioSpec::from_json(&json).unwrap();
+    spec.sim.shards = 64; // 2x2 leaf-spine has only 4 partition units
+    let err = Engine::new().run(&spec).unwrap_err().to_string();
+    assert!(
+        err.contains("sim.shards"),
+        "rejection should name the offending field: {err}"
+    );
+}
+
+#[test]
+fn partitioner_is_a_pure_function_of_its_inputs() {
+    let ft = FatTree::build(4, 1_000_000_000, Nanos(1000));
+    for shards in [1, 2, 4, 8] {
+        let a = Partition::new(&ft.topology, shards).unwrap();
+        let b = Partition::new(&ft.topology, shards).unwrap();
+        assert_eq!(a.owners(), b.owners(), "owners diverged at shards={shards}");
+        // Every shard owns at least one node, and every node has an owner.
+        for s in 0..shards {
+            assert!(
+                a.owners().contains(&s),
+                "shard {s} owns nothing at shards={shards}"
+            );
+        }
+        assert!(a.owners().iter().all(|&o| o < shards));
+    }
+}
